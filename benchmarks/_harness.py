@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness (imported by the bench files).
+
+Each ``bench_fig*.py`` file regenerates one figure of the paper's evaluation
+(Section 6): the benchmark measures how long the experiment takes, and the
+resulting table — the same rows/series the paper plots — is printed so the
+run doubles as a reproduction report.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List
+
+from repro.experiments.config import scale_by_name
+from repro.experiments.tables import ExperimentResult
+
+#: Benchmarks default to the fast preset; set REPRO_BENCH_SCALE=full to
+#: regenerate the figures at the paper's own workload sizes.
+SCALE = scale_by_name(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+def run_and_report(benchmark, runner: Callable[[], List[ExperimentResult]]):
+    """Benchmark *runner* once and print the tables it produced."""
+    tables = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print()
+    for table in tables:
+        print(table.to_text())
+        print()
+    return tables

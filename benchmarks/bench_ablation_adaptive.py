@@ -1,0 +1,97 @@
+"""Ablation: static tDP allocation vs adaptive per-round re-planning.
+
+The adaptive engine re-solves MinLatency from the actual (candidates,
+remaining budget) state after every round — the online use of the paper's
+Figure 5 optimal-substructure insight.  Under pure tournament rounds the
+two are provably identical; with an exploiting selector (CT25) the adaptive
+engine re-invests windfall eliminations.
+"""
+
+import numpy as np
+
+from _harness import SCALE, run_and_report
+from repro.core.tdp import TDPAllocator
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.adaptive import AdaptiveMaxEngine
+from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+from repro.experiments.config import estimated_latency
+from repro.experiments.tables import ExperimentResult
+from repro.selection.ct import ct25
+from repro.selection.tournament import TournamentFormation
+
+
+def _run():
+    latency = estimated_latency()
+    table = ExperimentResult(
+        name="ablation-adaptive",
+        title="Static tDP plan vs adaptive per-round re-planning",
+        columns=(
+            "selector",
+            "engine",
+            "mean latency (s)",
+            "singleton %",
+            "mean questions",
+        ),
+        notes=f"c0={SCALE.n_elements}, b={SCALE.budget}, {SCALE.n_runs} runs",
+    )
+    for selector_factory in (TournamentFormation, ct25):
+        static_stats = _static(selector_factory, latency)
+        adaptive_stats = _adaptive(selector_factory, latency)
+        for engine_name, stats in (
+            ("static", static_stats),
+            ("adaptive", adaptive_stats),
+        ):
+            table.add_row(
+                selector_factory().name,
+                engine_name,
+                stats["latency"],
+                stats["singleton"],
+                stats["questions"],
+            )
+    return [table]
+
+
+def _static(selector_factory, latency):
+    allocation = TDPAllocator().allocate(
+        SCALE.n_elements, SCALE.budget, latency
+    )
+    return _collect(
+        lambda truth, rng: MaxEngine(
+            selector_factory(), OracleAnswerSource(truth, latency), rng
+        ).run(truth, allocation)
+    )
+
+
+def _adaptive(selector_factory, latency):
+    return _collect(
+        lambda truth, rng: AdaptiveMaxEngine(
+            selector_factory(), OracleAnswerSource(truth, latency), latency, rng
+        ).run(truth, SCALE.budget)
+    )
+
+
+def _collect(run):
+    latencies, singles, questions = [], [], []
+    for seed in range(SCALE.n_runs):
+        rng = np.random.default_rng((SCALE.seed, seed))
+        truth = GroundTruth.random(SCALE.n_elements, rng)
+        result = run(truth, rng)
+        latencies.append(result.total_latency)
+        singles.append(result.singleton_termination)
+        questions.append(result.total_questions)
+    runs = len(latencies)
+    return {
+        "latency": sum(latencies) / runs,
+        "singleton": 100.0 * sum(singles) / runs,
+        "questions": sum(questions) / runs,
+    }
+
+
+def bench_ablation_adaptive_replanning(benchmark):
+    (table,) = run_and_report(benchmark, _run)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    static = rows[("Tournament", "static")]
+    adaptive = rows[("Tournament", "adaptive")]
+    # Under pure tournaments, re-planning tracks the static optimum.
+    assert adaptive[2] <= static[2] + 1e-6
+    assert adaptive[3] == 100.0

@@ -1,0 +1,48 @@
+"""Ablation: Pareto-frontier solver vs the literal Algorithm 1 memoization.
+
+Both solve MinLatency exactly; DESIGN.md calls out the choice of the
+production solver.  This benchmark times each on the same instance so the
+speedup (and its growth with the budget) is visible in the report.
+"""
+
+import pytest
+
+from repro.core.latency import mturk_car_latency
+from repro.core.tdp import solve_min_latency
+from repro.core.tdp_memo import solve_min_latency_memo
+
+CASES = [
+    (100, 400),
+    (100, 1600),
+    (200, 800),
+]
+
+
+@pytest.mark.parametrize("n_elements,budget", CASES)
+def bench_pareto_solver(benchmark, n_elements, budget):
+    latency = mturk_car_latency()
+    plan = benchmark(lambda: solve_min_latency(n_elements, budget, latency))
+    assert plan.sequence[0] == n_elements
+
+
+@pytest.mark.parametrize("n_elements,budget", CASES)
+def bench_memoized_solver(benchmark, n_elements, budget):
+    latency = mturk_car_latency()
+    plan = benchmark(
+        lambda: solve_min_latency_memo(n_elements, budget, latency)
+    )
+    assert plan.sequence[0] == n_elements
+
+
+def bench_solvers_agree(benchmark):
+    """Correctness guard inside the benchmark suite: both solvers give the
+    same optimal latency on a non-trivial instance."""
+    latency = mturk_car_latency()
+
+    def both():
+        pareto = solve_min_latency(150, 900, latency)
+        memo = solve_min_latency_memo(150, 900, latency)
+        return pareto, memo
+
+    pareto, memo = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert pareto.total_latency == pytest.approx(memo.total_latency)

@@ -1,0 +1,57 @@
+"""Ablation: cross-tournament leftover spending in Tournament formation.
+
+The paper's selector spends any budget left after forming tournaments on
+random questions between different tournaments.  This ablation compares the
+paper's behaviour against discarding the leftover: same latency model, same
+allocations, measuring mean latency and mean questions used.
+"""
+
+from _harness import SCALE, run_and_report
+from repro.core.tdp import TDPAllocator
+from repro.core.heuristics import UniformHeavyEnd
+from repro.engine.simulation import aggregate
+from repro.experiments.config import derive_seed, estimated_latency
+from repro.experiments.tables import ExperimentResult
+from repro.selection.tournament import TournamentFormation
+
+
+def _run():
+    latency = estimated_latency()
+    table = ExperimentResult(
+        name="ablation-leftover",
+        title="Tournament formation: spend vs discard leftover budget",
+        columns=(
+            "allocator",
+            "variant",
+            "mean latency (s)",
+            "singleton %",
+            "mean questions",
+        ),
+        notes=f"c0={SCALE.n_elements}, b={SCALE.budget}, {SCALE.n_runs} runs",
+    )
+    for allocator in (TDPAllocator(), UniformHeavyEnd()):
+        for variant, spend in (("spend", True), ("discard", False)):
+            stats = aggregate(
+                n_elements=SCALE.n_elements,
+                budget=SCALE.budget,
+                allocator=allocator,
+                selector=TournamentFormation(spend_leftover=spend),
+                latency=latency,
+                n_runs=SCALE.n_runs,
+                seed=derive_seed(SCALE.seed, "leftover", allocator.name, spend),
+            )
+            table.add_row(
+                allocator.name,
+                variant,
+                stats.mean_latency,
+                100.0 * stats.singleton_rate,
+                stats.mean_questions,
+            )
+    return [table]
+
+
+def bench_ablation_leftover_spending(benchmark):
+    (table,) = run_and_report(benchmark, _run)
+    # Both variants must always singleton-terminate (the tournaments alone
+    # guarantee it); spending leftovers can only post more questions.
+    assert all(row[3] == 100.0 for row in table.rows)

@@ -1,0 +1,77 @@
+"""Ablation: RWL repetition factor under noisy workers.
+
+DESIGN.md calls out the accuracy/latency trade-off of the Reliable Worker
+Layer's question repetition.  This benchmark sweeps the repetition factor
+against a fixed worker error rate and reports accuracy (declared winner ==
+true MAX) and measured platform latency.
+"""
+
+import numpy as np
+
+from _harness import run_and_report
+from repro.core.latency import mturk_car_latency
+from repro.core.tdp import TDPAllocator
+from repro.crowd.error_models import UniformError
+from repro.crowd.ground_truth import GroundTruth
+from repro.crowd.platform import SimulatedPlatform
+from repro.crowd.rwl import ReliableWorkerLayer
+from repro.engine.max_engine import MaxEngine, PlatformAnswerSource
+from repro.experiments.tables import ExperimentResult
+from repro.selection.tournament import TournamentFormation
+
+N_ELEMENTS = 32
+BUDGET = 200
+ERROR_RATE = 0.25
+N_RUNS = 10
+REPETITIONS = (1, 3, 5, 7)
+
+
+def _run():
+    table = ExperimentResult(
+        name="ablation-rwl",
+        title="RWL repetition: accuracy vs latency under noisy workers",
+        columns=(
+            "repetition",
+            "accuracy %",
+            "mean latency (s)",
+            "questions posted per run",
+        ),
+        notes=(
+            f"c0={N_ELEMENTS}, b={BUDGET}, uniform worker error "
+            f"{ERROR_RATE:.0%}, {N_RUNS} runs"
+        ),
+    )
+    allocation = TDPAllocator().allocate(N_ELEMENTS, BUDGET, mturk_car_latency())
+    for repetition in REPETITIONS:
+        hits = 0
+        latencies = []
+        posted = []
+        for seed in range(N_RUNS):
+            rng = np.random.default_rng((seed, repetition))
+            truth = GroundTruth.random(N_ELEMENTS, rng)
+            platform = SimulatedPlatform(
+                truth, rng, error_model=UniformError(ERROR_RATE)
+            )
+            rwl = ReliableWorkerLayer(platform, rng, repetition=repetition)
+            engine = MaxEngine(
+                TournamentFormation(), PlatformAnswerSource(rwl), rng
+            )
+            result = engine.run(truth, allocation)
+            hits += result.winner == truth.max_element
+            latencies.append(result.total_latency)
+            posted.append(platform.stats.questions_posted)
+        table.add_row(
+            repetition,
+            100.0 * hits / N_RUNS,
+            sum(latencies) / len(latencies),
+            sum(posted) / len(posted),
+        )
+    return [table]
+
+
+def bench_ablation_rwl_repetition(benchmark):
+    (table,) = run_and_report(benchmark, _run)
+    accuracies = table.column("accuracy %")
+    # More repetition must not make accuracy dramatically worse; typically
+    # it improves it substantially.
+    assert accuracies[-1] >= accuracies[0]

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the hot building blocks.
+
+Not tied to a paper figure; these keep an eye on the per-operation costs
+the experiment sweeps are built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.questions import tournament_questions
+from repro.crowd.ground_truth import GroundTruth
+from repro.graphs.answer_graph import AnswerGraph
+from repro.graphs.tournaments import form_tournaments, tournament_question_graph
+from repro.selection.scoring import score_candidates
+from repro.types import Answer
+
+
+def bench_q_function_row(benchmark):
+    """All Q(500, c') values — one tDP frontier row's worth of work."""
+
+    def row():
+        return [tournament_questions(500, target) for target in range(1, 500)]
+
+    values = benchmark(row)
+    assert values[0] == 124750
+
+
+def bench_tournament_formation_500(benchmark):
+    rng = np.random.default_rng(0)
+
+    def build():
+        groups = form_tournaments(list(range(500)), 50, rng)
+        return tournament_question_graph(groups)
+
+    questions = benchmark(build)
+    assert len(questions) == tournament_questions(500, 50)
+
+
+def bench_answer_graph_ingest(benchmark):
+    """Recording one full round of answers (2250 questions, 500 elements)."""
+    rng = np.random.default_rng(1)
+    truth = GroundTruth.random(500, rng)
+    groups = form_tournaments(list(range(500)), 50, rng)
+    answers = [
+        truth.answer(a, b) for a, b in tournament_question_graph(groups)
+    ]
+
+    def ingest():
+        graph = AnswerGraph(range(500))
+        graph.record_all(answers)
+        return graph.remaining_candidates()
+
+    survivors = benchmark(ingest)
+    assert len(survivors) == 50
+
+
+def bench_scoring_function(benchmark):
+    """Algorithm 2 over a 500-element answer DAG."""
+    rng = np.random.default_rng(2)
+    truth = GroundTruth.random(500, rng)
+    graph = AnswerGraph(range(500))
+    groups = form_tournaments(list(range(500)), 50, rng)
+    for a, b in tournament_question_graph(groups):
+        graph.record(truth.answer(a, b))
+
+    scores = benchmark(lambda: score_candidates(graph))
+    assert sum(scores.values()) == pytest.approx(1.0)

@@ -1,0 +1,16 @@
+"""Figure 11(a): estimating L(q) from platform measurements.
+
+Regenerates the batch-size vs completion-time series and the least-squares
+linear fit (the paper obtained L(q) = 239 + 0.06 q on MTurk).
+"""
+
+from _harness import SCALE
+from repro.experiments import fig11a
+
+
+def bench_fig11a_latency_estimation(report):
+    (table,) = report(lambda: fig11a.run(SCALE))
+    # Sanity on the reproduced shape: large batches must not be faster than
+    # tiny ones once the worker pool saturates.
+    measured = table.column("measured mean (s)")
+    assert measured[-1] >= measured[0] * 0.8

@@ -1,0 +1,15 @@
+"""Figure 11(b): real-time (simulated-platform) runs of all allocators.
+
+Regenerates the solid-vs-striped bar data: measured platform time-to-MAX
+next to the time predicted by the estimated L(q), for tDP, HE, HF, uHE and
+uHF under tournament selection.
+"""
+
+from _harness import SCALE
+from repro.experiments import fig11b
+
+
+def bench_fig11b_realtime_runs(report):
+    (table,) = report(lambda: fig11b.run(SCALE))
+    assert table.column("allocator") == ["tDP", "HE", "HF", "uHE", "uHF"]
+    assert all(value > 0 for value in table.column("real time (s)"))

@@ -1,0 +1,23 @@
+"""Figure 12: question-selection strategies (latency + singleton rate).
+
+Regenerates both panels: 12(a) mean time-to-MAX and 12(b) singleton-
+termination percentage, for tDP/HF crossed with Tournament/CT25 over a
+budget sweep.  The paper's key finding: Tournament formation singleton-
+terminates in every run while CT25 trades termination for a little latency.
+"""
+
+from _harness import SCALE
+from repro.experiments import fig12
+
+
+def bench_fig12_selection_strategies(report):
+    latency_table, singleton_table = report(lambda: fig12.run(SCALE))
+    # Tournament formation achieves singleton termination in every run.
+    assert all(
+        rate == 100.0
+        for rate in singleton_table.column("tDP + Tournament (%)")
+    )
+    assert all(
+        rate == 100.0
+        for rate in singleton_table.column("HF + Tournament (%)")
+    )

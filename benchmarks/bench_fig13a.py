@@ -1,0 +1,14 @@
+"""Figure 13(a): latency vs collection size at a fixed budget.
+
+Regenerates the five allocator curves over the collection-size sweep
+(125..2000 elements at full scale).  Expected shape: tDP lowest everywhere,
+with uHE/uHF close only where their allocation happens to resemble tDP's.
+"""
+
+from _harness import SCALE
+from repro.experiments import fig13
+
+
+def bench_fig13a_collection_sizes(report):
+    table = report(lambda: [fig13.run_collection_sweep(SCALE)])[0]
+    assert len(table.rows) >= 2

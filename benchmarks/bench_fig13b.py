@@ -1,0 +1,17 @@
+"""Figure 13(b): latency vs available budget at a fixed collection size.
+
+Regenerates the budget sweep (500..32000 questions at full scale).
+Expected shape: tDP improves until extra questions stop helping and then
+goes flat (it leaves budget unused); the heuristics keep spending and end up
+two to four times slower at the largest budgets.
+"""
+
+from _harness import SCALE
+from repro.experiments import fig13
+
+
+def bench_fig13b_budget_sweep(report):
+    table = report(lambda: [fig13.run_budget_sweep(SCALE)])[0]
+    tdp = [row[1] for row in table.rows]
+    # tDP never gets slower as the budget grows.
+    assert all(later <= earlier + 1e-6 for earlier, later in zip(tdp, tdp[1:]))

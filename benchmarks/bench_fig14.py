@@ -1,0 +1,27 @@
+"""Figure 14: non-linear latency functions L(q) = 239 + 0.06 q^p.
+
+Regenerates 14(a), the latency-vs-exponent sweep (the tDP advantage grows
+to ~12x at p = 2 in the paper), and 14(b), the budget actually used by tDP
+per exponent (stronger convexity caps the spend earlier, while the
+heuristics always burn the whole budget).
+"""
+
+from _harness import SCALE
+from repro.experiments import fig14
+
+
+def bench_fig14a_exponent_sweep(report):
+    table = report(lambda: [fig14.run_exponent_sweep(SCALE)])[0]
+    first_row, last_row = table.rows[0], table.rows[-1]
+    gap_first = min(first_row[2:]) / first_row[1]
+    gap_last = min(last_row[2:]) / last_row[1]
+    # The gap between tDP and the best heuristic grows with p.
+    assert gap_last >= gap_first
+
+
+def bench_fig14b_budget_usage(report):
+    table = report(lambda: [fig14.run_budget_usage(SCALE)])[0]
+    final = table.rows[-1]
+    # Stronger convexity (p = 1.8, column 3) never uses more questions than
+    # the linear case (p = 1.0, column 1) at the largest budget.
+    assert final[3] <= final[1]

@@ -1,0 +1,15 @@
+"""Figure 15: running time of computing a tDP allocation.
+
+Regenerates the (c0, budget-multiple) timing grid.  Expected shape: the
+time barely grows with the budget (the paper's pruning observation; our
+Pareto solver is budget-insensitive by construction) and grows roughly
+quadratically in the collection size.
+"""
+
+from _harness import SCALE
+from repro.experiments import fig15
+
+
+def bench_fig15_tdp_runtime(report):
+    (table,) = report(lambda: fig15.run(SCALE))
+    assert all(row[3] > 0 for row in table.rows)

@@ -1,0 +1,16 @@
+"""Section 6.8 findings grid: the allocator x selector cross product.
+
+Regenerates the grid behind the paper's summarized findings (3)-(5) and
+asserts the verdicts hold at the benchmark scale.
+"""
+
+from _harness import SCALE, run_and_report
+from repro.experiments import findings68
+
+
+def bench_findings68_grid(report):
+    grid, verdicts = report(lambda: findings68.run(SCALE))
+    assert len(grid.rows) == 12
+    # Finding (5) is scale-independent for tournament selection.
+    tournament_rows = [row for row in grid.rows if row[1] == "Tournament"]
+    assert all(row[3] == 100.0 for row in tournament_rows)

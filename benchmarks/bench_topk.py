@@ -1,0 +1,97 @@
+"""Extension benchmark: top-k with evidence reuse vs independent MAX runs.
+
+Quantifies what the top-k engine buys: once the MAX is identified, the
+phase-2 candidate pool is just the winner's tournament runners-up, so
+finding places 2..k costs a handful of questions instead of another full
+sweep.
+"""
+
+import numpy as np
+
+from _harness import run_and_report
+from repro.core.latency import mturk_car_latency
+from repro.core.tdp import TDPAllocator
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+from repro.engine.topk import TopKEngine
+from repro.experiments.tables import ExperimentResult
+from repro.selection.tournament import TournamentFormation
+
+N_ELEMENTS = 200
+K = 3
+BUDGET = 1600
+N_RUNS = 10
+
+
+def _run():
+    latency = mturk_car_latency()
+    table = ExperimentResult(
+        name="topk-vs-independent",
+        title=f"Top-{K}: evidence-reusing phases vs {K} independent MAX runs",
+        columns=(
+            "strategy",
+            "mean latency (s)",
+            "mean questions",
+            "correct %",
+        ),
+        notes=f"c0={N_ELEMENTS}, b={BUDGET}, {N_RUNS} runs",
+    )
+
+    reuse_latency, reuse_questions, reuse_correct = [], [], 0
+    independent_latency, independent_questions = [], []
+    for seed in range(N_RUNS):
+        rng = np.random.default_rng((0x70, seed))
+        truth = GroundTruth.random(N_ELEMENTS, rng)
+        engine = TopKEngine(
+            TournamentFormation(),
+            OracleAnswerSource(truth, latency),
+            latency,
+            rng,
+        )
+        result = engine.run(truth, K, BUDGET)
+        reuse_latency.append(result.total_latency)
+        reuse_questions.append(result.total_questions)
+        reuse_correct += result.correct
+
+        # The naive alternative: K MAX runs from scratch (upper bound: each
+        # run costs what one full MAX costs; candidates shrink by one).
+        rng2 = np.random.default_rng((0x71, seed))
+        total_latency = 0.0
+        total_questions = 0
+        for phase in range(K):
+            remaining = N_ELEMENTS - phase
+            truth_phase = GroundTruth.random(remaining, rng2)
+            allocation = TDPAllocator().allocate(
+                remaining, BUDGET // K, latency
+            )
+            run = MaxEngine(
+                TournamentFormation(),
+                OracleAnswerSource(truth_phase, latency),
+                rng2,
+            ).run(truth_phase, allocation)
+            total_latency += run.total_latency
+            total_questions += run.total_questions
+        independent_latency.append(total_latency)
+        independent_questions.append(total_questions)
+
+    table.add_row(
+        "top-k (evidence reuse)",
+        sum(reuse_latency) / N_RUNS,
+        sum(reuse_questions) / N_RUNS,
+        100.0 * reuse_correct / N_RUNS,
+    )
+    table.add_row(
+        f"{K} independent MAX runs",
+        sum(independent_latency) / N_RUNS,
+        sum(independent_questions) / N_RUNS,
+        100.0,
+    )
+    return [table]
+
+
+def bench_topk_evidence_reuse(benchmark):
+    (table,) = run_and_report(benchmark, _run)
+    reuse_row, independent_row = table.rows
+    assert reuse_row[1] < independent_row[1]  # faster
+    assert reuse_row[2] < independent_row[2]  # cheaper
+    assert reuse_row[3] == 100.0  # and still correct

@@ -1,0 +1,20 @@
+"""Fixtures for the benchmark harness.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import run_and_report
+
+
+@pytest.fixture
+def report(benchmark):
+    """Benchmark a runner once and print its result tables."""
+
+    def _report(runner):
+        return run_and_report(benchmark, runner)
+
+    return _report

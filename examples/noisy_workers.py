@@ -1,0 +1,72 @@
+"""Crowdsourcing with imperfect workers: the Reliable Worker Layer at work.
+
+The paper assumes error-free answers and delegates error handling to an RWL
+(Section 2.1).  This example drops that assumption: workers confuse items
+that are close in the true order (a distance-sensitive error model), and
+the RWL repairs the damage through question repetition, majority voting and
+cycle resolution — so the MAX operator above it still sees conflict-free
+answers.
+
+We compare the declared winner's true rank with and without repetition.
+
+Run with:  python examples/noisy_workers.py
+"""
+
+import numpy as np
+
+from repro import LinearLatency, TDPAllocator
+from repro.crowd import (
+    DistanceSensitiveError,
+    GroundTruth,
+    ReliableWorkerLayer,
+    SimulatedPlatform,
+)
+from repro.engine import MaxEngine, PlatformAnswerSource
+from repro.selection import TournamentFormation
+
+N_ELEMENTS = 64
+BUDGET = 400
+N_TRIALS = 10
+
+
+def trial(repetition: int, seed: int) -> int:
+    """One noisy MAX run; returns the true rank of the declared winner."""
+    rng = np.random.default_rng(seed)
+    truth = GroundTruth.random(N_ELEMENTS, rng)
+    platform = SimulatedPlatform(
+        truth,
+        rng,
+        error_model=DistanceSensitiveError(base=0.35, scale=8.0),
+    )
+    rwl = ReliableWorkerLayer(platform, rng, repetition=repetition)
+    latency = LinearLatency(delta=239.0, alpha=0.06)
+    allocation = TDPAllocator().allocate(N_ELEMENTS, BUDGET, latency)
+    engine = MaxEngine(
+        TournamentFormation(), PlatformAnswerSource(rwl), rng
+    )
+    result = engine.run(truth, allocation)
+    return truth.rank(result.winner)
+
+
+def main() -> None:
+    print(
+        f"{N_ELEMENTS} elements, budget {BUDGET}, distance-sensitive worker "
+        f"errors (35% on adjacent items)\n"
+    )
+    for repetition in (1, 3, 5):
+        ranks = [trial(repetition, seed) for seed in range(N_TRIALS)]
+        exact = sum(rank == 0 for rank in ranks)
+        print(
+            f"repetition={repetition}: winner's true rank per trial {ranks} "
+            f"-> exact MAX in {exact}/{N_TRIALS} trials, "
+            f"mean rank {np.mean(ranks):.1f}"
+        )
+    print(
+        "\nMore repetition buys accuracy with the same number of rounds: the "
+        "RWL folds the extra copies into each round's batch, so only the "
+        "per-round batch size (and thus L(q)) grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

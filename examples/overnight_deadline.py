@@ -1,0 +1,74 @@
+"""Racing a deadline across the night: time-varying worker availability.
+
+The introduction's scenario — "finding the best political-campaign response
+to an opponent's attack one day before the elections" — has a hard
+deadline, and worker supply is not constant: far fewer workers answer
+questions at 3 AM.  This example runs the MAX operation on a collection of
+drafted responses, starting in the evening, on a platform with a day/night
+cycle, and shows how the same allocation takes much longer when its later
+rounds drift into the night.
+
+Run with:  python examples/overnight_deadline.py
+"""
+
+import numpy as np
+
+from repro import LinearLatency, TDPAllocator
+from repro.crowd import DayNightCycle, DiurnalPlatform, ReliableWorkerLayer
+from repro.datasets import debate_responses
+from repro.engine import MaxEngine, PlatformAnswerSource
+from repro.selection import TournamentFormation
+
+N_RESPONSES = 150
+BUDGET = 1200
+
+
+def run_starting_at(hour: float, seed: int = 11) -> float:
+    """One full MAX run posted starting at *hour*; returns total latency."""
+    rng = np.random.default_rng(seed)
+    collection = debate_responses(N_RESPONSES, rng)
+    truth = collection.ground_truth()
+    platform = DiurnalPlatform(
+        truth,
+        rng,
+        cycle=DayNightCycle(day_start_hour=8, day_end_hour=23,
+                            night_activity=0.15),
+        start_hour=hour,
+    )
+    latency_estimate = LinearLatency(delta=239.0, alpha=0.06)
+    allocation = TDPAllocator().allocate(N_RESPONSES, BUDGET, latency_estimate)
+    engine = MaxEngine(
+        TournamentFormation(),
+        PlatformAnswerSource(ReliableWorkerLayer(platform, rng)),
+        rng,
+    )
+    result = engine.run(truth, allocation)
+    print(
+        f"  started {hour:5.1f}h: {result.total_latency / 60:6.1f} min over "
+        f"{result.rounds_run} rounds -> winner: "
+        f"{collection.label(result.winner)!r} "
+        f"({'correct' if result.correct else 'WRONG'})"
+    )
+    return result.total_latency
+
+
+def main() -> None:
+    print(
+        f"{N_RESPONSES} drafted responses, budget {BUDGET} questions, "
+        f"workers mostly asleep 23:00-08:00\n"
+    )
+    print("Same tDP allocation, different posting times:")
+    noon = run_starting_at(12.0)
+    night = run_starting_at(23.5)
+    print(
+        f"\nStarting at 23:30 instead of noon costs "
+        f"{(night - noon) / 60:.0f} extra minutes: the rounds run while "
+        f"worker discovery is ~7x slower.  A deadline-aware deployment "
+        f"should calibrate L(q) for the hours the rounds will actually run "
+        f"in (Section 2.1's 'availability in different times during the "
+        f"day')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""End-to-end platform calibration: estimate L(q), then allocate with it.
+
+Mirrors Sections 6.1-6.2 of the paper: before running the MAX operation on
+an unfamiliar platform, post probe batches of different sizes, fit a rough
+linear latency model to the measurements, and hand that estimate to tDP.
+The estimate only needs to capture the trend — tDP still beats the
+latency-blind heuristics under the *real* (simulated) platform timing.
+
+Run with:  python examples/platform_calibration.py
+"""
+
+import numpy as np
+
+from repro import TDPAllocator, UniformHeavyFront, fit_linear_latency
+from repro.crowd import GroundTruth, ReliableWorkerLayer, SimulatedPlatform
+from repro.engine import MaxEngine, PlatformAnswerSource
+from repro.experiments.fig11a import _random_batch
+from repro.selection import TournamentFormation
+
+N_ELEMENTS = 200
+BUDGET = 1500
+PROBE_SIZES = (10, 40, 160, 640)
+PROBES_PER_SIZE = 5
+
+
+def main() -> None:
+    rng = np.random.default_rng(2015)
+    truth = GroundTruth.random(N_ELEMENTS, rng)
+    platform = SimulatedPlatform(truth, rng)
+
+    # --- Section 6.1: estimate L(q) from probe batches -------------------
+    samples = []
+    for size in PROBE_SIZES:
+        for _ in range(PROBES_PER_SIZE):
+            batch = _random_batch(N_ELEMENTS, size, rng)
+            samples.append((size, platform.post_batch(batch).completion_time))
+    estimate = fit_linear_latency(samples)
+    print(
+        f"fitted estimate: L(q) = {estimate.delta:.0f} + "
+        f"{estimate.alpha:.3f} * q   (from {len(samples)} probe batches)\n"
+    )
+
+    # --- Section 6.2: allocate with the estimate, run for real -----------
+    for allocator in (TDPAllocator(), UniformHeavyFront()):
+        allocation = allocator.allocate(N_ELEMENTS, BUDGET, estimate)
+        run_rng = np.random.default_rng(7)
+        run_truth = GroundTruth.random(N_ELEMENTS, run_rng)
+        run_platform = SimulatedPlatform(run_truth, run_rng)
+        engine = MaxEngine(
+            TournamentFormation(),
+            PlatformAnswerSource(ReliableWorkerLayer(run_platform, run_rng)),
+            run_rng,
+        )
+        result = engine.run(run_truth, allocation)
+        predicted = allocation.predicted_latency(estimate)
+        print(f"--- {allocator.name} ---")
+        print(f"round budgets:     {allocation.round_budgets}")
+        print(f"predicted latency: {predicted:.0f} s (under the estimate)")
+        print(f"measured latency:  {result.total_latency:.0f} s (platform)")
+        print(result.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate the full-scale result files referenced by EXPERIMENTS.md.
+
+Writes:
+  full_results.txt      — every fig11a..fig15 table at paper scale
+  findings68_full.txt   — the Section 6.8 allocator x selector grid
+
+Run from the repository root:  python scripts/regenerate_results.py
+Takes a few minutes (the Figure 12/13/14 sweeps run 100 simulations per
+point, as in the paper).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import FULL
+from repro.experiments.runner import available_experiments, run_experiment
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    figure_names = [n for n in available_experiments() if n.startswith("fig")]
+
+    start = time.time()
+    with open(root / "full_results.txt", "w", encoding="utf-8") as handle:
+        for name in figure_names:
+            print(f"running {name} ...", flush=True)
+            for table in run_experiment(name, FULL):
+                handle.write(table.to_text() + "\n\n")
+                handle.flush()
+        handle.write(f"total wall time: {time.time() - start:.1f}s\n")
+
+    print("running findings68 ...", flush=True)
+    with open(root / "findings68_full.txt", "w", encoding="utf-8") as handle:
+        for table in run_experiment("findings68", FULL):
+            handle.write(table.to_text() + "\n\n")
+
+    print(f"done in {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""repro — a reproduction of "tDP: An Optimal-Latency Budget Allocation
+Strategy for Crowdsourced MAXIMUM Operations" (Verroios, Lofgren,
+Garcia-Molina; SIGMOD 2015).
+
+The package provides:
+
+* :mod:`repro.core` — the tDP optimal budget allocator, the Q function,
+  latency-function models, and the HE/HF/uHE/uHF baselines.
+* :mod:`repro.graphs` — answer DAGs, remaining-candidate sets, tournament
+  graphs, and the maxRC/maxIND machinery of Section 4.
+* :mod:`repro.selection` — question-selection algorithms (Tournament
+  formation, SPREAD, COMPLETE, CT25) and the Appendix B scoring function.
+* :mod:`repro.crowd` — a simulated crowdsourcing platform (worker pool,
+  error models) and a Reliable Worker Layer.
+* :mod:`repro.engine` — the crowdsourced MAX operator that ties allocation,
+  selection and the platform together.
+* :mod:`repro.analysis` — theory utilities (expected remaining candidates,
+  linear extensions, brute-force optimal allocations).
+* :mod:`repro.experiments` — runnable reproductions of every figure in the
+  paper's evaluation (Section 6).
+"""
+
+from repro.core import (
+    Allocation,
+    ExpectedCaseAllocator,
+    HeavyEnd,
+    HeavyFront,
+    LatencyFunction,
+    LinearLatency,
+    MemoizedTDPAllocator,
+    PiecewiseLinearLatency,
+    PowerLawLatency,
+    TabulatedLatency,
+    TDPAllocator,
+    UniformHeavyEnd,
+    UniformHeavyFront,
+    allocator_by_name,
+    available_allocators,
+    fit_linear_latency,
+    min_feasible_budget,
+    tournament_questions,
+    tournament_sizes,
+)
+from repro.errors import (
+    InconsistentAnswersError,
+    InfeasibleBudgetError,
+    InvalidParameterError,
+    PlatformError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "TDPAllocator",
+    "MemoizedTDPAllocator",
+    "ExpectedCaseAllocator",
+    "HeavyEnd",
+    "HeavyFront",
+    "UniformHeavyEnd",
+    "UniformHeavyFront",
+    "LatencyFunction",
+    "LinearLatency",
+    "PowerLawLatency",
+    "PiecewiseLinearLatency",
+    "TabulatedLatency",
+    "fit_linear_latency",
+    "tournament_questions",
+    "tournament_sizes",
+    "min_feasible_budget",
+    "allocator_by_name",
+    "available_allocators",
+    "ReproError",
+    "InvalidParameterError",
+    "InfeasibleBudgetError",
+    "InconsistentAnswersError",
+    "PlatformError",
+    "__version__",
+]

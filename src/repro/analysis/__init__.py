@@ -1,0 +1,32 @@
+"""Theory utilities: expected RC sizes, linear extensions, brute force."""
+
+from repro.analysis.brute_force import (
+    BruteForceSolution,
+    brute_force_min_latency,
+    iter_sequences,
+)
+from repro.analysis.expected_rc import (
+    enumerate_rc_distribution,
+    exact_expected_rc,
+    lemma4_expected_rc,
+    minimal_expected_rc,
+    monte_carlo_expected_rc,
+    survivors_under_permutation,
+    tournament_degrees,
+)
+from repro.analysis.permutations import count_linear_extensions, p_max
+
+__all__ = [
+    "BruteForceSolution",
+    "brute_force_min_latency",
+    "iter_sequences",
+    "enumerate_rc_distribution",
+    "exact_expected_rc",
+    "lemma4_expected_rc",
+    "minimal_expected_rc",
+    "monte_carlo_expected_rc",
+    "survivors_under_permutation",
+    "tournament_degrees",
+    "count_linear_extensions",
+    "p_max",
+]

@@ -1,0 +1,94 @@
+"""Brute-force reference solutions for the MinLatency problem.
+
+Exhaustively enumerates every strictly decreasing candidate-count sequence
+``c_0 > c_1 > ... > 1`` whose tournament question total fits the budget and
+returns the latency-minimal one.  Exponential (there are ``2^(c_0 - 2)``
+sequences), so only usable for small ``c_0`` — which is exactly what the
+test suite needs to certify the dynamic-programming solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.latency import LatencyFunction
+from repro.core.questions import tournament_questions
+from repro.errors import InvalidParameterError
+
+_MAX_BRUTE_FORCE_ELEMENTS = 18
+
+
+@dataclass(frozen=True)
+class BruteForceSolution:
+    """The exhaustive optimum and how many sequences were examined."""
+
+    sequence: Tuple[int, ...]
+    total_latency: float
+    questions_used: int
+    sequences_examined: int
+
+
+def iter_sequences(n_elements: int) -> Iterator[Tuple[int, ...]]:
+    """All strictly decreasing sequences from ``n_elements`` down to 1."""
+    middle = list(range(n_elements - 1, 1, -1))
+
+    def extend(prefix: List[int], start: int) -> Iterator[Tuple[int, ...]]:
+        yield tuple(prefix + [1])
+        for index in range(start, len(middle)):
+            prefix.append(middle[index])
+            yield from extend(prefix, index + 1)
+            prefix.pop()
+
+    yield from extend([n_elements], 0)
+
+
+def brute_force_min_latency(
+    n_elements: int, budget: int, latency: LatencyFunction
+) -> BruteForceSolution:
+    """Solve MinLatency by exhaustive enumeration (small inputs only).
+
+    Raises:
+        InvalidParameterError: for infeasible budgets or collections larger
+            than the enumeration limit.
+    """
+    if n_elements < 1:
+        raise InvalidParameterError(f"n_elements must be >= 1: {n_elements}")
+    if n_elements > _MAX_BRUTE_FORCE_ELEMENTS:
+        raise InvalidParameterError(
+            f"brute force refused for {n_elements} > "
+            f"{_MAX_BRUTE_FORCE_ELEMENTS} elements"
+        )
+    if budget < n_elements - 1:
+        raise InvalidParameterError(
+            f"budget {budget} < c0 - 1 = {n_elements - 1}: infeasible"
+        )
+    if n_elements == 1:
+        return BruteForceSolution((1,), 0.0, 0, sequences_examined=1)
+    best: Optional[BruteForceSolution] = None
+    examined = 0
+    for sequence in iter_sequences(n_elements):
+        examined += 1
+        questions = [
+            tournament_questions(c_prev, c_next)
+            for c_prev, c_next in zip(sequence, sequence[1:])
+        ]
+        if sum(questions) > budget:
+            continue
+        total = sum(latency(q) for q in questions)
+        if best is None or total < best.total_latency or (
+            total == best.total_latency and sum(questions) < best.questions_used
+        ):
+            best = BruteForceSolution(
+                sequence=sequence,
+                total_latency=total,
+                questions_used=sum(questions),
+                sequences_examined=examined,
+            )
+    assert best is not None  # the one-question-per-round sequence always fits
+    return BruteForceSolution(
+        sequence=best.sequence,
+        total_latency=best.total_latency,
+        questions_used=best.questions_used,
+        sequences_examined=examined,
+    )

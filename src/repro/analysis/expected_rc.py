@@ -1,0 +1,139 @@
+"""Appendix A machinery: the distribution of the remaining-candidate count.
+
+Under a *uniform history* (Definition 9: all permutations of the surviving
+candidates are equally likely) the expected RC size of a question graph is
+``E[R] = sum_v 1 / (d_v + 1)`` (Lemma 4), minimized by near-regular graphs
+(Lemma 5) and hence by tournament graphs (Theorem 5).
+
+This module provides exact enumeration (small n), Monte Carlo estimation
+(any n), and the closed form — so the test suite can check all three agree
+and that tournaments indeed minimize ``E[R]`` at fixed edge counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import permutations
+from typing import Counter as CounterType
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graphs.candidates import expected_remaining_candidates
+from repro.types import Element, Question
+
+_MAX_EXACT_ELEMENTS = 9
+
+
+def survivors_under_permutation(
+    elements: Sequence[Element],
+    questions: Iterable[Question],
+    rank: Dict[Element, int],
+) -> Tuple[Element, ...]:
+    """The RC set if all *questions* are answered per the order *rank*.
+
+    ``rank[e]`` smaller means better; an element survives iff it outranks
+    every neighbor it is compared with.
+    """
+    lost = set()
+    for a, b in questions:
+        loser = a if rank[a] > rank[b] else b
+        lost.add(loser)
+    return tuple(e for e in elements if e not in lost)
+
+
+def enumerate_rc_distribution(
+    elements: Sequence[Element], questions: Sequence[Question]
+) -> CounterType[int]:
+    """Exact distribution of the RC size over all permutations (small n).
+
+    Returns a counter mapping RC size -> number of permutations producing
+    it.  The uniform-history expectation is then
+    ``sum(size * count) / factorial(n)``.
+    """
+    elements = list(elements)
+    if len(elements) > _MAX_EXACT_ELEMENTS:
+        raise InvalidParameterError(
+            f"exact enumeration over {len(elements)}! permutations refused; "
+            f"limit is {_MAX_EXACT_ELEMENTS} elements"
+        )
+    counts: CounterType[int] = Counter()
+    for order in permutations(elements):
+        rank = {element: position for position, element in enumerate(order)}
+        counts[len(survivors_under_permutation(elements, questions, rank))] += 1
+    return counts
+
+
+def exact_expected_rc(
+    elements: Sequence[Element], questions: Sequence[Question]
+) -> float:
+    """``E[R]`` by exact enumeration (small n)."""
+    counts = enumerate_rc_distribution(elements, questions)
+    total = sum(counts.values())
+    return sum(size * count for size, count in counts.items()) / total
+
+
+def monte_carlo_expected_rc(
+    elements: Sequence[Element],
+    questions: Sequence[Question],
+    n_samples: int,
+    rng: np.random.Generator,
+) -> float:
+    """``E[R]`` estimated from random permutations (any n)."""
+    if n_samples < 1:
+        raise InvalidParameterError(f"n_samples must be >= 1: {n_samples}")
+    elements = list(elements)
+    total = 0
+    for _ in range(n_samples):
+        order = list(elements)
+        rng.shuffle(order)
+        rank = {element: position for position, element in enumerate(order)}
+        total += len(survivors_under_permutation(elements, questions, rank))
+    return total / n_samples
+
+
+def lemma4_expected_rc(
+    elements: Sequence[Element], questions: Sequence[Question]
+) -> float:
+    """``E[R] = sum_v 1 / (d_v + 1)`` — the Lemma 4 closed form."""
+    return expected_remaining_candidates(elements, questions)
+
+
+def regular_degree_bounds(n_elements: int, n_edges: int) -> Tuple[int, int]:
+    """The Lemma 5 optimal degree range ``[floor(2E/V), ceil(2E/V)]``."""
+    if n_elements < 1:
+        raise InvalidParameterError("n_elements must be >= 1")
+    if n_edges < 0:
+        raise InvalidParameterError("n_edges must be >= 0")
+    average_doubled = 2 * n_edges
+    return average_doubled // n_elements, -(-average_doubled // n_elements)
+
+
+def minimal_expected_rc(n_elements: int, n_edges: int) -> float:
+    """The smallest achievable ``E[R]`` with the given node/edge counts.
+
+    By Lemma 5 a near-regular degree sequence is optimal: ``r`` nodes of
+    degree ``ceil(2E/V)`` and the rest of degree ``floor(2E/V)``, where
+    ``r = 2E mod V``.
+    """
+    low, high = regular_degree_bounds(n_elements, n_edges)
+    remainder = (2 * n_edges) % n_elements
+    return remainder / (high + 1) + (n_elements - remainder) / (low + 1)
+
+
+def degree_sequence_expected_rc(degrees: Sequence[int]) -> float:
+    """``E[R]`` for an explicit degree sequence (uniform history)."""
+    if any(degree < 0 for degree in degrees):
+        raise InvalidParameterError("degrees must be >= 0")
+    return sum(1.0 / (degree + 1) for degree in degrees)
+
+
+def tournament_degrees(sizes: Sequence[int]) -> List[int]:
+    """Degree sequence of a tournament graph with the given clique sizes."""
+    degrees: List[int] = []
+    for size in sizes:
+        if size < 1:
+            raise InvalidParameterError("tournament sizes must be >= 1")
+        degrees.extend([size - 1] * size)
+    return degrees

@@ -1,0 +1,282 @@
+"""Command-line interface: ``tdp-repro`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``allocate`` — compute a budget allocation for given parameters.
+* ``solve`` — run the crowdsourced MAX end to end on a synthetic collection.
+* ``experiment`` — reproduce a paper figure (``fig11a`` .. ``fig15``).
+* ``list`` — show the available allocators, selectors and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.latency import LinearLatency, PowerLawLatency
+from repro.core.registry import allocator_by_name, available_allocators
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+from repro.errors import ReproError
+from repro.experiments.config import scale_by_name
+from repro.experiments.runner import available_experiments, run_experiment
+from repro.selection.registry import available_selectors, selector_by_name
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tdp-repro",
+        description="Reproduction of the tDP crowdsourced-MAX paper "
+        "(SIGMOD 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    allocate = sub.add_parser(
+        "allocate", help="compute a budget allocation into rounds"
+    )
+    _add_workload_args(allocate)
+    allocate.add_argument(
+        "--allocator",
+        default="tDP",
+        help=f"one of {available_allocators()}",
+    )
+    allocate.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="switch objective: spend the fewest questions finishing within "
+        "this many seconds (uses the tDP frontier; ignores --allocator)",
+    )
+
+    solve = sub.add_parser(
+        "solve", help="run the crowdsourced MAX on a synthetic collection"
+    )
+    _add_workload_args(solve)
+    solve.add_argument("--allocator", default="tDP")
+    solve.add_argument(
+        "--selector",
+        default="Tournament",
+        help=f"one of {available_selectors()}",
+    )
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="re-plan with tDP after every round instead of following a "
+        "static allocation (ignores --allocator)",
+    )
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="repeat the MAX operation many times and report aggregates",
+    )
+    _add_workload_args(simulate)
+    simulate.add_argument("--allocator", default="tDP")
+    simulate.add_argument("--selector", default="Tournament")
+    simulate.add_argument("--runs", type=int, default=20)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce a figure from the paper's evaluation"
+    )
+    experiment.add_argument(
+        "name", help=f"one of {available_experiments()} or 'all'"
+    )
+    experiment.add_argument(
+        "--scale",
+        default="full",
+        help="'full' mirrors the paper; 'small' finishes in seconds",
+    )
+    experiment.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "markdown", "json", "csv"),
+        help="output format for the result tables",
+    )
+    experiment.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render each table as an ASCII chart (text format only)",
+    )
+    experiment.add_argument(
+        "--output",
+        default=None,
+        help="write the results to this file instead of stdout",
+    )
+
+    sub.add_parser("list", help="show available algorithms and experiments")
+    return parser
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--elements", type=int, default=500, help="collection size c0"
+    )
+    parser.add_argument(
+        "--budget", type=int, default=4000, help="total question budget b"
+    )
+    parser.add_argument(
+        "--delta", type=float, default=239.0, help="latency intercept (s)"
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=0.06, help="latency slope (s/question)"
+    )
+    parser.add_argument(
+        "--exponent",
+        type=float,
+        default=1.0,
+        help="latency exponent p in L(q) = delta + alpha * q^p",
+    )
+
+
+def _latency_from_args(args: argparse.Namespace):
+    if args.exponent == 1.0:
+        return LinearLatency(args.delta, args.alpha)
+    return PowerLawLatency(args.delta, args.alpha, args.exponent)
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    from repro.core.allocation import Allocation
+    from repro.core.tdp import solve_min_cost
+
+    latency = _latency_from_args(args)
+    if args.deadline is not None:
+        plan = solve_min_cost(
+            args.elements, args.deadline, latency, budget=args.budget
+        )
+        allocation = Allocation.from_element_sequence(
+            plan.sequence, "tDP (min-cost)"
+        )
+        print(f"deadline:           {args.deadline:g} s")
+    else:
+        allocator = allocator_by_name(args.allocator)
+        allocation = allocator.allocate(args.elements, args.budget, latency)
+    print(f"allocator:          {allocation.allocator_name}")
+    print(f"round budgets:      {allocation.round_budgets}")
+    if allocation.element_sequence is not None:
+        print(f"candidate sequence: {allocation.element_sequence}")
+    print(f"questions used:     {allocation.total_questions} / {args.budget}")
+    print(f"predicted latency:  {allocation.predicted_latency(latency):.1f} s")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.engine.adaptive import AdaptiveMaxEngine
+
+    latency = _latency_from_args(args)
+    selector = selector_by_name(args.selector)
+    rng = np.random.default_rng(args.seed)
+    truth = GroundTruth.random(args.elements, rng)
+    if args.adaptive:
+        engine = AdaptiveMaxEngine(
+            selector, OracleAnswerSource(truth, latency), latency, rng
+        )
+        result = engine.run(truth, args.budget)
+        print("allocation: adaptive (re-planned every round)")
+    else:
+        allocator = allocator_by_name(args.allocator)
+        allocation = allocator.allocate(args.elements, args.budget, latency)
+        engine = MaxEngine(selector, OracleAnswerSource(truth, latency), rng)
+        result = engine.run(truth, allocation)
+        print(f"allocation: {allocation.round_budgets}")
+    for record in result.records:
+        print(
+            f"  round {record.round_index}: {record.candidates_before} -> "
+            f"{record.candidates_after} candidates, "
+            f"{record.questions_posted} questions, {record.latency:.1f} s"
+        )
+    print(result.summary())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.engine.simulation import aggregate
+
+    latency = _latency_from_args(args)
+    stats = aggregate(
+        n_elements=args.elements,
+        budget=args.budget,
+        allocator=allocator_by_name(args.allocator),
+        selector=selector_by_name(args.selector),
+        latency=latency,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    print(f"configuration:        {args.allocator} + {args.selector}, "
+          f"c0={args.elements}, b={args.budget}")
+    print(f"runs:                 {stats.n_runs}")
+    print(f"mean latency:         {stats.mean_latency:.1f} s "
+          f"(std {stats.std_latency:.1f})")
+    print(f"singleton rate:       {100 * stats.singleton_rate:.0f}%")
+    print(f"accuracy:             {100 * stats.accuracy:.0f}%")
+    print(f"mean questions used:  {stats.mean_questions:.1f}")
+    print(f"mean rounds executed: {stats.mean_rounds:.1f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.export import to_csv, to_json, to_report
+    from repro.experiments.plotting import chart_for
+
+    scale = scale_by_name(args.scale)
+    names = available_experiments() if args.name == "all" else [args.name]
+    tables = []
+    for name in names:
+        tables.extend(run_experiment(name, scale))
+
+    if args.output_format == "json":
+        rendered = to_json(tables)
+    elif args.output_format == "markdown":
+        rendered = to_report(tables, title=f"tDP reproduction ({scale.name})")
+    elif args.output_format == "csv":
+        rendered = "\n".join(to_csv(table) for table in tables)
+    else:
+        chunks = []
+        for table in tables:
+            chunks.append(table.to_text())
+            if args.plot:
+                chunks.append("")
+                chunks.append(chart_for(table))
+            chunks.append("")
+        rendered = "\n".join(chunks)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {len(tables)} table(s) to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("allocators: ", ", ".join(available_allocators()))
+    print("selectors:  ", ", ".join(available_selectors()))
+    print("experiments:", ", ".join(available_experiments()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "allocate": _cmd_allocate,
+        "solve": _cmd_solve,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

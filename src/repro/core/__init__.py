@@ -1,0 +1,51 @@
+"""Core algorithms of the paper: the Q function, latency models, the tDP
+dynamic-programming budget allocator, and the heuristic baselines."""
+
+from repro.core.allocation import Allocation
+from repro.core.expected import ExpectedCaseAllocator
+from repro.core.heuristics import (
+    HeavyEnd,
+    HeavyFront,
+    UniformHeavyEnd,
+    UniformHeavyFront,
+)
+from repro.core.latency import (
+    LatencyFunction,
+    LinearLatency,
+    PiecewiseLinearLatency,
+    PowerLawLatency,
+    TabulatedLatency,
+    fit_linear_latency,
+)
+from repro.core.questions import (
+    min_feasible_budget,
+    tournament_questions,
+    tournament_sizes,
+)
+from repro.core.registry import allocator_by_name, available_allocators
+from repro.core.rwl_aware import RepetitionAwareAllocator
+from repro.core.tdp import TDPAllocator
+from repro.core.tdp_memo import MemoizedTDPAllocator
+
+__all__ = [
+    "Allocation",
+    "ExpectedCaseAllocator",
+    "HeavyEnd",
+    "HeavyFront",
+    "UniformHeavyEnd",
+    "UniformHeavyFront",
+    "LatencyFunction",
+    "LinearLatency",
+    "PowerLawLatency",
+    "PiecewiseLinearLatency",
+    "TabulatedLatency",
+    "fit_linear_latency",
+    "tournament_questions",
+    "tournament_sizes",
+    "min_feasible_budget",
+    "TDPAllocator",
+    "MemoizedTDPAllocator",
+    "RepetitionAwareAllocator",
+    "allocator_by_name",
+    "available_allocators",
+]

@@ -1,0 +1,148 @@
+"""The :class:`Allocation` value type and the allocator interface.
+
+A *budget allocation* is the vector of per-round question budgets that the
+MAX operator receives as input (Section 1 of the paper).  Allocations that
+come from tournament-based algorithms (such as tDP) additionally know the
+planned candidate-count sequence ``(c_0, c_1, ..., 1)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.latency import LatencyFunction
+from repro.core.questions import min_feasible_budget, tournament_questions
+from repro.errors import InfeasibleBudgetError, InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A budget split into rounds.
+
+    Attributes:
+        round_budgets: questions allocated to each round, in round order.
+        element_sequence: planned candidate counts ``(c_0, ..., c_r = 1)``
+            when the allocation was derived from a tournament-graph sequence
+            (e.g. by tDP); ``None`` for purely question-count heuristics.
+        allocator_name: name of the algorithm that produced the allocation.
+    """
+
+    round_budgets: Tuple[int, ...]
+    element_sequence: Optional[Tuple[int, ...]] = None
+    allocator_name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if any(budget < 0 for budget in self.round_budgets):
+            raise InvalidParameterError(
+                f"round budgets must be >= 0, got {self.round_budgets}"
+            )
+        sequence = self.element_sequence
+        if sequence is not None:
+            if len(sequence) != len(self.round_budgets) + 1:
+                raise InvalidParameterError(
+                    "element_sequence must have one more entry than round_budgets"
+                )
+            if sequence[-1] != 1:
+                raise InvalidParameterError(
+                    f"element_sequence must end at 1, got {sequence[-1]}"
+                )
+            for c_prev, c_next in zip(sequence, sequence[1:]):
+                if not 1 <= c_next < c_prev:
+                    raise InvalidParameterError(
+                        f"element_sequence must be strictly decreasing to 1, "
+                        f"got {sequence}"
+                    )
+
+    @classmethod
+    def from_element_sequence(
+        cls, sequence: Tuple[int, ...], allocator_name: str = ""
+    ) -> "Allocation":
+        """Build an allocation from a candidate-count sequence.
+
+        Round ``i`` gets exactly the ``Q(c_{i-1}, c_i)`` questions the
+        tournament graph ``G_T(c_{i-1}, c_i)`` needs.
+        """
+        budgets = tuple(
+            tournament_questions(c_prev, c_next)
+            for c_prev, c_next in zip(sequence, sequence[1:])
+        )
+        return cls(
+            round_budgets=budgets,
+            element_sequence=tuple(sequence),
+            allocator_name=allocator_name,
+        )
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds the allocation spans."""
+        return len(self.round_budgets)
+
+    @property
+    def total_questions(self) -> int:
+        """Total questions across all rounds."""
+        return sum(self.round_budgets)
+
+    def predicted_latency(self, latency: LatencyFunction) -> float:
+        """Total latency under *latency* if every round runs as planned.
+
+        This is the objective of equation (3): ``sum_i L(q_i)``.  The actual
+        latency of a run can be lower when the MAX is identified before the
+        final round (early singleton termination).
+        """
+        return sum(latency(budget) for budget in self.round_budgets)
+
+    def check_within_budget(self, budget: int) -> None:
+        """Raise if the allocation spends more than *budget* questions."""
+        if self.total_questions > budget:
+            raise InvalidParameterError(
+                f"allocation spends {self.total_questions} questions, "
+                f"exceeding the budget of {budget}"
+            )
+
+
+class BudgetAllocator(ABC):
+    """Interface of budget-allocation algorithms (Sections 3 and 5.1).
+
+    An allocator turns ``(n_elements, budget, latency)`` into an
+    :class:`Allocation`.  The heuristic baselines ignore the latency
+    function; tDP uses it to trade parallelism against redundancy.
+    """
+
+    #: Short name used in registries, experiment tables and plots.
+    name: str = "allocator"
+
+    def allocate(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> Allocation:
+        """Compute the per-round budget split.
+
+        Raises:
+            InfeasibleBudgetError: when ``budget < n_elements - 1``
+                (Theorem 1: no allocation can identify the MAX).
+            InvalidParameterError: on out-of-domain arguments.
+        """
+        if n_elements < 1:
+            raise InvalidParameterError(
+                f"n_elements must be >= 1, got {n_elements}"
+            )
+        if budget < min_feasible_budget(n_elements):
+            raise InfeasibleBudgetError(n_elements, budget)
+        if n_elements == 1:
+            # The MAX of a singleton collection is known without questions.
+            return Allocation(
+                round_budgets=(),
+                element_sequence=(1,),
+                allocator_name=self.name,
+            )
+        return self._allocate(n_elements, budget, latency)
+
+    @abstractmethod
+    def _allocate(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> Allocation:
+        """Algorithm-specific allocation; preconditions already validated."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,151 @@
+"""The four heuristic budget-allocation baselines of Section 5.1.
+
+* **Heavy End (HE)** — spend conservatively (one question per element, which
+  halves the candidates) until the remaining budget suffices to finish in a
+  single round; that last round receives *all* of the remaining budget.
+* **Heavy Front (HF)** — the mirror image: assume halving rounds at the end,
+  and as soon as the remaining budget covers a direct jump from the initial
+  count to the current count, make that jump the (heavy) first round.
+* **uniform Heavy End (uHE)** / **uniform Heavy Front (uHF)** — run HE / HF
+  only to obtain a round count ``r``, then split the budget uniformly into
+  ``r`` rounds.  These are the paper's adaptations of the multiprocessor MAX
+  algorithm of Valiant [21] to a budget-constrained setting.
+
+None of the heuristics consults the latency function — that is precisely the
+weakness the paper's experiments expose (Figures 13(b) and 14).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.allocation import Allocation, BudgetAllocator
+from repro.core.latency import LatencyFunction
+from repro.core.questions import (
+    halving_questions,
+    halving_survivors,
+    tournament_questions,
+)
+
+
+def _uniform_split(budget: int, rounds: int) -> Tuple[int, ...]:
+    """Split *budget* into *rounds* near-equal parts, remainder to the front.
+
+    Matches the paper's examples: 51 into 3 -> (17, 17, 17); 51 into 4 ->
+    (13, 13, 13, 12).
+    """
+    base, remainder = divmod(budget, rounds)
+    return tuple(base + 1 if i < remainder else base for i in range(rounds))
+
+
+def _halving_budgets(c: int) -> List[int]:
+    """Per-round budgets of pure conservative halving from ``c`` down to 1."""
+    budgets = []
+    while c > 1:
+        budgets.append(halving_questions(c))
+        c = halving_survivors(c)
+    return budgets
+
+
+class HeavyEnd(BudgetAllocator):
+    """HE: conservative halving rounds, then one heavy final round.
+
+    Example (paper, Figure 10(a)): 24 elements, budget 51 -> (12, 6, 33).
+    """
+
+    name = "HE"
+
+    def _allocate(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> Allocation:
+        budgets: List[int] = []
+        candidates = n_elements
+        remaining = budget
+        while tournament_questions(candidates, 1) > remaining:
+            step = halving_questions(candidates)
+            budgets.append(step)
+            remaining -= step
+            candidates = halving_survivors(candidates)
+        budgets.append(remaining)  # the heavy end: all leftover budget
+        return Allocation(round_budgets=tuple(budgets), allocator_name=self.name)
+
+
+class HeavyFront(BudgetAllocator):
+    """HF: one heavy first round, then conservative halving rounds.
+
+    Walking backwards from the last round through candidate counts 2, 4, 8,
+    ..., HF stops at the first count ``m`` whose halving tail (cost ``m - 1``)
+    leaves enough budget for the direct jump ``G_T(c_0, m)``; the first round
+    then receives *all* of that leftover.
+
+    Example (paper, Figure 10(b)): 24 elements, budget 51 -> (44, 4, 2, 1).
+
+    When no jump is affordable (budget close to ``c_0 - 1``), HF degenerates
+    to pure halving with any leftover added to the first round.
+    """
+
+    name = "HF"
+
+    def _allocate(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> Allocation:
+        tail_entry = 2
+        while tail_entry < n_elements:
+            tail_cost = tail_entry - 1
+            jump_cost = tournament_questions(n_elements, tail_entry)
+            if jump_cost <= budget - tail_cost:
+                budgets = [budget - tail_cost] + _halving_budgets(tail_entry)
+                return Allocation(
+                    round_budgets=tuple(budgets), allocator_name=self.name
+                )
+            tail_entry *= 2
+        # No affordable jump: fall back to halving all the way, with the
+        # leftover (if any) spent in the first round per the heavy-front
+        # philosophy.
+        budgets = _halving_budgets(n_elements)
+        budgets[0] += budget - sum(budgets)
+        return Allocation(round_budgets=tuple(budgets), allocator_name=self.name)
+
+
+class UniformHeavyEnd(BudgetAllocator):
+    """uHE: budget split uniformly over the round count chosen by HE.
+
+    Example (paper): 24 elements, budget 51 -> HE uses 3 rounds ->
+    (17, 17, 17).
+    """
+
+    name = "uHE"
+
+    def __init__(self) -> None:
+        self._inner = HeavyEnd()
+
+    def _allocate(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> Allocation:
+        rounds = self._inner.allocate(n_elements, budget, latency).rounds
+        return Allocation(
+            round_budgets=_uniform_split(budget, rounds),
+            allocator_name=self.name,
+        )
+
+
+class UniformHeavyFront(BudgetAllocator):
+    """uHF: budget split uniformly over the round count chosen by HF.
+
+    Example (paper): 24 elements, budget 51 -> HF uses 4 rounds ->
+    (13, 13, 13, 12).
+    """
+
+    name = "uHF"
+
+    def __init__(self) -> None:
+        self._inner = HeavyFront()
+
+    def _allocate(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> Allocation:
+        rounds = self._inner.allocate(n_elements, budget, latency).rounds
+        return Allocation(
+            round_budgets=_uniform_split(budget, rounds),
+            allocator_name=self.name,
+        )

@@ -1,0 +1,235 @@
+"""Latency-function models (Definition 3 of the paper).
+
+A latency function ``L(q)`` estimates how long a crowdsourcing platform takes
+to return all answers when ``q`` pairwise questions are posted in a single
+round.  The paper assumes ``L`` is increasing in ``q``; every model here
+validates that property.
+
+The paper's MTurk measurements (Section 6.1) fit a linear model
+``L(q) = 239 + 0.06 * q`` seconds; :func:`mturk_car_latency` returns exactly
+that function.  Section 6.6 generalizes to ``L(q) = delta + alpha * q**p``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Constants fitted on MTurk in Section 6.1 of the paper.
+MTURK_DELTA = 239.0
+MTURK_ALPHA = 0.06
+
+
+class LatencyFunction(ABC):
+    """Time (seconds) to receive all answers for a one-round batch of size q.
+
+    Subclasses implement :meth:`__call__`; the base class provides domain
+    validation and a few conveniences shared by all models.
+    """
+
+    @abstractmethod
+    def __call__(self, q: int) -> float:
+        """Latency in seconds for a batch of ``q`` questions (``q >= 0``)."""
+
+    def _check_batch(self, q: int) -> None:
+        if q < 0:
+            raise InvalidParameterError(f"batch size must be >= 0, got {q}")
+
+    def batch(self, qs: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over an array of batch sizes.
+
+        The default implementation loops; models with a closed form override
+        this because the tDP solver evaluates the latency of every possible
+        round transition and profits from vectorization.
+        """
+        return np.array([self(int(q)) for q in np.asarray(qs).ravel()], dtype=float)
+
+    def describe(self) -> str:
+        """Short human-readable description used in experiment reports."""
+        return repr(self)
+
+
+class LinearLatency(LatencyFunction):
+    """``L(q) = delta + alpha * q`` — the paper's fitted MTurk model.
+
+    ``delta`` is the fixed overhead of initiating a round (worker discovery,
+    page ranking, etc.); ``alpha`` is the marginal seconds per question.
+    """
+
+    def __init__(self, delta: float, alpha: float) -> None:
+        if delta < 0:
+            raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+        if alpha < 0:
+            raise InvalidParameterError(f"alpha must be >= 0, got {alpha}")
+        self.delta = float(delta)
+        self.alpha = float(alpha)
+
+    def __call__(self, q: int) -> float:
+        self._check_batch(q)
+        return self.delta + self.alpha * q
+
+    def batch(self, qs: np.ndarray) -> np.ndarray:
+        qs = np.asarray(qs, dtype=float)
+        if np.any(qs < 0):
+            raise InvalidParameterError("batch sizes must be >= 0")
+        return self.delta + self.alpha * qs
+
+    def __repr__(self) -> str:
+        return f"LinearLatency(delta={self.delta:g}, alpha={self.alpha:g})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinearLatency)
+            and self.delta == other.delta
+            and self.alpha == other.alpha
+        )
+
+    def __hash__(self) -> int:
+        return hash(("LinearLatency", self.delta, self.alpha))
+
+
+class PowerLawLatency(LatencyFunction):
+    """``L(q) = delta + alpha * q ** p`` — the Section 6.6 generalization.
+
+    ``p > 1`` models platforms where large batches outgrow the interested
+    worker pool (super-linear slowdown); ``p < 1`` models platforms where
+    bigger batches attract disproportionately many workers.
+    """
+
+    def __init__(self, delta: float, alpha: float, p: float) -> None:
+        if delta < 0:
+            raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+        if alpha < 0:
+            raise InvalidParameterError(f"alpha must be >= 0, got {alpha}")
+        if p <= 0:
+            raise InvalidParameterError(f"exponent p must be > 0, got {p}")
+        self.delta = float(delta)
+        self.alpha = float(alpha)
+        self.p = float(p)
+
+    def __call__(self, q: int) -> float:
+        self._check_batch(q)
+        return self.delta + self.alpha * q**self.p
+
+    def batch(self, qs: np.ndarray) -> np.ndarray:
+        qs = np.asarray(qs, dtype=float)
+        if np.any(qs < 0):
+            raise InvalidParameterError("batch sizes must be >= 0")
+        return self.delta + self.alpha * qs**self.p
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerLawLatency(delta={self.delta:g}, alpha={self.alpha:g}, "
+            f"p={self.p:g})"
+        )
+
+
+class PiecewiseLinearLatency(LatencyFunction):
+    """Piecewise-linear interpolation through given (batch size, seconds) knots.
+
+    Useful for modelling the saturation shape of Figure 11(a): flat for small
+    batches, then a steep ramp once the batch outgrows the worker pool.
+    Extrapolates with the slope of the last segment.
+    """
+
+    def __init__(self, knots: Sequence[Tuple[int, float]]) -> None:
+        points = sorted((int(q), float(t)) for q, t in knots)
+        if len(points) < 2:
+            raise InvalidParameterError("need at least two knots")
+        qs = [q for q, _ in points]
+        if len(set(qs)) != len(qs):
+            raise InvalidParameterError("knot batch sizes must be distinct")
+        ts = [t for _, t in points]
+        if any(t2 < t1 for t1, t2 in zip(ts, ts[1:])):
+            raise InvalidParameterError(
+                "latency must be non-decreasing in batch size"
+            )
+        if any(t < 0 for t in ts):
+            raise InvalidParameterError("latency values must be >= 0")
+        self._qs: List[int] = qs
+        self._ts: List[float] = ts
+
+    def __call__(self, q: int) -> float:
+        self._check_batch(q)
+        qs, ts = self._qs, self._ts
+        if q <= qs[0]:
+            return ts[0]
+        index = bisect.bisect_right(qs, q)
+        if index >= len(qs):  # extrapolate with the last segment's slope
+            index = len(qs) - 1
+        q0, q1 = qs[index - 1], qs[index]
+        t0, t1 = ts[index - 1], ts[index]
+        slope = (t1 - t0) / (q1 - q0)
+        return t0 + slope * (q - q0)
+
+    def __repr__(self) -> str:
+        return f"PiecewiseLinearLatency({list(zip(self._qs, self._ts))!r})"
+
+
+class TabulatedLatency(LatencyFunction):
+    """Latency interpolated from measured ``(batch size, seconds)`` samples.
+
+    Unlike :class:`PiecewiseLinearLatency` the samples need not be monotone
+    (real measurements are noisy); the table applies an isotonic clean-up
+    (running maximum) so that the resulting function is non-decreasing, as
+    the paper's theory requires.
+    """
+
+    def __init__(self, samples: Iterable[Tuple[int, float]]) -> None:
+        points = sorted((int(q), float(t)) for q, t in samples)
+        if len(points) < 2:
+            raise InvalidParameterError("need at least two samples")
+        cleaned: List[Tuple[int, float]] = []
+        running = 0.0
+        for q, t in points:
+            running = max(running, t)
+            if cleaned and cleaned[-1][0] == q:
+                cleaned[-1] = (q, running)
+            else:
+                cleaned.append((q, running))
+        self._inner = PiecewiseLinearLatency(cleaned)
+
+    def __call__(self, q: int) -> float:
+        return self._inner(q)
+
+    def __repr__(self) -> str:
+        return f"TabulatedLatency({list(zip(self._inner._qs, self._inner._ts))!r})"
+
+
+def fit_linear_latency(samples: Sequence[Tuple[int, float]]) -> LinearLatency:
+    """Least-squares fit of ``L(q) = delta + alpha * q`` to measurements.
+
+    This is the estimation procedure of Section 6.1: the paper stresses that
+    a *rough* linear estimate is enough for tDP to allocate well.  Negative
+    fitted coefficients are clamped to zero (a latency model must be
+    non-negative and non-decreasing).
+
+    Args:
+        samples: pairs of (batch size, measured seconds until last answer).
+
+    Returns:
+        The fitted :class:`LinearLatency`.
+    """
+    if len(samples) < 2:
+        raise InvalidParameterError("need at least two samples to fit a line")
+    n = float(len(samples))
+    sum_q = sum(float(q) for q, _ in samples)
+    sum_t = sum(t for _, t in samples)
+    sum_qq = sum(float(q) * float(q) for q, _ in samples)
+    sum_qt = sum(float(q) * t for q, t in samples)
+    denominator = n * sum_qq - sum_q * sum_q
+    if denominator == 0:
+        raise InvalidParameterError("all samples share one batch size; cannot fit")
+    alpha = (n * sum_qt - sum_q * sum_t) / denominator
+    delta = (sum_t - alpha * sum_q) / n
+    return LinearLatency(delta=max(delta, 0.0), alpha=max(alpha, 0.0))
+
+
+def mturk_car_latency() -> LinearLatency:
+    """The latency function the paper fitted on MTurk: ``239 + 0.06 q`` s."""
+    return LinearLatency(delta=MTURK_DELTA, alpha=MTURK_ALPHA)

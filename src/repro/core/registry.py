@@ -1,0 +1,47 @@
+"""Name-based registry of budget allocators, used by the CLI and experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.allocation import BudgetAllocator
+from repro.core.expected import ExpectedCaseAllocator
+from repro.core.heuristics import (
+    HeavyEnd,
+    HeavyFront,
+    UniformHeavyEnd,
+    UniformHeavyFront,
+)
+from repro.core.tdp import TDPAllocator
+from repro.core.tdp_memo import MemoizedTDPAllocator
+from repro.errors import InvalidParameterError
+
+_FACTORIES: Dict[str, Callable[[], BudgetAllocator]] = {
+    "tDP": TDPAllocator,
+    "tDP-memo": MemoizedTDPAllocator,
+    "eDP": ExpectedCaseAllocator,
+    "HE": HeavyEnd,
+    "HF": HeavyFront,
+    "uHE": UniformHeavyEnd,
+    "uHF": UniformHeavyFront,
+}
+
+
+def available_allocators() -> List[str]:
+    """Names of all registered budget-allocation algorithms."""
+    return sorted(_FACTORIES)
+
+
+def allocator_by_name(name: str) -> BudgetAllocator:
+    """Instantiate the allocator registered under *name* (case-insensitive).
+
+    Raises:
+        InvalidParameterError: for unknown names, listing the valid ones.
+    """
+    lowered = {key.lower(): factory for key, factory in _FACTORIES.items()}
+    factory = lowered.get(name.lower())
+    if factory is None:
+        raise InvalidParameterError(
+            f"unknown allocator {name!r}; available: {available_allocators()}"
+        )
+    return factory()

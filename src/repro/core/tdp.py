@@ -1,0 +1,434 @@
+"""tDP: the optimal-latency budget allocator (Algorithm 1 of the paper).
+
+The paper formulates *MinLatency* (Problem 1): pick a tournament-graph
+sequence ``(c_0, c_1, ..., c_r = 1)`` minimizing ``sum_i L(Q(c_{i-1}, c_i))``
+subject to ``sum_i Q(c_{i-1}, c_i) <= b``, and solves it with a top-down
+dynamic program over states ``(remaining budget, remaining candidates)``.
+
+This module solves the identical problem with an equivalent — but much
+faster — dynamic program over *Pareto frontiers*.  For every candidate count
+``c`` we compute the set of non-dominated ``(total questions, total
+latency)`` pairs achievable by tournament sequences from ``c`` down to 1:
+
+    P(1) = {(0, 0)}
+    P(c) = pareto( { (Q(c, c') + cost, L(Q(c, c')) + lat)
+                     : c' in [1, c),  (cost, lat) in P(c') } )
+
+The optimal allocation for budget ``b`` is the frontier point of ``P(c_0)``
+with the lowest latency among those with ``cost <= b`` — by construction the
+last point of the (cost-ascending, latency-strictly-descending) frontier.
+Points costing more than ``b`` are pruned during construction, which keeps
+frontiers tiny; for a linear ``L`` the frontier of ``c`` has at most
+``ceil(log2 c)`` points (one per useful round count).
+
+The literal top-down memoization of Algorithm 1 is also available as
+:class:`repro.core.tdp_memo.MemoizedTDPAllocator` and is used to
+cross-validate this solver in the test suite.  Both are exact; this one
+makes the large-``c_0`` experiments of Section 6 practical in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation, BudgetAllocator
+from repro.core.latency import LatencyFunction
+from repro.core.questions import tournament_questions
+from repro.errors import InvalidParameterError
+
+_INITIAL_FRONTIER_WIDTH = 16
+
+
+@dataclass(frozen=True)
+class TDPPlan:
+    """Full solver output: the optimal sequence plus diagnostics.
+
+    Attributes:
+        sequence: the optimal candidate-count sequence ``(c_0, ..., 1)``.
+        total_latency: value of the MinLatency objective for the sequence.
+        questions_used: questions the sequence actually spends; tDP may leave
+            part of the budget unused when extra questions only add latency
+            (the budget-limiting behaviour of Figures 13(b) and 14(b)).
+        frontier_sizes: Pareto-frontier size per candidate count (diagnostic;
+            index ``c`` holds ``|P(c)|``).
+    """
+
+    sequence: Tuple[int, ...]
+    total_latency: float
+    questions_used: int
+    frontier_sizes: Tuple[int, ...]
+
+    @property
+    def rounds(self) -> int:
+        return len(self.sequence) - 1
+
+    def questions_for_first_round(self) -> int:
+        """Question budget of the plan's first round (0 for a solved state).
+
+        Used by the adaptive engine, which re-plans after every round and
+        only ever executes a plan's first round.
+        """
+        if len(self.sequence) < 2:
+            return 0
+        return tournament_questions(self.sequence[0], self.sequence[1])
+
+
+def _transition_questions(c: int) -> np.ndarray:
+    """Vector of ``Q(c, c')`` for every ``c'`` in ``[1, c)``.
+
+    Vectorized form of equation (2):  with ``k = c // c'`` and
+    ``r = c mod c'``, ``Q = C(k+1, 2) * r + C(k, 2) * (c' - r)``.
+    """
+    targets = np.arange(1, c, dtype=np.int64)
+    k = c // targets
+    r = c - k * targets
+    return (k + 1) * k // 2 * r + k * (k - 1) // 2 * (targets - r)
+
+
+class _FrontierTable:
+    """Padded 2D storage of the per-candidate-count Pareto frontiers."""
+
+    def __init__(self, n_elements: int, width: int = _INITIAL_FRONTIER_WIDTH):
+        self.width = width
+        shape = (n_elements + 1, width)
+        self.cost = np.full(shape, np.iinfo(np.int64).max, dtype=np.int64)
+        self.lat = np.full(shape, np.inf, dtype=np.float64)
+        self.parent_c = np.zeros(shape, dtype=np.int32)
+        self.parent_i = np.zeros(shape, dtype=np.int32)
+        self.size = np.zeros(n_elements + 1, dtype=np.int32)
+
+    def grow(self, new_width: int) -> None:
+        """Widen the padded arrays to hold larger frontiers."""
+        extra = new_width - self.width
+        if extra <= 0:
+            return
+        n_rows = self.cost.shape[0]
+        self.cost = np.hstack(
+            [self.cost, np.full((n_rows, extra), np.iinfo(np.int64).max, np.int64)]
+        )
+        self.lat = np.hstack([self.lat, np.full((n_rows, extra), np.inf)])
+        self.parent_c = np.hstack(
+            [self.parent_c, np.zeros((n_rows, extra), np.int32)]
+        )
+        self.parent_i = np.hstack(
+            [self.parent_i, np.zeros((n_rows, extra), np.int32)]
+        )
+        self.width = new_width
+
+    def set_row(
+        self,
+        c: int,
+        cost: np.ndarray,
+        lat: np.ndarray,
+        parent_c: np.ndarray,
+        parent_i: np.ndarray,
+    ) -> None:
+        count = len(cost)
+        if count > self.width:
+            self.grow(max(count, self.width * 2))
+        self.size[c] = count
+        self.cost[c, :count] = cost
+        self.lat[c, :count] = lat
+        self.parent_c[c, :count] = parent_c
+        self.parent_i[c, :count] = parent_i
+        self.cost[c, count:] = np.iinfo(np.int64).max
+        self.lat[c, count:] = np.inf
+
+
+def _build_frontiers(
+    n_elements: int, budget: int, latency: LatencyFunction
+) -> _FrontierTable:
+    """Compute P(c) for every candidate count up to ``n_elements``."""
+    table = _FrontierTable(n_elements)
+    # P(1): the MAX is already identified; zero further cost and latency.
+    table.set_row(
+        1,
+        cost=np.zeros(1, np.int64),
+        lat=np.zeros(1),
+        parent_c=np.zeros(1, np.int32),
+        parent_i=np.zeros(1, np.int32),
+    )
+    for c in range(2, n_elements + 1):
+        _build_frontier(table, c, budget, latency)
+    return table
+
+
+def solve_min_latency(
+    n_elements: int, budget: int, latency: LatencyFunction
+) -> TDPPlan:
+    """Solve MinLatency (Problem 1) exactly.
+
+    Args:
+        n_elements: ``c_0``, the size of the input collection (>= 1).
+        budget: ``b``, the maximum total number of questions (>= c_0 - 1).
+        latency: the platform latency function ``L(q)``.
+
+    Returns:
+        The optimal :class:`TDPPlan`.
+
+    Raises:
+        InvalidParameterError: when the budget is below ``c_0 - 1``
+            (Theorem 1: the problem has no solution).
+    """
+    if n_elements < 1:
+        raise InvalidParameterError(f"n_elements must be >= 1, got {n_elements}")
+    if budget < n_elements - 1:
+        raise InvalidParameterError(
+            f"budget {budget} < c0 - 1 = {n_elements - 1}: MinLatency is "
+            f"infeasible (Theorem 1)"
+        )
+    table = _build_frontiers(n_elements, budget, latency)
+    return _extract_plan(table, n_elements)
+
+
+def solve_min_cost(
+    n_elements: int,
+    deadline: float,
+    latency: LatencyFunction,
+    budget: Optional[int] = None,
+) -> TDPPlan:
+    """The dual of MinLatency: spend the fewest questions within a deadline.
+
+    The paper frames the cost-latency tradeoff both ways (Section 1); with
+    the Pareto frontiers already in hand, "minimize total questions subject
+    to total latency <= deadline" is a single frontier query: the frontier
+    of ``c_0`` is cost-ascending with strictly descending latency, so the
+    *first* point meeting the deadline is the cheapest one.
+
+    Args:
+        n_elements: ``c_0``, the size of the input collection (>= 1).
+        deadline: maximum acceptable total latency, in seconds.
+        latency: the platform latency function ``L(q)``.
+        budget: optional question cap; defaults to the complete-tournament
+            maximum ``C(c_0, 2)`` (no tournament sequence can need more).
+
+    Returns:
+        The cheapest :class:`TDPPlan` whose latency fits the deadline.
+
+    Raises:
+        InvalidParameterError: when even the latency-optimal plan misses
+            the deadline (the message reports the fastest achievable
+            latency), or on out-of-domain arguments.
+    """
+    if n_elements < 1:
+        raise InvalidParameterError(f"n_elements must be >= 1, got {n_elements}")
+    if deadline < 0:
+        raise InvalidParameterError(f"deadline must be >= 0, got {deadline}")
+    if budget is None:
+        budget = max(n_elements - 1, n_elements * (n_elements - 1) // 2)
+    if budget < n_elements - 1:
+        raise InvalidParameterError(
+            f"budget {budget} < c0 - 1 = {n_elements - 1} (Theorem 1)"
+        )
+    table = _build_frontiers(n_elements, budget, latency)
+    count = int(table.size[n_elements])
+    latencies = table.lat[n_elements, :count]
+    meeting = np.flatnonzero(latencies <= deadline)
+    if meeting.size == 0:
+        fastest = float(latencies[count - 1]) if count else float("inf")
+        raise InvalidParameterError(
+            f"no tournament sequence finishes within {deadline:g} s; the "
+            f"fastest achievable latency is {fastest:g} s"
+        )
+    return _plan_from_point(table, n_elements, int(meeting[0]))
+
+
+def _build_frontier(
+    table: _FrontierTable,
+    c: int,
+    budget: int,
+    latency: LatencyFunction,
+    source: Optional[_FrontierTable] = None,
+) -> bool:
+    """Compute P(c) from the frontiers of all smaller candidate counts.
+
+    *source* is the table transitions read continuation frontiers from; by
+    default the same table (the unbounded recursion).  The bounded-rounds
+    solver passes the previous round-count's table instead.
+
+    Returns ``True`` when at least one feasible point was found; ``False``
+    leaves the row empty (possible only in the bounded-rounds DP).
+    """
+    if source is None:
+        source = table
+    step_cost = _transition_questions(c)  # Q(c, c') for c' = 1..c-1
+    step_lat = latency.batch(step_cost)  # L(Q(c, c'))
+    width = source.width
+    # Candidate points: every frontier point of every reachable c', extended
+    # by one round c -> c'.  Shapes are (c-1, width); row j is c' = j + 1.
+    cand_cost = step_cost[:, None] + source.cost[1:c, :]
+    cand_lat = step_lat[:, None] + source.lat[1:c, :]
+    flat_cost = cand_cost.ravel()
+    flat_lat = cand_lat.ravel()
+    valid = np.flatnonzero(
+        (flat_lat != np.inf) & (flat_cost >= 0) & (flat_cost <= budget)
+    )
+    # flat_cost >= 0 guards against int64 overflow of the +inf cost padding;
+    # padded entries also carry lat == inf, so both filters agree.
+    if valid.size == 0:
+        if source is table:  # pragma: no cover - needs budget >= c - 1
+            raise InvalidParameterError(
+                f"no feasible transition from {c} candidates within "
+                f"budget {budget}"
+            )
+        return False
+    order = valid[np.lexsort((flat_lat[valid], flat_cost[valid]))]
+    lat_sorted = flat_lat[order]
+    # Strict Pareto sweep: keep a point only when it improves the best
+    # latency seen at any lower-or-equal cost.
+    running_best = np.minimum.accumulate(lat_sorted)
+    keep = np.empty(len(order), dtype=bool)
+    keep[0] = True
+    keep[1:] = lat_sorted[1:] < running_best[:-1]
+    chosen = order[keep]
+    table.set_row(
+        c,
+        cost=flat_cost[chosen],
+        lat=flat_lat[chosen],
+        parent_c=(chosen // width + 1).astype(np.int32),
+        parent_i=(chosen % width).astype(np.int32),
+    )
+    return True
+
+
+def solve_min_latency_bounded_rounds(
+    n_elements: int,
+    budget: int,
+    latency: LatencyFunction,
+    max_rounds: int,
+) -> TDPPlan:
+    """MinLatency with an additional cap on the number of rounds.
+
+    Problem 1 leaves the round count unconstrained; deployments sometimes
+    cannot (e.g. an operator polling the platform on a fixed cadence, or
+    the rounds-as-latency model of Venetis et al. [23]).  This solver adds
+    the constraint ``r <= max_rounds`` by indexing the Pareto frontiers by
+    round count: ``P_r(c)`` holds the non-dominated (cost, latency) pairs
+    of sequences from ``c`` to 1 using at most ``r`` rounds, built from
+    ``P_{r-1}``.
+
+    Args:
+        n_elements: ``c_0`` (>= 1).
+        budget: ``b`` (>= c_0 - 1).
+        latency: the platform latency function.
+        max_rounds: maximum rounds allowed (>= 1).
+
+    Returns:
+        The optimal :class:`TDPPlan` among plans with at most *max_rounds*
+        rounds.
+
+    Raises:
+        InvalidParameterError: when no plan satisfies both the budget and
+            the round cap (e.g. ``max_rounds = 1`` with a budget below the
+            complete tournament ``C(c_0, 2)``).
+    """
+    if n_elements < 1:
+        raise InvalidParameterError(f"n_elements must be >= 1, got {n_elements}")
+    if budget < n_elements - 1:
+        raise InvalidParameterError(
+            f"budget {budget} < c0 - 1 = {n_elements - 1} (Theorem 1)"
+        )
+    if max_rounds < 1:
+        raise InvalidParameterError(f"max_rounds must be >= 1, got {max_rounds}")
+    if n_elements == 1:
+        return TDPPlan((1,), 0.0, 0, frontier_sizes=(1,))
+
+    def base_table() -> _FrontierTable:
+        table = _FrontierTable(n_elements)
+        table.set_row(
+            1,
+            cost=np.zeros(1, np.int64),
+            lat=np.zeros(1),
+            parent_c=np.zeros(1, np.int32),
+            parent_i=np.zeros(1, np.int32),
+        )
+        return table
+
+    tables = [base_table()]  # P_0: only the solved state exists
+    for _ in range(max_rounds):
+        current = base_table()
+        for c in range(2, n_elements + 1):
+            _build_frontier(current, c, budget, latency, source=tables[-1])
+        tables.append(current)
+    final = tables[max_rounds]
+    count = int(final.size[n_elements])
+    if count == 0:
+        raise InvalidParameterError(
+            f"no tournament sequence reaches the MAX of {n_elements} "
+            f"elements within {max_rounds} round(s) and {budget} questions"
+        )
+    index = count - 1  # min latency: last point of the frontier
+    sequence: List[int] = [n_elements]
+    c, i, r = n_elements, index, max_rounds
+    while c != 1:
+        parent_c = int(tables[r].parent_c[c, i])
+        parent_i = int(tables[r].parent_i[c, i])
+        c, i, r = parent_c, parent_i, r - 1
+        sequence.append(c)
+    return TDPPlan(
+        sequence=tuple(sequence),
+        total_latency=float(final.lat[n_elements, index]),
+        questions_used=int(final.cost[n_elements, index]),
+        frontier_sizes=tuple(int(s) for s in final.size[1:]),
+    )
+
+
+def _extract_plan(table: _FrontierTable, n_elements: int) -> TDPPlan:
+    """Pick the min-latency frontier point of P(c_0) and walk the parents."""
+    count = int(table.size[n_elements])
+    # The frontier is cost-ascending with strictly descending latency, so the
+    # last point is the optimum; every stored point already fits the budget.
+    return _plan_from_point(table, n_elements, count - 1)
+
+
+def _plan_from_point(
+    table: _FrontierTable, n_elements: int, index: int
+) -> TDPPlan:
+    """Reconstruct the plan behind one frontier point of P(c_0)."""
+    total_latency = float(table.lat[n_elements, index])
+    questions_used = int(table.cost[n_elements, index])
+    sequence: List[int] = [n_elements]
+    c, i = n_elements, index
+    while c != 1:
+        c, i = int(table.parent_c[c, i]), int(table.parent_i[c, i])
+        sequence.append(c)
+    return TDPPlan(
+        sequence=tuple(sequence),
+        total_latency=total_latency,
+        questions_used=questions_used,
+        frontier_sizes=tuple(int(s) for s in table.size[1:]),
+    )
+
+
+class TDPAllocator(BudgetAllocator):
+    """The paper's tDP budget-allocation algorithm (optimal for Problem 1).
+
+    Combined with the Tournament-formation question selector this is also
+    optimal for the Generalized Worst MinLatency problem (Theorem 4).
+
+    Example:
+        >>> from repro.core.latency import LinearLatency
+        >>> tdp = TDPAllocator()
+        >>> allocation = tdp.allocate(40, 108, LinearLatency(100, 1))
+        >>> allocation.element_sequence
+        (40, 8, 1)
+        >>> allocation.round_budgets
+        (80, 28)
+    """
+
+    name = "tDP"
+
+    def _allocate(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> Allocation:
+        plan = solve_min_latency(n_elements, budget, latency)
+        return Allocation.from_element_sequence(plan.sequence, self.name)
+
+    def plan(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> TDPPlan:
+        """Expose the full solver output (diagnostics included)."""
+        return solve_min_latency(n_elements, budget, latency)

@@ -1,0 +1,163 @@
+"""Literal Algorithm 1 of the paper: top-down memoized dynamic programming.
+
+This is the paper's own formulation of tDP: a recursion ``OL(q, c)`` over
+states (remaining questions, remaining candidates), equations (6) and (7),
+memoized so each state is evaluated once.  The time complexity is
+``O(c_0^2 * b)`` in the worst case, but — exactly as the paper observes in
+Section 6.7 — the top-down order only touches *reachable* states, so the
+running time grows very slowly with the budget ``b``.
+
+The production solver (:mod:`repro.core.tdp`) is an equivalent Pareto-
+frontier reformulation that is much faster for large inputs; this module
+exists (a) as a faithful reference of the published pseudo-code, (b) to
+cross-validate the production solver in tests, and (c) for the DP-variant
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocation import Allocation, BudgetAllocator
+from repro.core.latency import LatencyFunction
+from repro.core.questions import tournament_questions
+from repro.errors import InvalidParameterError, ReproError
+
+
+class StateLimitExceededError(ReproError):
+    """The memoized DP touched more states than the caller allowed."""
+
+
+@dataclass(frozen=True)
+class MemoizedPlan:
+    """Solver output of the literal Algorithm 1.
+
+    Attributes:
+        sequence: the optimal candidate-count sequence ``(c_0, ..., 1)``.
+        total_latency: value of the MinLatency objective.
+        questions_used: total questions the sequence spends.
+        states_visited: memoized states evaluated — the quantity whose slow
+            growth in ``b`` explains the flat curves of Figure 15.
+    """
+
+    sequence: Tuple[int, ...]
+    total_latency: float
+    questions_used: int
+    states_visited: int
+
+
+def solve_min_latency_memo(
+    n_elements: int,
+    budget: int,
+    latency: LatencyFunction,
+    max_states: Optional[int] = None,
+) -> MemoizedPlan:
+    """Solve MinLatency with the paper's top-down memoized recursion.
+
+    Args:
+        n_elements: ``c_0`` (>= 1).
+        budget: ``b`` (>= c_0 - 1).
+        latency: the platform latency function.
+        max_states: optional safety cap on memoized states; exceeded caps
+            raise :class:`StateLimitExceededError` instead of thrashing.
+
+    Returns:
+        The optimal :class:`MemoizedPlan` (same objective value as
+        :func:`repro.core.tdp.solve_min_latency`).
+    """
+    if n_elements < 1:
+        raise InvalidParameterError(f"n_elements must be >= 1, got {n_elements}")
+    if budget < n_elements - 1:
+        raise InvalidParameterError(
+            f"budget {budget} < c0 - 1 = {n_elements - 1}: MinLatency is "
+            f"infeasible (Theorem 1)"
+        )
+    if n_elements == 1:
+        return MemoizedPlan((1,), 0.0, 0, states_visited=1)
+
+    # memo[(q, c)] = (optimal latency from this state, best next c).
+    memo: Dict[Tuple[int, int], Tuple[float, int]] = {}
+    # Per-c cache of (Q(c, c'), L(Q(c, c'))) for c' = 1..c-1; the same row is
+    # reused by every state that shares the candidate count c.
+    transitions: Dict[int, List[Tuple[int, int, float]]] = {}
+
+    def transition_row(c: int) -> List[Tuple[int, int, float]]:
+        row = transitions.get(c)
+        if row is None:
+            row = []
+            for c_next in range(1, c):
+                step_q = tournament_questions(c, c_next)
+                row.append((c_next, step_q, latency(step_q)))
+            transitions[c] = row
+        return row
+
+    # Iterative depth-first evaluation (the recursion can be ~c_0 deep per
+    # branch, and CPython's recursion limit is unkind to c_0 = 2000).
+    stack: List[Tuple[int, int]] = [(budget, n_elements)]
+    while stack:
+        q, c = stack[-1]
+        if (q, c) in memo:
+            stack.pop()
+            continue
+        if c == 1:
+            memo[(q, c)] = (0.0, 1)  # Equation (7): OL(q, 1) = 0.
+            stack.pop()
+            continue
+        best_latency = float("inf")
+        best_next = 0
+        missing: List[Tuple[int, int]] = []
+        for c_next, step_q, step_lat in transition_row(c):
+            remaining = q - step_q
+            if remaining < c_next - 1:
+                continue  # Theorem 1: child state would be infeasible.
+            child = memo.get((remaining, c_next))
+            if child is None:
+                missing.append((remaining, c_next))
+            else:
+                total = step_lat + child[0]
+                if total < best_latency:
+                    best_latency = total
+                    best_next = c_next
+        if missing:
+            stack.extend(missing)
+            continue
+        memo[(q, c)] = (best_latency, best_next)
+        stack.pop()
+        if max_states is not None and len(memo) > max_states:
+            raise StateLimitExceededError(
+                f"memoized DP exceeded {max_states} states "
+                f"(c0={n_elements}, b={budget})"
+            )
+
+    total_latency = memo[(budget, n_elements)][0]
+    sequence = [n_elements]
+    q, c = budget, n_elements
+    while c != 1:
+        c_next = memo[(q, c)][1]
+        q -= tournament_questions(c, c_next)
+        c = c_next
+        sequence.append(c)
+    return MemoizedPlan(
+        sequence=tuple(sequence),
+        total_latency=total_latency,
+        questions_used=budget - q,
+        states_visited=len(memo),
+    )
+
+
+class MemoizedTDPAllocator(BudgetAllocator):
+    """Budget allocator backed by the literal Algorithm 1 recursion."""
+
+    name = "tDP-memo"
+
+    def __init__(self, max_states: Optional[int] = None) -> None:
+        self.max_states = max_states
+
+    def _allocate(
+        self, n_elements: int, budget: int, latency: LatencyFunction
+    ) -> Allocation:
+        plan = solve_min_latency_memo(
+            n_elements, budget, latency, max_states=self.max_states
+        )
+        return Allocation.from_element_sequence(plan.sequence, self.name)

@@ -1,0 +1,29 @@
+"""Simulated crowdsourcing substrate: ground truth, workers, platform, RWL."""
+
+from repro.crowd.diurnal import DayNightCycle, DiurnalPlatform
+from repro.crowd.error_models import (
+    DistanceSensitiveError,
+    ErrorModel,
+    PerfectWorkers,
+    UniformError,
+)
+from repro.crowd.ground_truth import GroundTruth
+from repro.crowd.platform import BatchResult, SimulatedPlatform, WorkerAnswer
+from repro.crowd.rwl import ReliableWorkerLayer, RWLResult
+from repro.crowd.workers import WorkerPoolConfig
+
+__all__ = [
+    "GroundTruth",
+    "DayNightCycle",
+    "DiurnalPlatform",
+    "ErrorModel",
+    "PerfectWorkers",
+    "UniformError",
+    "DistanceSensitiveError",
+    "WorkerPoolConfig",
+    "SimulatedPlatform",
+    "BatchResult",
+    "WorkerAnswer",
+    "ReliableWorkerLayer",
+    "RWLResult",
+]

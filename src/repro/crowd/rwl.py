@@ -1,0 +1,165 @@
+"""The Reliable Worker Layer (RWL) of Section 2.1.
+
+The paper's algorithms assume "a single comparison is sufficient for
+resolving the true relation" of two elements, and delegate error handling to
+an RWL sitting between the algorithms and the platform: "The input to RWL,
+in each round, is a set of questions and the output is a conflict-free set
+of correct answers; with one answer per question."
+
+This implementation harnesses the two technique families the paper cites:
+
+* **question repetition + majority voting** — each question is posted
+  ``repetition`` times inside the same platform batch (so the round count is
+  unchanged), and the majority answer wins;
+* **cycle resolution** — if the majority answers still contain a preference
+  cycle, the answers are re-oriented to agree with a local Copeland-style
+  ranking (elements sorted by their weighted vote wins), which is guaranteed
+  acyclic.  When the majority answers are already consistent (always true
+  for perfect workers), they are returned untouched.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.crowd.platform import SimulatedPlatform
+from repro.errors import InconsistentAnswersError, InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.types import Answer, Element, Question, normalize_question
+
+
+@dataclass(frozen=True)
+class RWLResult:
+    """Output of one RWL round.
+
+    Attributes:
+        answers: exactly one conflict-free answer per distinct question.
+        latency: seconds the underlying platform batch took.
+        questions_posted: total posted copies (``distinct * repetition``).
+        majority_flips: answers whose final direction disagrees with the
+            majority vote (non-zero only when cycle resolution fired).
+    """
+
+    answers: Tuple[Answer, ...]
+    latency: float
+    questions_posted: int
+    majority_flips: int
+
+
+class ReliableWorkerLayer:
+    """Repetition + majority voting + cycle resolution on top of a platform."""
+
+    def __init__(
+        self,
+        platform: SimulatedPlatform,
+        rng: np.random.Generator,
+        repetition: int = 1,
+    ) -> None:
+        if repetition < 1:
+            raise InvalidParameterError(f"repetition must be >= 1: {repetition}")
+        self.platform = platform
+        self.repetition = repetition
+        self._rng = rng
+
+    def ask(self, questions: Sequence[Question]) -> RWLResult:
+        """Resolve *questions* into a conflict-free answer per question."""
+        distinct = list(dict.fromkeys(normalize_question(a, b) for a, b in questions))
+        if not distinct:
+            return RWLResult((), 0.0, 0, 0)
+        posted = [pair for pair in distinct for _ in range(self.repetition)]
+        batch = self.platform.post_batch(posted)
+        votes = self._tally(batch_answers=[wa.answer for wa in batch.worker_answers])
+        majority = {
+            pair: self._majority_winner(pair, votes[pair]) for pair in distinct
+        }
+        answers, flips = self._resolve_cycles(distinct, majority, votes)
+        return RWLResult(
+            answers=tuple(answers),
+            latency=batch.completion_time,
+            questions_posted=len(posted),
+            majority_flips=flips,
+        )
+
+    # ------------------------------------------------------------------
+    # Voting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tally(
+        batch_answers: Sequence[Answer],
+    ) -> Dict[Question, Dict[Element, int]]:
+        votes: Dict[Question, Dict[Element, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for answer in batch_answers:
+            votes[answer.question][answer.winner] += 1
+        return votes
+
+    def _majority_winner(
+        self, pair: Question, pair_votes: Dict[Element, int]
+    ) -> Element:
+        a, b = pair
+        votes_a, votes_b = pair_votes.get(a, 0), pair_votes.get(b, 0)
+        if votes_a > votes_b:
+            return a
+        if votes_b > votes_a:
+            return b
+        return a if self._rng.random() < 0.5 else b
+
+    # ------------------------------------------------------------------
+    # Cycle resolution
+    # ------------------------------------------------------------------
+    def _resolve_cycles(
+        self,
+        distinct: List[Question],
+        majority: Dict[Question, Element],
+        votes: Dict[Question, Dict[Element, int]],
+    ) -> Tuple[List[Answer], int]:
+        elements: Set[Element] = {e for pair in distinct for e in pair}
+        graph = AnswerGraph(elements)
+        majority_answers: List[Answer] = []
+        for pair in distinct:
+            winner = majority[pair]
+            loser = pair[1] if winner == pair[0] else pair[0]
+            answer = Answer(winner=winner, loser=loser)
+            majority_answers.append(answer)
+            graph.record(answer)
+        try:
+            graph.validate_acyclic()
+        except InconsistentAnswersError:
+            return self._rank_and_orient(distinct, majority, votes, elements)
+        return majority_answers, 0
+
+    def _rank_and_orient(
+        self,
+        distinct: List[Question],
+        majority: Dict[Question, Element],
+        votes: Dict[Question, Dict[Element, int]],
+        elements: Set[Element],
+    ) -> Tuple[List[Answer], int]:
+        """Copeland-style repair: rank by weighted wins, orient every pair."""
+        strength: Dict[Element, float] = {e: 0.0 for e in elements}
+        for pair in distinct:
+            a, b = pair
+            total = votes[pair].get(a, 0) + votes[pair].get(b, 0)
+            if total == 0:
+                continue
+            strength[a] += votes[pair].get(a, 0) / total
+            strength[b] += votes[pair].get(b, 0) / total
+        ranking = sorted(
+            elements, key=lambda e: (strength[e], self._rng.random()), reverse=True
+        )
+        rank = {element: position for position, element in enumerate(ranking)}
+        answers: List[Answer] = []
+        flips = 0
+        for pair in distinct:
+            a, b = pair
+            winner = a if rank[a] < rank[b] else b
+            loser = b if winner == a else a
+            if winner != majority[pair]:
+                flips += 1
+            answers.append(Answer(winner=winner, loser=loser))
+        return answers, flips

@@ -1,0 +1,140 @@
+"""Synthetic collections mirroring the paper's workloads.
+
+The paper's experiments use 500 car photos and ask workers "which of the
+two cars is the most expensive?".  The MAX machinery only needs the hidden
+*order*, but examples and demos read better with named items and latent
+values, so this module generates labelled collections whose ground truth
+derives from the values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.crowd.ground_truth import GroundTruth
+from repro.errors import InvalidParameterError
+
+_CAR_MAKES = (
+    "Aurora", "Bellwether", "Cavallo", "Dynastar", "Elettra", "Falcon",
+    "Granturismo", "Helios", "Ivory", "Jetstream", "Kestrel", "Luminar",
+)
+_CAR_MODELS = (
+    "GT", "RS", "Turbo", "Spyder", "Quattro", "Sport", "Classic", "EV",
+    "Coupe", "Estate", "Roadster", "Phantom",
+)
+
+_RESPONSE_OPENERS = (
+    "Our record shows", "Voters deserve to know", "The facts are clear:",
+    "Let's be honest:", "Families in this state know", "History teaches us",
+    "The numbers say", "My opponent forgets",
+)
+_RESPONSE_TOPICS = (
+    "the economy", "healthcare", "education", "public safety",
+    "infrastructure", "the budget", "jobs", "energy policy",
+)
+
+
+@dataclass(frozen=True)
+class Collection:
+    """A labelled collection with latent values defining the true order.
+
+    Attributes:
+        name: what the collection contains (e.g. ``cars``).
+        labels: one human-readable label per element ``0..n-1``.
+        values: the latent quality per element; higher is better.  Values
+            are guaranteed distinct so the induced order is strict, as the
+            paper's problem definition requires.
+    """
+
+    name: str
+    labels: Tuple[str, ...]
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.values):
+            raise InvalidParameterError("labels and values must align")
+        if not self.labels:
+            raise InvalidParameterError("a collection needs at least one item")
+        if len(set(self.values)) != len(self.values):
+            raise InvalidParameterError(
+                "values must be distinct (the true order is strict)"
+            )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def ground_truth(self) -> GroundTruth:
+        """The hidden order induced by the values (best first)."""
+        order = sorted(
+            range(len(self.values)),
+            key=lambda element: self.values[element],
+            reverse=True,
+        )
+        return GroundTruth(order)
+
+    def label(self, element: int) -> str:
+        """Human-readable label of one element."""
+        try:
+            return self.labels[element]
+        except IndexError:
+            raise InvalidParameterError(f"unknown element {element}") from None
+
+
+def _distinct(values: np.ndarray) -> Tuple[float, ...]:
+    """Break ties deterministically by adding a tiny index-based epsilon."""
+    return tuple(
+        float(value) + 1e-9 * index for index, value in enumerate(values)
+    )
+
+
+def car_collection(
+    n_items: int, rng: np.random.Generator, mean_price: float = 40_000.0
+) -> Collection:
+    """Cars with lognormal prices — the paper's evaluation collection.
+
+    Labels look like "Cavallo Turbo #17"; the value is the price in
+    dollars, so the MAX is the most expensive car.
+    """
+    if n_items < 1:
+        raise InvalidParameterError("n_items must be >= 1")
+    sigma = 0.6
+    mu = np.log(mean_price) - sigma**2 / 2
+    prices = rng.lognormal(mean=mu, sigma=sigma, size=n_items)
+    labels = tuple(
+        f"{_CAR_MAKES[int(rng.integers(len(_CAR_MAKES)))]} "
+        f"{_CAR_MODELS[int(rng.integers(len(_CAR_MODELS)))]} #{index}"
+        for index in range(n_items)
+    )
+    return Collection(name="cars", labels=labels, values=_distinct(prices))
+
+
+def photo_collection(n_items: int, rng: np.random.Generator) -> Collection:
+    """Photos with uniform aesthetic scores (a generic subjective task)."""
+    if n_items < 1:
+        raise InvalidParameterError("n_items must be >= 1")
+    scores = rng.uniform(0.0, 10.0, size=n_items)
+    labels = tuple(f"photo-{index:04d}" for index in range(n_items))
+    return Collection(name="photos", labels=labels, values=_distinct(scores))
+
+
+def debate_responses(n_items: int, rng: np.random.Generator) -> Collection:
+    """Campaign responses with normally distributed persuasiveness.
+
+    The introduction's motivating workload: pick the strongest response to
+    an opponent's attack the day before the election.
+    """
+    if n_items < 1:
+        raise InvalidParameterError("n_items must be >= 1")
+    strength = rng.normal(loc=50.0, scale=15.0, size=n_items)
+    labels = tuple(
+        f"{_RESPONSE_OPENERS[int(rng.integers(len(_RESPONSE_OPENERS)))]} "
+        f"{_RESPONSE_TOPICS[int(rng.integers(len(_RESPONSE_TOPICS)))]} "
+        f"(draft {index})"
+        for index in range(n_items)
+    )
+    return Collection(
+        name="debate-responses", labels=labels, values=_distinct(strength)
+    )

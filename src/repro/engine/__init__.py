@@ -1,0 +1,43 @@
+"""The crowdsourced MAX operator engine and simulation helpers."""
+
+from repro.engine.adaptive import AdaptiveMaxEngine
+from repro.engine.adversarial import AdversarialMaxEngine, greedy_independent_set
+from repro.engine.max_engine import (
+    AnswerSource,
+    MaxEngine,
+    OracleAnswerSource,
+    PlatformAnswerSource,
+)
+from repro.engine.results import MaxRunResult, RoundRecord
+from repro.engine.session import MaxSession, SessionStateError
+from repro.engine.simulation import AggregateStats, aggregate, run_many, run_once
+from repro.engine.topk import TopKEngine, TopKResult, minimum_topk_budget
+from repro.engine.validation import (
+    ContractViolation,
+    validate_run,
+    validate_selection,
+)
+
+__all__ = [
+    "MaxEngine",
+    "AdaptiveMaxEngine",
+    "AdversarialMaxEngine",
+    "greedy_independent_set",
+    "AnswerSource",
+    "OracleAnswerSource",
+    "PlatformAnswerSource",
+    "MaxRunResult",
+    "RoundRecord",
+    "AggregateStats",
+    "aggregate",
+    "run_many",
+    "run_once",
+    "ContractViolation",
+    "validate_run",
+    "validate_selection",
+    "TopKEngine",
+    "TopKResult",
+    "minimum_topk_budget",
+    "MaxSession",
+    "SessionStateError",
+]

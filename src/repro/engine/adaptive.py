@@ -1,0 +1,134 @@
+"""Adaptive re-planning: re-run tDP from the current state each round.
+
+The dynamic-programming insight of Section 3 (Figure 5) is that the
+lowest-latency continuation from a state of ``c`` surviving candidates and
+``q`` remaining questions does not depend on how the state was reached.
+The static tDP plan exploits this offline; this module exploits it
+*online*: after every round it re-solves MinLatency for the actual
+(candidates, remaining budget) state and uses the new plan's first round.
+
+With pure tournament selection and error-free answers the execution always
+lands exactly on the planned state, so adaptivity changes nothing — a
+property the test suite checks.  Adaptivity pays off whenever rounds
+eliminate more candidates than the worst case guarantees: leftover
+cross-tournament questions, exploiting selectors (CT25/GREEDY), or an eDP
+first round.  The remaining budget is then re-invested optimally instead
+of following a stale plan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.latency import LatencyFunction
+from repro.core.tdp import solve_min_latency
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import AnswerSource
+from repro.engine.results import MaxRunResult, RoundRecord
+from repro.errors import InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.selection.base import QuestionSelector, SelectionContext
+from repro.selection.scoring import score_candidates
+from repro.types import Element
+
+
+class AdaptiveMaxEngine:
+    """MAX operator that re-plans the budget split after every round.
+
+    Args:
+        selector: question-selection strategy for each round.
+        source: answer source (oracle or platform).
+        latency: the latency model tDP plans against.
+        rng: randomness source.
+        max_rounds: safety bound on re-planning iterations (a correct
+            selector terminates long before this).
+    """
+
+    def __init__(
+        self,
+        selector: QuestionSelector,
+        source: AnswerSource,
+        latency: LatencyFunction,
+        rng: np.random.Generator,
+        max_rounds: int = 10_000,
+    ) -> None:
+        if max_rounds < 1:
+            raise InvalidParameterError(f"max_rounds must be >= 1: {max_rounds}")
+        self.selector = selector
+        self.source = source
+        self.latency = latency
+        self._rng = rng
+        self.max_rounds = max_rounds
+
+    def run(self, truth: GroundTruth, budget: int) -> MaxRunResult:
+        """Find the MAX of *truth*'s collection within *budget* questions.
+
+        Unlike :class:`repro.engine.max_engine.MaxEngine` there is no
+        precomputed allocation: each round's budget is the first round of a
+        fresh tDP plan for the current state.
+        """
+        n_elements = truth.n_elements
+        if budget < n_elements - 1:
+            raise InvalidParameterError(
+                f"budget {budget} < c0 - 1 = {n_elements - 1} (Theorem 1)"
+            )
+        evidence = AnswerGraph(range(n_elements))
+        candidates: Tuple[Element, ...] = tuple(range(n_elements))
+        remaining = budget
+        records: List[RoundRecord] = []
+        total_latency = 0.0
+        total_questions = 0
+        for round_index in range(self.max_rounds):
+            if len(candidates) <= 1:
+                break
+            plan = solve_min_latency(len(candidates), remaining, self.latency)
+            round_budget = plan.questions_for_first_round()
+            context = SelectionContext(
+                budget=round_budget,
+                candidates=candidates,
+                evidence=evidence,
+                round_index=round_index,
+                # The current plan's horizon; selectors that split rounds
+                # into phases (CT25) see a consistent total.
+                total_rounds=max(plan.rounds, round_index + 1),
+                rng=self._rng,
+            )
+            questions = self.selector.select(context)
+            if not questions:
+                break  # nothing askable: accept the current candidates
+            answers, latency = self.source.resolve(questions)
+            evidence.record_all(answers)
+            next_candidates = tuple(sorted(evidence.remaining_candidates()))
+            records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    budget=round_budget,
+                    candidates_before=len(candidates),
+                    questions_posted=len(questions),
+                    latency=latency,
+                    candidates_after=len(next_candidates),
+                )
+            )
+            total_latency += latency
+            total_questions += len(questions)
+            remaining -= len(questions)
+            candidates = next_candidates
+            if remaining < len(candidates) - 1:
+                break  # cannot guarantee further progress (Theorem 1)
+        singleton = len(candidates) == 1
+        if singleton:
+            winner = candidates[0]
+        else:
+            scores = score_candidates(evidence)
+            winner = max(scores, key=lambda element: (scores[element], -element))
+        return MaxRunResult(
+            winner=winner,
+            true_max=truth.max_element,
+            singleton_termination=singleton,
+            total_latency=total_latency,
+            total_questions=total_questions,
+            records=tuple(records),
+            allocation=None,
+        )

@@ -1,0 +1,160 @@
+"""Adversarial (worst-case) execution of the MAX operation.
+
+Section 4 analyzes the *worst case*: after each round the answers are the
+ones that keep the maximum number of candidates alive (the maxRC set of
+the round's question graph, which equals its maximum independent set by
+Theorem 2).  This module executes any (allocation, selector) combination
+against exactly that adversary, so Theorem 4 — no combination beats tDP +
+Tournament formation in the worst case — can be probed experimentally for
+selectors whose worst case is hard to reason about (SPREAD, CT25, ...).
+
+Computing a maximum independent set is NP-hard, so the adversary offers
+two modes: ``exact`` (branch-and-bound; fine for the paper-scale rounds of
+tournament graphs and for small collections) and ``greedy`` (min-degree
+heuristic; a *legal but possibly suboptimal* adversary, i.e. the reported
+latency is a lower bound on the true worst case).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.latency import LatencyFunction
+from repro.engine.results import MaxRunResult, RoundRecord
+from repro.errors import InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.graphs.candidates import max_independent_set, worst_case_answers
+from repro.selection.base import QuestionSelector, SelectionContext
+from repro.selection.scoring import score_candidates
+from repro.types import Element, Question
+
+
+def greedy_independent_set(
+    elements: Iterable[Element], questions: Iterable[Question]
+) -> Set[Element]:
+    """A maximal independent set via the min-degree greedy heuristic.
+
+    Repeatedly keeps a minimum-degree vertex and discards its neighbors.
+    Not necessarily maximum, but always independent and maximal — a legal
+    adversary choice.
+    """
+    adjacency: Dict[Element, Set[Element]] = {e: set() for e in elements}
+    for a, b in questions:
+        if a not in adjacency or b not in adjacency:
+            raise InvalidParameterError(
+                f"question ({a}, {b}) references elements outside the graph"
+            )
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    active = set(adjacency)
+    chosen: Set[Element] = set()
+    while active:
+        vertex = min(active, key=lambda v: (len(adjacency[v] & active), v))
+        chosen.add(vertex)
+        active -= adjacency[vertex] | {vertex}
+    return chosen
+
+
+class AdversarialMaxEngine:
+    """Run an allocation against worst-case (maxRC) answers.
+
+    Args:
+        selector: the question-selection strategy under test.
+        latency: latency model pricing each round at ``L(q posted)``.
+        rng: randomness source for the selector.
+        mode: ``"exact"`` (true maxRC via exact MIS) or ``"greedy"``
+            (heuristic adversary; lower-bounds the worst case).
+    """
+
+    def __init__(
+        self,
+        selector: QuestionSelector,
+        latency: LatencyFunction,
+        rng: np.random.Generator,
+        mode: str = "greedy",
+    ) -> None:
+        if mode not in ("exact", "greedy"):
+            raise InvalidParameterError(
+                f"mode must be 'exact' or 'greedy', got {mode!r}"
+            )
+        self.selector = selector
+        self.latency = latency
+        self.mode = mode
+        self._rng = rng
+
+    def run(self, n_elements: int, allocation: Allocation) -> MaxRunResult:
+        """Execute *allocation* with the adversary answering every round.
+
+        There is no hidden ground truth: the adversary invents a consistent
+        order on the fly (the Lemma 2 construction guarantees the combined
+        answers stay acyclic, because each round's surviving set is ranked
+        above everything it is compared with).  The reported ``true_max``
+        is the eventual winner itself, so ``correct`` is vacuously true;
+        the quantities of interest are latency, rounds and the singleton
+        flag.
+        """
+        if n_elements < 1:
+            raise InvalidParameterError(
+                f"n_elements must be >= 1, got {n_elements}"
+            )
+        evidence = AnswerGraph(range(n_elements))
+        candidates: Tuple[Element, ...] = tuple(range(n_elements))
+        records: List[RoundRecord] = []
+        total_latency = 0.0
+        total_questions = 0
+        for round_index, budget in enumerate(allocation.round_budgets):
+            if len(candidates) <= 1:
+                break
+            context = SelectionContext(
+                budget=budget,
+                candidates=candidates,
+                evidence=evidence,
+                round_index=round_index,
+                total_rounds=allocation.rounds,
+                rng=self._rng,
+            )
+            questions = self.selector.select(context)
+            if not questions:
+                continue
+            survivors = self._adversary_survivors(candidates, questions)
+            answers = worst_case_answers(candidates, questions, survivors)
+            evidence.record_all(answers)
+            next_candidates = tuple(sorted(evidence.remaining_candidates()))
+            records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    budget=budget,
+                    candidates_before=len(candidates),
+                    questions_posted=len(questions),
+                    latency=self.latency(len(questions)),
+                    candidates_after=len(next_candidates),
+                )
+            )
+            total_latency += self.latency(len(questions))
+            total_questions += len(questions)
+            candidates = next_candidates
+        singleton = len(candidates) == 1
+        if singleton:
+            winner = candidates[0]
+        else:
+            scores = score_candidates(evidence)
+            winner = max(scores, key=lambda e: (scores[e], -e))
+        return MaxRunResult(
+            winner=winner,
+            true_max=winner,  # the adversary never committed to an order
+            singleton_termination=singleton,
+            total_latency=total_latency,
+            total_questions=total_questions,
+            records=tuple(records),
+            allocation=allocation,
+        )
+
+    def _adversary_survivors(
+        self, candidates: Tuple[Element, ...], questions: List[Question]
+    ) -> Set[Element]:
+        if self.mode == "exact":
+            return max_independent_set(candidates, questions)
+        return greedy_independent_set(candidates, questions)

@@ -1,0 +1,156 @@
+"""The crowdsourced MAX operator.
+
+:class:`MaxEngine` ties the pieces together the way Section 1 describes the
+operator: it receives a budget allocation (the vector of per-round question
+counts), lets a question-selection algorithm pick each round's questions,
+sends them to an answer source, folds the answers into the evidence DAG, and
+stops as soon as a single candidate remains (or the allocation is
+exhausted).
+
+Two answer sources are provided:
+
+* :class:`OracleAnswerSource` — answers come straight from the ground truth
+  and the round latency is *computed* from a latency function.  This is the
+  mode of Sections 6.3-6.6 ("instead of actually posting the questions on
+  MTurk, we compute the time it would take").
+* :class:`PlatformAnswerSource` — questions go through the Reliable Worker
+  Layer to the simulated platform, and latency is *measured*.  This is the
+  mode of the real-time experiment (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.latency import LatencyFunction
+from repro.crowd.ground_truth import GroundTruth
+from repro.crowd.rwl import ReliableWorkerLayer
+from repro.engine.results import MaxRunResult, RoundRecord
+from repro.errors import InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.selection.base import QuestionSelector, SelectionContext
+from repro.selection.scoring import score_candidates
+from repro.types import Answer, Element, Question
+
+
+class AnswerSource(ABC):
+    """Resolves one round's questions into answers plus the round latency."""
+
+    @abstractmethod
+    def resolve(
+        self, questions: Sequence[Question]
+    ) -> Tuple[List[Answer], float]:
+        """Answer *questions*; return (answers, seconds the round took)."""
+
+
+class OracleAnswerSource(AnswerSource):
+    """Ground-truth answers with model-computed latency (error-free mode)."""
+
+    def __init__(self, truth: GroundTruth, latency: LatencyFunction) -> None:
+        self.truth = truth
+        self.latency = latency
+
+    def resolve(
+        self, questions: Sequence[Question]
+    ) -> Tuple[List[Answer], float]:
+        answers = [self.truth.answer(a, b) for a, b in questions]
+        return answers, self.latency(len(questions))
+
+
+class PlatformAnswerSource(AnswerSource):
+    """Answers via the Reliable Worker Layer; latency is simulated."""
+
+    def __init__(self, rwl: ReliableWorkerLayer) -> None:
+        self.rwl = rwl
+
+    def resolve(
+        self, questions: Sequence[Question]
+    ) -> Tuple[List[Answer], float]:
+        result = self.rwl.ask(questions)
+        return list(result.answers), result.latency
+
+
+class MaxEngine:
+    """Runs the round-based MAX operation for one allocation."""
+
+    def __init__(
+        self,
+        selector: QuestionSelector,
+        source: AnswerSource,
+        rng: np.random.Generator,
+    ) -> None:
+        self.selector = selector
+        self.source = source
+        self._rng = rng
+
+    def run(self, truth: GroundTruth, allocation: Allocation) -> MaxRunResult:
+        """Execute *allocation* against *truth* and return the full trace.
+
+        Rounds stop early once a single candidate remains (the operator
+        "stops asking questions if just a single element not having lost any
+        comparison remains", Section 6.2).  If candidates remain after the
+        final round, the highest-scoring one is declared the MAX — a
+        non-singleton termination.
+        """
+        n_elements = truth.n_elements
+        evidence = AnswerGraph(range(n_elements))
+        candidates: Tuple[Element, ...] = tuple(range(n_elements))
+        records: List[RoundRecord] = []
+        total_latency = 0.0
+        total_questions = 0
+        for round_index, budget in enumerate(allocation.round_budgets):
+            if len(candidates) <= 1:
+                break
+            context = SelectionContext(
+                budget=budget,
+                candidates=candidates,
+                evidence=evidence,
+                round_index=round_index,
+                total_rounds=allocation.rounds,
+                rng=self._rng,
+            )
+            questions = self.selector.select(context)
+            if len(questions) > budget:
+                raise InvalidParameterError(
+                    f"selector {self.selector.name} returned {len(questions)} "
+                    f"questions for a budget of {budget}"
+                )
+            if not questions:
+                continue  # nothing to post; the round costs no latency
+            answers, latency = self.source.resolve(questions)
+            evidence.record_all(answers)
+            next_candidates = tuple(sorted(evidence.remaining_candidates()))
+            records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    budget=budget,
+                    candidates_before=len(candidates),
+                    questions_posted=len(questions),
+                    latency=latency,
+                    candidates_after=len(next_candidates),
+                )
+            )
+            total_latency += latency
+            total_questions += len(questions)
+            candidates = next_candidates
+        singleton = len(candidates) == 1
+        winner = candidates[0] if singleton else self._pick_winner(evidence)
+        return MaxRunResult(
+            winner=winner,
+            true_max=truth.max_element,
+            singleton_termination=singleton,
+            total_latency=total_latency,
+            total_questions=total_questions,
+            records=tuple(records),
+            allocation=allocation,
+        )
+
+    def _pick_winner(self, evidence: AnswerGraph) -> Element:
+        """Non-singleton fallback: highest Appendix B.2 score wins."""
+        scores = score_candidates(evidence)
+        # Deterministic tie-break on element id keeps runs reproducible.
+        return max(scores, key=lambda element: (scores[element], -element))

@@ -1,0 +1,75 @@
+"""Result records produced by the MAX engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.allocation import Allocation
+from repro.types import Element
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one executed round.
+
+    Attributes:
+        round_index: zero-based round number.
+        budget: questions the allocation granted the round.
+        candidates_before: candidate count when the round started.
+        questions_posted: distinct questions actually posted (may be fewer
+            than the budget when the candidate pair space is exhausted).
+        latency: seconds the round took.
+        candidates_after: candidate count after the answers came back.
+    """
+
+    round_index: int
+    budget: int
+    candidates_before: int
+    questions_posted: int
+    latency: float
+    candidates_after: int
+
+
+@dataclass(frozen=True)
+class MaxRunResult:
+    """Complete outcome of one crowdsourced MAX run.
+
+    Attributes:
+        winner: the element the operator declared the MAX.
+        true_max: the actual MAX under the hidden order.
+        singleton_termination: whether exactly one candidate remained (the
+            paper's accuracy criterion for the error-free setting).
+        total_latency: seconds from first post to the final answer.
+        total_questions: distinct questions posted over all rounds.
+        records: per-round execution trace.
+        allocation: the budget allocation that drove the run.
+    """
+
+    winner: Element
+    true_max: Element
+    singleton_termination: bool
+    total_latency: float
+    total_questions: int
+    records: Tuple[RoundRecord, ...]
+    allocation: Optional[Allocation] = None
+
+    @property
+    def correct(self) -> bool:
+        """Whether the declared winner is the true MAX."""
+        return self.winner == self.true_max
+
+    @property
+    def rounds_run(self) -> int:
+        """Rounds that actually posted questions (early stop skips rounds)."""
+        return len(self.records)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        status = "singleton" if self.singleton_termination else "ambiguous"
+        verdict = "correct" if self.correct else "WRONG"
+        return (
+            f"MAX={self.winner} ({verdict}, {status}) in "
+            f"{self.rounds_run} rounds, {self.total_questions} questions, "
+            f"{self.total_latency:.1f}s"
+        )

@@ -1,0 +1,156 @@
+"""High-level helpers for repeated simulation runs.
+
+The experiments of Sections 6.3-6.6 run every (allocator, selector)
+combination 100 times under the estimated latency function and report the
+mean latency and singleton-termination rate; these helpers implement that
+loop once for all of them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocation import Allocation, BudgetAllocator
+from repro.core.latency import LatencyFunction
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+from repro.engine.results import MaxRunResult
+from repro.errors import InvalidParameterError
+from repro.selection.base import QuestionSelector
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Summary of a batch of MAX runs under one configuration.
+
+    Attributes:
+        n_runs: how many runs were aggregated.
+        mean_latency: average total latency (seconds).
+        std_latency: sample standard deviation of the latency.
+        singleton_rate: fraction of runs that ended with one candidate.
+        accuracy: fraction of runs whose declared winner was the true MAX.
+        mean_questions: average distinct questions posted.
+        mean_rounds: average rounds actually executed.
+    """
+
+    n_runs: int
+    mean_latency: float
+    std_latency: float
+    singleton_rate: float
+    accuracy: float
+    mean_questions: float
+    mean_rounds: float
+
+    def latency_confidence_interval(
+        self, z: float = 1.96
+    ) -> "tuple[float, float]":
+        """Normal-approximation CI for the mean latency (default 95%).
+
+        With a single run the interval degenerates to the point estimate.
+        """
+        if z < 0:
+            raise InvalidParameterError(f"z must be >= 0, got {z}")
+        half_width = z * self.std_latency / math.sqrt(self.n_runs)
+        return (self.mean_latency - half_width, self.mean_latency + half_width)
+
+    @classmethod
+    def from_results(cls, results: Sequence[MaxRunResult]) -> "AggregateStats":
+        if not results:
+            raise InvalidParameterError("cannot aggregate zero runs")
+        latencies = [r.total_latency for r in results]
+        mean = sum(latencies) / len(latencies)
+        variance = (
+            sum((x - mean) ** 2 for x in latencies) / (len(latencies) - 1)
+            if len(latencies) > 1
+            else 0.0
+        )
+        return cls(
+            n_runs=len(results),
+            mean_latency=mean,
+            std_latency=math.sqrt(variance),
+            singleton_rate=sum(r.singleton_termination for r in results)
+            / len(results),
+            accuracy=sum(r.correct for r in results) / len(results),
+            mean_questions=sum(r.total_questions for r in results) / len(results),
+            mean_rounds=sum(r.rounds_run for r in results) / len(results),
+        )
+
+
+def run_once(
+    n_elements: int,
+    budget: int,
+    allocator: BudgetAllocator,
+    selector: QuestionSelector,
+    latency: LatencyFunction,
+    rng: np.random.Generator,
+    allocation: Optional[Allocation] = None,
+) -> MaxRunResult:
+    """One deterministic-latency MAX run with a fresh random ground truth.
+
+    Args:
+        allocation: pass a precomputed allocation to skip re-running the
+            allocator (useful when sweeping many runs of one configuration).
+    """
+    if allocation is None:
+        allocation = allocator.allocate(n_elements, budget, latency)
+    truth = GroundTruth.random(n_elements, rng)
+    engine = MaxEngine(
+        selector=selector,
+        source=OracleAnswerSource(truth, latency),
+        rng=rng,
+    )
+    return engine.run(truth, allocation)
+
+
+def run_many(
+    n_elements: int,
+    budget: int,
+    allocator: BudgetAllocator,
+    selector: QuestionSelector,
+    latency: LatencyFunction,
+    n_runs: int,
+    seed: int,
+) -> List[MaxRunResult]:
+    """Repeat :func:`run_once` ``n_runs`` times with derived seeds.
+
+    The allocation is computed once (it is deterministic given the inputs)
+    and reused across runs; the ground truth and selector randomness differ
+    per run.
+    """
+    if n_runs < 1:
+        raise InvalidParameterError(f"n_runs must be >= 1: {n_runs}")
+    allocation = allocator.allocate(n_elements, budget, latency)
+    results = []
+    for run_index in range(n_runs):
+        rng = np.random.default_rng((seed, run_index))
+        results.append(
+            run_once(
+                n_elements,
+                budget,
+                allocator,
+                selector,
+                latency,
+                rng,
+                allocation=allocation,
+            )
+        )
+    return results
+
+
+def aggregate(
+    n_elements: int,
+    budget: int,
+    allocator: BudgetAllocator,
+    selector: QuestionSelector,
+    latency: LatencyFunction,
+    n_runs: int,
+    seed: int,
+) -> AggregateStats:
+    """Run a configuration ``n_runs`` times and summarize it."""
+    return AggregateStats.from_results(
+        run_many(n_elements, budget, allocator, selector, latency, n_runs, seed)
+    )

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the tDP reproduction library.
+
+All library-specific exceptions derive from :class:`ReproError`, so callers
+can catch a single base class.  Exceptions carry enough context in their
+message to diagnose problems without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller supplied an argument outside its documented domain."""
+
+
+class InfeasibleBudgetError(ReproError):
+    """The question budget is too small to identify a MAX element.
+
+    By Theorem 1 of the paper, finding the MAX of ``n`` elements requires a
+    budget of at least ``n - 1`` pairwise comparisons: every non-MAX element
+    must lose at least once.
+    """
+
+    def __init__(self, n_elements: int, budget: int) -> None:
+        self.n_elements = n_elements
+        self.budget = budget
+        super().__init__(
+            f"budget {budget} is infeasible for {n_elements} elements; "
+            f"Theorem 1 requires budget >= n_elements - 1 = {n_elements - 1}"
+        )
+
+
+class InconsistentAnswersError(ReproError):
+    """A set of answers contradicts itself (contains a preference cycle).
+
+    The Reliable Worker Layer (Section 2.1 of the paper) is responsible for
+    producing conflict-free answers; seeing this error means raw, unrepaired
+    answers leaked past it.
+    """
+
+
+class PlatformError(ReproError):
+    """The simulated crowdsourcing platform was used incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or an experiment run failed."""

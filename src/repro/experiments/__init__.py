@@ -1,0 +1,21 @@
+"""Reproductions of every figure in the paper's evaluation (Section 6)."""
+
+from repro.experiments.config import (
+    ALLOCATOR_NAMES,
+    ExperimentScale,
+    FULL,
+    SMALL,
+    estimated_latency,
+    scale_by_name,
+)
+from repro.experiments.tables import ExperimentResult
+
+__all__ = [
+    "ALLOCATOR_NAMES",
+    "ExperimentScale",
+    "FULL",
+    "SMALL",
+    "estimated_latency",
+    "scale_by_name",
+    "ExperimentResult",
+]

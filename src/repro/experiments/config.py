@@ -1,0 +1,90 @@
+"""Shared configuration for the Section 6 experiment reproductions.
+
+Each experiment accepts an :class:`ExperimentScale` preset: ``full`` mirrors
+the paper's parameters (500-2000 elements, 100 runs); ``small`` shrinks the
+sweep so the whole suite — including the pytest benchmarks — stays fast.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.latency import LinearLatency, mturk_car_latency
+from repro.errors import InvalidParameterError
+
+
+def derive_seed(*parts: object) -> int:
+    """A process-stable seed derived from arbitrary hashable parts.
+
+    ``hash()`` on strings is salted per interpreter run; CRC32 of the repr
+    is not, so experiment results are reproducible across processes.
+    """
+    return zlib.crc32(repr(parts).encode("utf-8"))
+
+#: The paper's default workload: 500 cars, budget of 4000 questions.
+PAPER_N_ELEMENTS = 500
+PAPER_BUDGET = 4000
+PAPER_RUNS = 100
+
+#: Budget allocators compared throughout Section 6.
+ALLOCATOR_NAMES: Tuple[str, ...] = ("tDP", "HE", "HF", "uHE", "uHF")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size preset for an experiment sweep.
+
+    Attributes:
+        name: ``full`` or ``small``.
+        n_runs: repetitions per configuration (paper: 100).
+        n_elements: default collection size (paper: 500).
+        budget: default question budget (paper: 4000).
+        seed: base seed; every configuration derives its own substream.
+    """
+
+    name: str
+    n_runs: int
+    n_elements: int
+    budget: int
+    seed: int = 20150531  # SIGMOD'15 started May 31, 2015
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise InvalidParameterError("n_runs must be >= 1")
+        if self.n_elements < 2:
+            raise InvalidParameterError("n_elements must be >= 2")
+        if self.budget < self.n_elements - 1:
+            raise InvalidParameterError("budget must be >= n_elements - 1")
+
+
+FULL = ExperimentScale(
+    name="full",
+    n_runs=PAPER_RUNS,
+    n_elements=PAPER_N_ELEMENTS,
+    budget=PAPER_BUDGET,
+)
+
+SMALL = ExperimentScale(
+    name="small",
+    n_runs=10,
+    n_elements=60,
+    budget=500,
+)
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Resolve ``full`` / ``small`` (case-insensitive)."""
+    presets = {"full": FULL, "small": SMALL}
+    try:
+        return presets[name.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown scale {name!r}; available: {sorted(presets)}"
+        ) from None
+
+
+def estimated_latency() -> LinearLatency:
+    """The L(q) estimate all deterministic experiments use (Section 6.1)."""
+    return mturk_car_latency()

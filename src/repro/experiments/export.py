@@ -1,0 +1,84 @@
+"""Exporting experiment results: JSON, CSV and Markdown.
+
+Experiment tables are plain data; these helpers serialize them for
+notebooks, spreadsheets and reports (EXPERIMENTS.md is generated in this
+format).  All functions are pure string producers; the CLI decides where
+the bytes go.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.experiments.tables import ExperimentResult, format_cell
+
+
+def to_json(tables: Sequence[ExperimentResult], indent: int = 2) -> str:
+    """Serialize tables to a JSON document (one object per table)."""
+    payload = [
+        {
+            "name": table.name,
+            "title": table.title,
+            "columns": list(table.columns),
+            "rows": [list(row) for row in table.rows],
+            "notes": table.notes,
+        }
+        for table in tables
+    ]
+    return json.dumps(payload, indent=indent)
+
+
+def from_json(text: str) -> List[ExperimentResult]:
+    """Inverse of :func:`to_json` (rows become lists of JSON scalars)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise InvalidParameterError(f"invalid experiment JSON: {error}") from None
+    tables = []
+    for entry in payload:
+        table = ExperimentResult(
+            name=entry["name"],
+            title=entry["title"],
+            columns=tuple(entry["columns"]),
+            notes=entry.get("notes", ""),
+        )
+        for row in entry["rows"]:
+            table.add_row(*row)
+        tables.append(table)
+    return tables
+
+
+def to_csv(table: ExperimentResult) -> str:
+    """Serialize one table to CSV (header + raw values)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    writer.writerows(table.rows)
+    return buffer.getvalue()
+
+
+def to_markdown(table: ExperimentResult) -> str:
+    """Serialize one table to a GitHub-flavored Markdown table."""
+    header = list(table.columns)
+    lines = [f"### {table.name}: {table.title}", ""]
+    lines.append("| " + " | ".join(str(c) for c in header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(format_cell(v) for v in row) + " |")
+    if table.notes:
+        lines.append("")
+        lines.append(f"*{table.notes}*")
+    return "\n".join(lines)
+
+
+def to_report(tables: Sequence[ExperimentResult], title: str = "Results") -> str:
+    """A Markdown report concatenating every table."""
+    parts = [f"# {title}", ""]
+    for table in tables:
+        parts.append(to_markdown(table))
+        parts.append("")
+    return "\n".join(parts)

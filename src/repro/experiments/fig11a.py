@@ -1,0 +1,98 @@
+"""Figure 11(a): estimating the latency function L(q) on the platform.
+
+The paper published batches of 10..1280 car-comparison questions on MTurk,
+20 times per size, measured the time until the last answer of each batch,
+and fitted ``L(q) = delta + alpha * q`` by least squares (obtaining
+delta = 239, alpha = 0.06).  We do the same against the simulated platform:
+post batches of random comparisons, measure the emergent completion time,
+and fit the linear estimate that the other experiments consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.latency import LinearLatency, fit_linear_latency
+from repro.crowd.ground_truth import GroundTruth
+from repro.crowd.platform import SimulatedPlatform
+from repro.crowd.workers import WorkerPoolConfig
+from repro.errors import InvalidParameterError
+from repro.experiments.config import ExperimentScale, FULL
+from repro.experiments.tables import ExperimentResult
+from repro.types import Question
+
+FULL_BATCH_SIZES: Tuple[int, ...] = (10, 20, 40, 80, 160, 320, 640, 1280)
+SMALL_BATCH_SIZES: Tuple[int, ...] = (10, 40, 160, 640)
+PAPER_REPEATS = 20
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Outcome of the estimation: measurements plus the fitted model."""
+
+    table: ExperimentResult
+    fitted: LinearLatency
+    samples: Tuple[Tuple[int, float], ...]
+
+
+def _random_batch(
+    n_elements: int, batch_size: int, rng: np.random.Generator
+) -> List[Question]:
+    """Random comparison pairs (like publishing arbitrary car pairs)."""
+    if n_elements < 2:
+        raise InvalidParameterError("need at least two elements to compare")
+    first = rng.integers(0, n_elements, size=batch_size)
+    offset = rng.integers(1, n_elements, size=batch_size)
+    second = (first + offset) % n_elements
+    return [
+        (int(a), int(b)) if a < b else (int(b), int(a))
+        for a, b in zip(first, second)
+    ]
+
+
+def estimate_latency(
+    scale: ExperimentScale = FULL,
+    batch_sizes: Optional[Sequence[int]] = None,
+    repeats: Optional[int] = None,
+    pool: Optional[WorkerPoolConfig] = None,
+) -> LatencyEstimate:
+    """Measure per-batch-size completion times and fit the linear model."""
+    if batch_sizes is None:
+        batch_sizes = FULL_BATCH_SIZES if scale.name == "full" else SMALL_BATCH_SIZES
+    if repeats is None:
+        repeats = PAPER_REPEATS if scale.name == "full" else 5
+    rng = np.random.default_rng((scale.seed, 0x11A))
+    truth = GroundTruth.random(scale.n_elements, rng)
+    platform = SimulatedPlatform(truth, rng, config=pool)
+
+    samples: List[Tuple[int, float]] = []
+    means: List[Tuple[int, float]] = []
+    for batch_size in batch_sizes:
+        times = []
+        for _ in range(repeats):
+            batch = _random_batch(scale.n_elements, batch_size, rng)
+            times.append(platform.post_batch(batch).completion_time)
+            samples.append((batch_size, times[-1]))
+        means.append((batch_size, sum(times) / len(times)))
+
+    fitted = fit_linear_latency(samples)
+    table = ExperimentResult(
+        name="fig11a",
+        title="Estimation of L(q): batch size vs time until last answer",
+        columns=("batch size q", "measured mean (s)", "fitted L(q) (s)"),
+        notes=(
+            f"fitted L(q) = {fitted.delta:.0f} + {fitted.alpha:.3f} * q "
+            f"(paper: 239 + 0.060 * q); {repeats} batches per size"
+        ),
+    )
+    for batch_size, mean_time in means:
+        table.add_row(batch_size, mean_time, fitted(batch_size))
+    return LatencyEstimate(table=table, fitted=fitted, samples=tuple(samples))
+
+
+def run(scale: ExperimentScale = FULL) -> List[ExperimentResult]:
+    """Experiment entry point (uniform across figure modules)."""
+    return [estimate_latency(scale).table]

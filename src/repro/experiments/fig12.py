@@ -1,0 +1,85 @@
+"""Figure 12: comparison of the question-selection algorithms.
+
+Varies the available budget and compares Tournament-formation against CT25
+under both the tDP and HF budget allocations:
+
+* Figure 12(a) — mean time until the MAX (estimated L(q), 100 runs);
+* Figure 12(b) — percentage of runs achieving singleton termination.
+
+The paper's finding: CT25 sometimes shaves a little latency, but at low
+budgets it frequently fails to single out the MAX, while Tournament
+formation singleton-terminates in every run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.heuristics import HeavyFront
+from repro.core.tdp import TDPAllocator
+from repro.engine.simulation import aggregate
+from repro.experiments.config import (
+    ExperimentScale,
+    FULL,
+    derive_seed,
+    estimated_latency,
+)
+from repro.experiments.tables import ExperimentResult
+from repro.selection.ct import ct25
+from repro.selection.tournament import TournamentFormation
+
+FULL_BUDGETS: Tuple[int, ...] = (500, 1000, 2000, 4000, 8000)
+SMALL_BUDGETS: Tuple[int, ...] = (100, 200, 400)
+
+
+def _combos():
+    return (
+        ("tDP + Tournament", TDPAllocator(), TournamentFormation()),
+        ("tDP + CT25", TDPAllocator(), ct25()),
+        ("HF + Tournament", HeavyFront(), TournamentFormation()),
+        ("HF + CT25", HeavyFront(), ct25()),
+    )
+
+
+def run(
+    scale: ExperimentScale = FULL,
+    budgets: Optional[Sequence[int]] = None,
+) -> List[ExperimentResult]:
+    """Sweep the budget; report latency and singleton-termination rates."""
+    if budgets is None:
+        budgets = FULL_BUDGETS if scale.name == "full" else SMALL_BUDGETS
+    latency = estimated_latency()
+    combos = _combos()
+    latency_table = ExperimentResult(
+        name="fig12a",
+        title="Latency of question-selection strategies vs budget",
+        columns=("budget",) + tuple(f"{name} (s)" for name, _, _ in combos),
+        notes=(
+            f"c0={scale.n_elements}, {scale.n_runs} runs per point, "
+            f"estimated L(q)"
+        ),
+    )
+    singleton_table = ExperimentResult(
+        name="fig12b",
+        title="Singleton-termination percentage vs budget",
+        columns=("budget",) + tuple(f"{name} (%)" for name, _, _ in combos),
+        notes=f"c0={scale.n_elements}, {scale.n_runs} runs per point",
+    )
+    for budget in budgets:
+        latencies = []
+        singleton_rates = []
+        for combo_index, (_, allocator, selector) in enumerate(combos):
+            stats = aggregate(
+                n_elements=scale.n_elements,
+                budget=budget,
+                allocator=allocator,
+                selector=selector,
+                latency=latency,
+                n_runs=scale.n_runs,
+                seed=derive_seed(scale.seed, 0x12, budget, combo_index),
+            )
+            latencies.append(stats.mean_latency)
+            singleton_rates.append(100.0 * stats.singleton_rate)
+        latency_table.add_row(budget, *latencies)
+        singleton_table.add_row(budget, *singleton_rates)
+    return [latency_table, singleton_table]

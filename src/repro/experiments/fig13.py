@@ -1,0 +1,122 @@
+"""Figure 13: latency of the budget allocators across workloads.
+
+* Figure 13(a) — fixed budget (4000), varying collection size
+  (125..2000 elements);
+* Figure 13(b) — fixed collection (500 elements), varying budget
+  (500..32000 questions).
+
+Following Section 6.3, tDP runs with Tournament formation while the four
+heuristics run with CT25 ("our goal is to explore whether our approach gives
+significant gains in latency compared to the alternatives, even if the
+alternatives have a low probability of singleton termination").
+
+The headline shapes: tDP is lowest everywhere; in 13(b) tDP's latency goes
+*flat* past the point where extra questions stop helping (it leaves budget
+unused), while every heuristic keeps spending and gets two to four times
+slower at b = 32000.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.registry import allocator_by_name
+from repro.engine.simulation import aggregate
+from repro.experiments.config import (
+    ALLOCATOR_NAMES,
+    ExperimentScale,
+    FULL,
+    derive_seed,
+    estimated_latency,
+)
+from repro.experiments.tables import ExperimentResult
+from repro.selection.base import QuestionSelector
+from repro.selection.ct import ct25
+from repro.selection.tournament import TournamentFormation
+
+FULL_COLLECTION_SIZES: Tuple[int, ...] = (125, 250, 500, 1000, 2000)
+SMALL_COLLECTION_SIZES: Tuple[int, ...] = (20, 40, 60)
+FULL_BUDGETS: Tuple[int, ...] = (500, 1000, 2000, 4000, 8000, 16000, 32000)
+SMALL_BUDGETS: Tuple[int, ...] = (100, 200, 400, 800)
+
+
+def selector_for(allocator_name: str) -> QuestionSelector:
+    """Section 6.3 pairing: tDP with Tournament, heuristics with CT25."""
+    if allocator_name.startswith("tDP"):
+        return TournamentFormation()
+    return ct25()
+
+
+def _sweep_row(
+    n_elements: int,
+    budget: int,
+    scale: ExperimentScale,
+    tag: int,
+) -> List[float]:
+    latency = estimated_latency()
+    row = []
+    for allocator_name in ALLOCATOR_NAMES:
+        stats = aggregate(
+            n_elements=n_elements,
+            budget=budget,
+            allocator=allocator_by_name(allocator_name),
+            selector=selector_for(allocator_name),
+            latency=latency,
+            n_runs=scale.n_runs,
+            seed=derive_seed(scale.seed, tag, n_elements, budget, allocator_name),
+        )
+        row.append(stats.mean_latency)
+    return row
+
+
+def run_collection_sweep(
+    scale: ExperimentScale = FULL,
+    collection_sizes: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Figure 13(a): latency vs number of initial elements."""
+    if collection_sizes is None:
+        collection_sizes = (
+            FULL_COLLECTION_SIZES if scale.name == "full" else SMALL_COLLECTION_SIZES
+        )
+    table = ExperimentResult(
+        name="fig13a",
+        title="Latency vs collection size (fixed budget)",
+        columns=("c0",) + tuple(f"{n} (s)" for n in ALLOCATOR_NAMES),
+        notes=(
+            f"b={scale.budget}, {scale.n_runs} runs per point; tDP with "
+            f"Tournament selection, heuristics with CT25"
+        ),
+    )
+    for n_elements in collection_sizes:
+        table.add_row(
+            n_elements, *_sweep_row(n_elements, scale.budget, scale, tag=0x13A)
+        )
+    return table
+
+
+def run_budget_sweep(
+    scale: ExperimentScale = FULL,
+    budgets: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Figure 13(b): latency vs available budget (fixed collection)."""
+    if budgets is None:
+        budgets = FULL_BUDGETS if scale.name == "full" else SMALL_BUDGETS
+    table = ExperimentResult(
+        name="fig13b",
+        title="Latency vs available budget (fixed collection)",
+        columns=("budget",) + tuple(f"{n} (s)" for n in ALLOCATOR_NAMES),
+        notes=(
+            f"c0={scale.n_elements}, {scale.n_runs} runs per point; tDP with "
+            f"Tournament selection, heuristics with CT25"
+        ),
+    )
+    for budget in budgets:
+        table.add_row(
+            budget, *_sweep_row(scale.n_elements, budget, scale, tag=0x13B)
+        )
+    return table
+
+
+def run(scale: ExperimentScale = FULL) -> List[ExperimentResult]:
+    """Both Figure 13 panels."""
+    return [run_collection_sweep(scale), run_budget_sweep(scale)]

@@ -1,0 +1,115 @@
+"""Figure 14: behaviour under non-linear latency functions.
+
+Section 6.6 generalizes the latency model to ``L(q) = delta + alpha * q**p``
+(delta = 239, alpha = 0.06) and varies the exponent ``p``:
+
+* Figure 14(a) — latency to the MAX per allocator as ``p`` grows: the gap
+  between tDP and everything else explodes (about 12x over the second best
+  at ``p = 2.0``), because only tDP consults L(q);
+* Figure 14(b) — questions tDP actually uses vs the available budget, per
+  ``p``: the stronger the superlinearity, the earlier tDP caps its spend,
+  while the heuristics always burn the whole budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.latency import PowerLawLatency
+from repro.core.questions import max_useful_budget
+from repro.core.registry import allocator_by_name
+from repro.core.tdp import TDPAllocator
+from repro.engine.simulation import aggregate
+from repro.experiments.config import (
+    ALLOCATOR_NAMES,
+    ExperimentScale,
+    FULL,
+    derive_seed,
+)
+from repro.experiments.fig13 import selector_for
+from repro.experiments.tables import ExperimentResult
+
+FULL_EXPONENTS: Tuple[float, ...] = (1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+SMALL_EXPONENTS: Tuple[float, ...] = (1.0, 1.5, 2.0)
+FULL_BUDGETS: Tuple[int, ...] = (500, 1000, 2000, 4000, 8000, 16000, 32000)
+SMALL_BUDGETS: Tuple[int, ...] = (100, 200, 400, 800)
+USAGE_EXPONENTS: Tuple[float, ...] = (1.0, 1.4, 1.8)
+
+PAPER_DELTA = 239.0
+PAPER_ALPHA = 0.06
+
+
+def power_latency(p: float) -> PowerLawLatency:
+    """The Section 6.6 family with the paper's delta and alpha."""
+    return PowerLawLatency(PAPER_DELTA, PAPER_ALPHA, p)
+
+
+def run_exponent_sweep(
+    scale: ExperimentScale = FULL,
+    exponents: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """Figure 14(a): latency per allocator as the exponent p varies."""
+    if exponents is None:
+        exponents = FULL_EXPONENTS if scale.name == "full" else SMALL_EXPONENTS
+    table = ExperimentResult(
+        name="fig14a",
+        title="Latency vs latency-function exponent p",
+        columns=("p",) + tuple(f"{n} (s)" for n in ALLOCATOR_NAMES),
+        notes=(
+            f"c0={scale.n_elements}, b={scale.budget}, "
+            f"L(q) = {PAPER_DELTA:.0f} + {PAPER_ALPHA} * q^p, "
+            f"{scale.n_runs} runs per point"
+        ),
+    )
+    for p in exponents:
+        latency = power_latency(p)
+        row = []
+        for allocator_name in ALLOCATOR_NAMES:
+            stats = aggregate(
+                n_elements=scale.n_elements,
+                budget=scale.budget,
+                allocator=allocator_by_name(allocator_name),
+                selector=selector_for(allocator_name),
+                latency=latency,
+                n_runs=scale.n_runs,
+                seed=derive_seed(scale.seed, 0x14A, p, allocator_name),
+            )
+            row.append(stats.mean_latency)
+        table.add_row(p, *row)
+    return table
+
+
+def run_budget_usage(
+    scale: ExperimentScale = FULL,
+    budgets: Optional[Sequence[int]] = None,
+    exponents: Sequence[float] = USAGE_EXPONENTS,
+) -> ExperimentResult:
+    """Figure 14(b): questions used by tDP vs the available budget, per p.
+
+    The "others" column is every heuristic's behaviour: they use the whole
+    budget (up to the complete-tournament cap of ``C(c0, 2)`` questions).
+    """
+    if budgets is None:
+        budgets = FULL_BUDGETS if scale.name == "full" else SMALL_BUDGETS
+    tdp = TDPAllocator()
+    table = ExperimentResult(
+        name="fig14b",
+        title="Budget used by tDP vs budget available",
+        columns=("budget available",)
+        + tuple(f"tDP used, p={p:g}" for p in exponents)
+        + ("others used",),
+        notes=f"c0={scale.n_elements}; others always spend the whole budget",
+    )
+    cap = max_useful_budget(scale.n_elements)
+    for budget in budgets:
+        used = [
+            tdp.plan(scale.n_elements, budget, power_latency(p)).questions_used
+            for p in exponents
+        ]
+        table.add_row(budget, *used, min(budget, cap))
+    return table
+
+
+def run(scale: ExperimentScale = FULL) -> List[ExperimentResult]:
+    """Both Figure 14 panels."""
+    return [run_exponent_sweep(scale), run_budget_usage(scale)]

@@ -1,0 +1,81 @@
+"""Figure 15: the running time of computing a tDP allocation.
+
+The paper measured tDP's wall-clock time for 250..2000 elements with
+budgets of 2x..16x the element count and observed two things: (a) the time
+grows only slightly with the budget (the top-down evaluation prunes most of
+the ``c0 * b`` state space), and (b) doubling the element count multiplies
+the time by roughly 4 (the ``c0^2`` factor).
+
+We time both solvers: the production Pareto-frontier solver (whose runtime
+is inherently almost independent of the budget) and, for the smaller
+inputs, the literal Algorithm 1 memoized recursion.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.latency import mturk_car_latency
+from repro.core.tdp import solve_min_latency
+from repro.core.tdp_memo import solve_min_latency_memo
+from repro.experiments.config import ExperimentScale, FULL
+from repro.experiments.tables import ExperimentResult
+
+FULL_COLLECTION_SIZES: Tuple[int, ...] = (250, 500, 1000, 2000)
+SMALL_COLLECTION_SIZES: Tuple[int, ...] = (50, 100)
+BUDGET_MULTIPLES: Tuple[int, ...] = (2, 4, 8, 16)
+
+#: Largest collection for which timing the literal Algorithm 1 is sensible.
+MEMO_SIZE_LIMIT = 100
+
+
+def run(
+    scale: ExperimentScale = FULL,
+    collection_sizes: Optional[Sequence[int]] = None,
+    budget_multiples: Sequence[int] = BUDGET_MULTIPLES,
+) -> List[ExperimentResult]:
+    """Time the allocators across the paper's (c0, b) grid."""
+    if collection_sizes is None:
+        collection_sizes = (
+            FULL_COLLECTION_SIZES if scale.name == "full" else SMALL_COLLECTION_SIZES
+        )
+    latency = mturk_car_latency()
+    table = ExperimentResult(
+        name="fig15",
+        title="Running time of tDP (seconds)",
+        columns=(
+            "c0",
+            "budget multiple",
+            "budget",
+            "tDP (s)",
+            "Algorithm 1 memo (s)",
+            "memo states",
+        ),
+        notes=(
+            "tDP = Pareto-frontier solver; the memoized literal Algorithm 1 "
+            f"is timed only up to c0 = {MEMO_SIZE_LIMIT}"
+        ),
+    )
+    for n_elements in collection_sizes:
+        for multiple in budget_multiples:
+            budget = n_elements * multiple
+            start = time.perf_counter()
+            solve_min_latency(n_elements, budget, latency)
+            tdp_seconds = time.perf_counter() - start
+            memo_seconds: float = float("nan")
+            memo_states: object = "-"
+            if n_elements <= MEMO_SIZE_LIMIT:
+                start = time.perf_counter()
+                memo_plan = solve_min_latency_memo(n_elements, budget, latency)
+                memo_seconds = time.perf_counter() - start
+                memo_states = memo_plan.states_visited
+            table.add_row(
+                n_elements,
+                multiple,
+                budget,
+                tdp_seconds,
+                memo_seconds,
+                memo_states,
+            )
+    return [table]

@@ -1,0 +1,125 @@
+"""Section 6.8: programmatic checks of the paper's summarized findings.
+
+The paper closes its evaluation with six findings, several of which refer
+to "other experiments that we did not include in this paper" — the full
+allocator x selector grid.  This experiment runs that grid (all five
+budget allocators under Tournament formation, CT25 and SG25) and evaluates
+the findings that are grid-checkable:
+
+* (3) the uniform allocators (uHE, uHF) achieve lower latency than HE, HF
+  under any question-selection strategy;
+* (4) the uniform allocators achieve a higher (or equal) singleton-
+  termination probability than HE, HF, except near the minimum budget;
+* (5) Tournament formation achieves the highest singleton-termination
+  probability under any budget allocation algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.registry import allocator_by_name
+from repro.engine.simulation import aggregate
+from repro.experiments.config import (
+    ALLOCATOR_NAMES,
+    ExperimentScale,
+    FULL,
+    derive_seed,
+    estimated_latency,
+)
+from repro.experiments.tables import ExperimentResult
+from repro.selection.ct import ct25
+from repro.selection.greedy import SpreadGreedy
+from repro.selection.tournament import TournamentFormation
+
+SELECTOR_FACTORIES = (TournamentFormation, ct25, SpreadGreedy)
+
+
+def run(scale: ExperimentScale = FULL) -> List[ExperimentResult]:
+    """Run the allocator x selector grid and evaluate findings (3)-(5)."""
+    latency = estimated_latency()
+    grid = ExperimentResult(
+        name="findings68-grid",
+        title="Allocator x selector grid: latency and singleton termination",
+        columns=(
+            "allocator",
+            "selector",
+            "mean latency (s)",
+            "singleton %",
+        ),
+        notes=(
+            f"c0={scale.n_elements}, b={scale.budget}, {scale.n_runs} runs "
+            f"per cell"
+        ),
+    )
+    stats: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for allocator_name in ALLOCATOR_NAMES:
+        if allocator_name.startswith("tDP"):
+            continue  # findings (3)-(5) compare the heuristics
+        for selector_factory in SELECTOR_FACTORIES:
+            selector = selector_factory()
+            cell = aggregate(
+                n_elements=scale.n_elements,
+                budget=scale.budget,
+                allocator=allocator_by_name(allocator_name),
+                selector=selector,
+                latency=latency,
+                n_runs=scale.n_runs,
+                seed=derive_seed(
+                    scale.seed, 0x68, allocator_name, selector.name
+                ),
+            )
+            stats[(allocator_name, selector.name)] = (
+                cell.mean_latency,
+                100.0 * cell.singleton_rate,
+            )
+            grid.add_row(
+                allocator_name,
+                selector.name,
+                cell.mean_latency,
+                100.0 * cell.singleton_rate,
+            )
+
+    verdicts = ExperimentResult(
+        name="findings68-verdicts",
+        title="Paper findings (Section 6.8) evaluated on the grid",
+        columns=("finding", "claim", "holds"),
+    )
+    selector_names = [factory().name for factory in SELECTOR_FACTORIES]
+    finding3 = all(
+        min(
+            stats[("uHE", selector)][0], stats[("uHF", selector)][0]
+        )
+        <= min(stats[("HE", selector)][0], stats[("HF", selector)][0])
+        for selector in selector_names
+    )
+    verdicts.add_row(
+        "(3)",
+        "uniform allocators beat HE/HF on latency under every selector",
+        finding3,
+    )
+    finding4 = all(
+        max(stats[("uHE", selector)][1], stats[("uHF", selector)][1])
+        >= max(stats[("HE", selector)][1], stats[("HF", selector)][1])
+        for selector in selector_names
+    )
+    verdicts.add_row(
+        "(4)",
+        "uniform allocators match or beat HE/HF on singleton termination "
+        "(budget well above the minimum)",
+        finding4,
+    )
+    finding5 = all(
+        stats[(allocator, "Tournament")][1]
+        >= max(
+            stats[(allocator, selector)][1] for selector in selector_names
+        )
+        for allocator in ("HE", "HF", "uHE", "uHF")
+    )
+    verdicts.add_row(
+        "(5)",
+        "Tournament formation has the highest singleton rate under every "
+        "allocator",
+        finding5,
+    )
+    return [grid, verdicts]

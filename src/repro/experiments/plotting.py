@@ -1,0 +1,221 @@
+"""Terminal (ASCII) charts for experiment results.
+
+The evaluation figures of the paper are line charts (latency vs budget,
+latency vs collection size, ...) and bar charts (Figure 11(b)).  This
+module renders :class:`repro.experiments.tables.ExperimentResult` tables in
+those two shapes without any plotting dependency, so `tdp-repro experiment
+... --plot` works in any terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import ExperimentError, InvalidParameterError
+from repro.experiments.tables import ExperimentResult, format_cell
+
+#: Glyphs assigned to series, in column order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def _as_floats(values: Sequence[object], column: str) -> List[float]:
+    floats = []
+    for value in values:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExperimentError(
+                f"column {column!r} holds non-numeric value {value!r}; "
+                f"cannot plot it"
+            )
+        floats.append(float(value))
+    return floats
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(steps - 1, max(0, round(position * (steps - 1))))
+
+
+def ascii_line_chart(
+    table: ExperimentResult,
+    x_column: Optional[str] = None,
+    y_columns: Optional[Sequence[str]] = None,
+    width: int = 72,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render *table* as a multi-series ASCII line (scatter) chart.
+
+    Args:
+        table: the experiment table to plot.
+        x_column: column for the x axis (default: the first column).
+        y_columns: series to plot (default: every other numeric column).
+        width, height: plot area size in characters.
+        log_y: use a log10 y axis (useful for Figure 14(a)'s explosion).
+
+    Returns:
+        The rendered chart, ready to print.
+    """
+    if width < 8 or height < 4:
+        raise InvalidParameterError("chart needs width >= 8 and height >= 4")
+    if not table.rows:
+        raise ExperimentError(f"{table.name}: nothing to plot (no rows)")
+    columns = list(table.columns)
+    if x_column is None:
+        x_column = columns[0]
+    if y_columns is None:
+        y_columns = [c for c in columns if c != x_column]
+    if not y_columns:
+        raise ExperimentError(f"{table.name}: no y columns to plot")
+    if len(y_columns) > len(SERIES_GLYPHS):
+        raise InvalidParameterError(
+            f"at most {len(SERIES_GLYPHS)} series supported"
+        )
+
+    xs = _as_floats(table.column(x_column), x_column)
+    all_series = [
+        (name, _as_floats(table.column(name), name)) for name in y_columns
+    ]
+    ys_flat = [y for _, series in all_series for y in series]
+    if log_y:
+        if any(y <= 0 for y in ys_flat):
+            raise InvalidParameterError("log_y requires positive values")
+        transform = math.log10
+    else:
+        def transform(v: float) -> float:
+            return v
+
+    x_low, x_high = min(xs), max(xs)
+    y_low = transform(min(ys_flat))
+    y_high = transform(max(ys_flat))
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (_, series) in zip(SERIES_GLYPHS, all_series):
+        for x, y in zip(xs, series):
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(transform(y), y_low, y_high, height)
+            grid[row][column] = glyph
+
+    y_top = format_cell(max(ys_flat))
+    y_bottom = format_cell(min(ys_flat))
+    margin = max(len(y_top), len(y_bottom)) + 1
+    lines = [f"{table.name}: {table.title}"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top.rjust(margin - 1)
+        elif row_index == height - 1:
+            label = y_bottom.rjust(margin - 1)
+        else:
+            label = " " * (margin - 1)
+        lines.append(f"{label}|{''.join(row)}")
+    lines.append(" " * (margin - 1) + "+" + "-" * width)
+    x_left = format_cell(x_low)
+    x_right = format_cell(x_high)
+    pad = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * margin + x_left + " " * pad + x_right)
+    lines.append(
+        " " * margin
+        + f"x: {x_column}"
+        + ("   [log y]" if log_y else "")
+    )
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, (name, _) in zip(SERIES_GLYPHS, all_series)
+    )
+    lines.append(" " * margin + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    table: ExperimentResult,
+    label_column: Optional[str] = None,
+    value_columns: Optional[Sequence[str]] = None,
+    width: int = 50,
+) -> str:
+    """Render *table* as horizontal bars (one group per row).
+
+    Figure 11(b) style: one label per row, one bar per value column.
+    """
+    if width < 5:
+        raise InvalidParameterError("chart needs width >= 5")
+    if not table.rows:
+        raise ExperimentError(f"{table.name}: nothing to plot (no rows)")
+    columns = list(table.columns)
+    if label_column is None:
+        label_column = columns[0]
+    if value_columns is None:
+        value_columns = [
+            c
+            for c in columns
+            if c != label_column
+            and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in table.column(c)
+            )
+        ]
+    if not value_columns:
+        raise ExperimentError(f"{table.name}: no numeric columns to plot")
+    labels = [str(v) for v in table.column(label_column)]
+    series = [(c, _as_floats(table.column(c), c)) for c in value_columns]
+    peak = max(max(values) for _, values in series)
+    if peak <= 0:
+        raise InvalidParameterError("bar chart requires a positive maximum")
+    label_width = max(
+        [len(label) for label in labels]
+        + [len(name) for name in value_columns]
+    )
+    lines = [f"{table.name}: {table.title}"]
+    for row_index, label in enumerate(labels):
+        lines.append(label)
+        for name, values in series:
+            value = values[row_index]
+            bar = "#" * max(0, round(width * value / peak))
+            if value > 0 and not bar:
+                bar = "#"
+            lines.append(
+                f"  {name.rjust(label_width)} |{bar} {format_cell(value)}"
+            )
+    return "\n".join(lines)
+
+
+def chart_for(table: ExperimentResult, width: int = 72) -> str:
+    """Pick a sensible chart shape for a known experiment table.
+
+    Bar chart for the per-allocator Figure 11(b); log-y line chart for the
+    exploding Figure 14(a); plain line chart otherwise.  Tables with a
+    non-numeric first column fall back to bars, and tables with nothing
+    numeric at all (e.g. verdict tables) fall back to the plain text table
+    so the CLI ``--plot`` path never fails.
+    """
+    try:
+        return _chart_for(table, width)
+    except ExperimentError:
+        return f"{table.name}: (not chartable)\n{table.to_text()}"
+
+
+def _chart_for(table: ExperimentResult, width: int) -> str:
+    if table.name == "fig11b":
+        return ascii_bar_chart(
+            table,
+            value_columns=["real time (s)", "estimated time (s)"],
+            width=min(width, 50),
+        )
+    first = table.column(list(table.columns)[0])
+    numeric_x = all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in first
+    )
+    if not numeric_x:
+        return ascii_bar_chart(table, width=min(width, 50))
+    numeric_columns = [
+        c
+        for c in list(table.columns)[1:]
+        if all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in table.column(c)
+        )
+    ]
+    log_y = table.name == "fig14a"
+    return ascii_line_chart(
+        table, y_columns=numeric_columns, width=width, log_y=log_y
+    )

@@ -1,0 +1,54 @@
+"""Experiment registry and batch runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    fig11a,
+    fig11b,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    findings68,
+)
+from repro.experiments.config import ExperimentScale, FULL
+from repro.experiments.tables import ExperimentResult
+
+_EXPERIMENTS: Dict[str, Callable[[ExperimentScale], List[ExperimentResult]]] = {
+    "fig11a": fig11a.run,
+    "fig11b": fig11b.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "findings68": findings68.run,
+}
+
+
+def available_experiments() -> List[str]:
+    """Names of all runnable experiments."""
+    return sorted(_EXPERIMENTS)
+
+
+def run_experiment(
+    name: str, scale: ExperimentScale = FULL
+) -> List[ExperimentResult]:
+    """Run one experiment by name and return its result tables."""
+    try:
+        runner = _EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        ) from None
+    return runner(scale)
+
+
+def run_all(scale: ExperimentScale = FULL) -> List[ExperimentResult]:
+    """Run the full Section 6 evaluation and return every table."""
+    results: List[ExperimentResult] = []
+    for name in available_experiments():
+        results.extend(run_experiment(name, scale))
+    return results

@@ -1,0 +1,83 @@
+"""Plain-text table formatting for experiment results.
+
+Every experiment produces an :class:`ExperimentResult` whose rows mirror the
+series of the corresponding paper figure; ``to_text()`` renders them as an
+aligned table for terminals, logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly rendering of one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if 0 < abs(value) < 1:
+            return f"{value:.4g}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular outcome of one experiment.
+
+    Attributes:
+        name: experiment identifier (e.g. ``fig13a``).
+        title: what the paper figure shows.
+        columns: column headers.
+        rows: data rows (one tuple per row, same arity as columns).
+        notes: free-form remarks (deviations, parameters used, etc.).
+    """
+
+    name: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"{self.name}: row of {len(values)} values does not match "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def to_text(self) -> str:
+        """Render as an aligned monospace table."""
+        header = [str(c) for c in self.columns]
+        body = [[format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"# {self.name}: {self.title}"]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """Values of one column across all rows (for tests and plots)."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise ExperimentError(
+                f"{self.name}: no column {name!r}; have {list(self.columns)}"
+            ) from None
+        return [row[index] for row in self.rows]

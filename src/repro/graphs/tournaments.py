@@ -1,0 +1,63 @@
+"""Constructing concrete tournament graphs ``G_T(c_prev, c_next)``.
+
+The core modules reason about tournament *counts*; this module materializes
+the actual cliques over concrete elements, with the random assignment of
+elements to tournaments that the paper prescribes (Section 2.1: "we assume a
+random assignment of the advancing elements to the tournaments").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.questions import tournament_sizes
+from repro.errors import InvalidParameterError
+from repro.types import Element, Question, normalize_question
+
+
+def form_tournaments(
+    elements: Sequence[Element],
+    n_tournaments: int,
+    rng: np.random.Generator,
+) -> List[List[Element]]:
+    """Randomly partition *elements* into ``n_tournaments`` near-equal groups.
+
+    Group sizes follow Definition 1: ``len(elements) mod n_tournaments``
+    groups of the ceiling size, the rest of the floor size.
+
+    Args:
+        elements: the candidate elements to partition.
+        n_tournaments: number of tournaments (``1 <= n <= len(elements)``).
+        rng: randomness source for the assignment.
+
+    Returns:
+        The list of tournaments (each a list of elements).
+    """
+    if not elements:
+        raise InvalidParameterError("cannot form tournaments over no elements")
+    sizes = tournament_sizes(len(elements), n_tournaments)
+    shuffled = list(elements)
+    rng.shuffle(shuffled)
+    groups: List[List[Element]] = []
+    start = 0
+    for size in sizes:
+        groups.append(shuffled[start : start + size])
+        start += size
+    return groups
+
+
+def tournament_question_graph(groups: Sequence[Sequence[Element]]) -> List[Question]:
+    """All intra-tournament pairs: the edges of the tournament graph.
+
+    Each group contributes its complete clique, matching Definition 2's
+    question count ``Q``.
+    """
+    questions: List[Question] = []
+    for group in groups:
+        members = list(group)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                questions.append(normalize_question(a, b))
+    return questions

@@ -1,0 +1,179 @@
+"""JSON persistence for the library's value objects.
+
+Crowdsourced MAX operations run for minutes to hours of wall-clock time; a
+deployment wants to checkpoint the accumulated evidence between rounds and
+archive finished runs.  This module serializes the three long-lived value
+types — allocations, answer graphs and run results — to plain JSON-ready
+dictionaries, with strict validation on the way back in.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.allocation import Allocation
+from repro.engine.results import MaxRunResult, RoundRecord
+from repro.errors import InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.types import Answer
+
+_FORMAT_VERSION = 1
+
+
+def _require(payload: Dict[str, Any], key: str, kind: str) -> Any:
+    try:
+        return payload[key]
+    except (KeyError, TypeError):
+        raise InvalidParameterError(
+            f"malformed {kind} payload: missing key {key!r}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Allocation
+# ----------------------------------------------------------------------
+def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:
+    """Serialize an :class:`Allocation`."""
+    return {
+        "version": _FORMAT_VERSION,
+        "kind": "allocation",
+        "round_budgets": list(allocation.round_budgets),
+        "element_sequence": (
+            list(allocation.element_sequence)
+            if allocation.element_sequence is not None
+            else None
+        ),
+        "allocator_name": allocation.allocator_name,
+    }
+
+
+def allocation_from_dict(payload: Dict[str, Any]) -> Allocation:
+    """Rebuild an :class:`Allocation` (validation re-runs on construction)."""
+    sequence = _require(payload, "element_sequence", "allocation")
+    return Allocation(
+        round_budgets=tuple(_require(payload, "round_budgets", "allocation")),
+        element_sequence=tuple(sequence) if sequence is not None else None,
+        allocator_name=payload.get("allocator_name", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# AnswerGraph
+# ----------------------------------------------------------------------
+def answer_graph_to_dict(graph: AnswerGraph) -> Dict[str, Any]:
+    """Serialize an :class:`AnswerGraph` (elements + answer edges)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "kind": "answer_graph",
+        "elements": sorted(graph.elements),
+        "answers": sorted(
+            (answer.winner, answer.loser) for answer in graph.iter_answers()
+        ),
+    }
+
+
+def answer_graph_from_dict(payload: Dict[str, Any]) -> AnswerGraph:
+    """Rebuild an :class:`AnswerGraph`; re-validates every answer."""
+    graph = AnswerGraph(_require(payload, "elements", "answer_graph"))
+    for winner, loser in _require(payload, "answers", "answer_graph"):
+        graph.record(Answer(winner=winner, loser=loser))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# MaxRunResult
+# ----------------------------------------------------------------------
+def run_result_to_dict(result: MaxRunResult) -> Dict[str, Any]:
+    """Serialize a finished run, including the per-round trace."""
+    return {
+        "version": _FORMAT_VERSION,
+        "kind": "max_run_result",
+        "winner": result.winner,
+        "true_max": result.true_max,
+        "singleton_termination": result.singleton_termination,
+        "total_latency": result.total_latency,
+        "total_questions": result.total_questions,
+        "records": [
+            {
+                "round_index": record.round_index,
+                "budget": record.budget,
+                "candidates_before": record.candidates_before,
+                "questions_posted": record.questions_posted,
+                "latency": record.latency,
+                "candidates_after": record.candidates_after,
+            }
+            for record in result.records
+        ],
+        "allocation": (
+            allocation_to_dict(result.allocation)
+            if result.allocation is not None
+            else None
+        ),
+    }
+
+
+def run_result_from_dict(payload: Dict[str, Any]) -> MaxRunResult:
+    """Rebuild a :class:`MaxRunResult` from its serialized form."""
+    records = tuple(
+        RoundRecord(
+            round_index=_require(entry, "round_index", "round_record"),
+            budget=_require(entry, "budget", "round_record"),
+            candidates_before=_require(
+                entry, "candidates_before", "round_record"
+            ),
+            questions_posted=_require(
+                entry, "questions_posted", "round_record"
+            ),
+            latency=_require(entry, "latency", "round_record"),
+            candidates_after=_require(
+                entry, "candidates_after", "round_record"
+            ),
+        )
+        for entry in _require(payload, "records", "max_run_result")
+    )
+    allocation_payload = payload.get("allocation")
+    return MaxRunResult(
+        winner=_require(payload, "winner", "max_run_result"),
+        true_max=_require(payload, "true_max", "max_run_result"),
+        singleton_termination=_require(
+            payload, "singleton_termination", "max_run_result"
+        ),
+        total_latency=_require(payload, "total_latency", "max_run_result"),
+        total_questions=_require(payload, "total_questions", "max_run_result"),
+        records=records,
+        allocation=(
+            allocation_from_dict(allocation_payload)
+            if allocation_payload is not None
+            else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def save_json(payload: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Write a serialized payload to *path* as JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a payload written by :func:`save_json`.
+
+    Raises:
+        InvalidParameterError: if the file is not valid JSON or does not
+            look like a payload produced by this module.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise InvalidParameterError(f"no such checkpoint file: {path}") from None
+    except json.JSONDecodeError as error:
+        raise InvalidParameterError(f"invalid JSON in {path}: {error}") from None
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise InvalidParameterError(
+            f"{path} does not contain a repro persistence payload"
+        )
+    return payload

@@ -1,0 +1,28 @@
+"""Question-selection algorithms (Section 5.2) and the scoring function."""
+
+from repro.selection.base import QuestionSelector, SelectionContext, all_pairs
+from repro.selection.complete import Complete
+from repro.selection.ct import CTSelector, ct25, ct50, ct75
+from repro.selection.greedy import Greedy, SpreadGreedy
+from repro.selection.registry import available_selectors, selector_by_name
+from repro.selection.scoring import score_candidates
+from repro.selection.spread import Spread
+from repro.selection.tournament import TournamentFormation
+
+__all__ = [
+    "QuestionSelector",
+    "SelectionContext",
+    "all_pairs",
+    "TournamentFormation",
+    "Spread",
+    "Complete",
+    "CTSelector",
+    "ct25",
+    "ct50",
+    "ct75",
+    "Greedy",
+    "SpreadGreedy",
+    "score_candidates",
+    "selector_by_name",
+    "available_selectors",
+]

@@ -1,0 +1,90 @@
+"""The question-selector interface shared by all Section 5.2 strategies.
+
+A question-selection algorithm receives, for round ``j``:
+
+* ``b_j`` — the round's question budget (from the budget allocation), and
+* ``C_j`` — the candidates that have not lost any comparison so far,
+
+plus the evidence graph of all previous answers, and returns the set of
+pairwise questions to post this round.
+
+An important invariant simplifies every selector: **all pairs among current
+candidates are unasked.**  Every answered pair produced a loser, and a loser
+is no longer a candidate, so no two candidates have ever been compared.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.types import Element, Question
+
+
+@dataclass(frozen=True)
+class SelectionContext:
+    """Everything a selector may consult when picking a round's questions.
+
+    Attributes:
+        budget: ``b_j``, the maximum questions to post this round.
+        candidates: ``C_j``, elements that have not lost any comparison.
+        evidence: answer graph accumulated over rounds ``0 .. j-1``.
+        round_index: zero-based index of the current round.
+        total_rounds: number of rounds in the overall allocation.
+        rng: randomness source (selectors must not use global randomness).
+    """
+
+    budget: int
+    candidates: Tuple[Element, ...]
+    evidence: AnswerGraph
+    round_index: int
+    total_rounds: int
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise InvalidParameterError(f"round budget must be >= 0: {self.budget}")
+        if not self.candidates:
+            raise InvalidParameterError("a round needs at least one candidate")
+        if not 0 <= self.round_index < max(self.total_rounds, 1):
+            raise InvalidParameterError(
+                f"round_index {self.round_index} outside "
+                f"[0, {self.total_rounds})"
+            )
+
+
+class QuestionSelector(ABC):
+    """Strategy that turns a round budget into concrete questions.
+
+    Contract for :meth:`select`:
+
+    * returns at most ``ctx.budget`` questions;
+    * questions are distinct, in canonical ``(min, max)`` form, and only
+      involve current candidates;
+    * with fewer than two candidates, returns no questions.
+    """
+
+    #: Short name used in registries, experiment tables and plots.
+    name: str = "selector"
+
+    @abstractmethod
+    def select(self, ctx: SelectionContext) -> List[Question]:
+        """Pick the questions to post for this round."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def all_pairs(candidates: Tuple[Element, ...]) -> List[Question]:
+    """Every canonical pair among *candidates*."""
+    ordered = sorted(candidates)
+    return [
+        (a, b)
+        for i, a in enumerate(ordered)
+        for b in ordered[i + 1 :]
+    ]

@@ -1,0 +1,110 @@
+"""COMPLETE: exploit accumulated evidence on the strongest candidates.
+
+COMPLETE (Section 5.2) spends part of the round budget on a single
+tournament (clique) between the highest-scoring "strong" candidates and the
+rest on questions linking every other candidate to the tournament, so that
+each element is involved in at least one question.  Scores come from the
+Appendix B.2 random-walk scoring function.
+
+Given a budget ``b_j`` over ``c`` candidates, the tournament size ``k`` is
+the largest value with ``C(k, 2) + (c - k) <= b_j`` (clique plus one
+coverage question per outsider).  Leftover budget buys extra outsider ->
+clique-member questions, then outsider pairs.  When even ``k = 2`` does not
+fit, the round falls back to SPREAD's balanced random selection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.selection.base import QuestionSelector, SelectionContext
+from repro.selection.scoring import score_candidates
+from repro.selection.spread import Spread
+from repro.types import Element, Question, normalize_question
+
+
+def _largest_clique_size(n_candidates: int, budget: int) -> int:
+    """Largest k with ``C(k, 2) + (n_candidates - k) <= budget``, or 0."""
+    best = 0
+    for k in range(2, n_candidates + 1):
+        if k * (k - 1) // 2 + (n_candidates - k) <= budget:
+            best = k
+        else:
+            break  # the cost is increasing in k (for k >= 2)
+    return best
+
+
+class Complete(QuestionSelector):
+    """Clique over the strongest candidates + coverage for the rest."""
+
+    name = "COMPLETE"
+
+    def __init__(self) -> None:
+        self._fallback = Spread()
+
+    def select(self, ctx: SelectionContext) -> List[Question]:
+        candidates = list(ctx.candidates)
+        if len(candidates) < 2 or ctx.budget == 0:
+            return []
+        clique_size = _largest_clique_size(len(candidates), ctx.budget)
+        if clique_size < 2:
+            return self._fallback.select(ctx)
+        scores = score_candidates(ctx.evidence)
+        # Rank by score descending; unscored elements (possible when the
+        # evidence graph knows a superset of candidates) rank last.
+        ranked = sorted(
+            candidates, key=lambda e: scores.get(e, 0.0), reverse=True
+        )
+        strong = ranked[:clique_size]
+        outsiders = ranked[clique_size:]
+        questions: List[Question] = [
+            normalize_question(a, b)
+            for i, a in enumerate(strong)
+            for b in strong[i + 1 :]
+        ]
+        chosen: Set[Question] = set(questions)
+        for outsider in outsiders:
+            member = strong[int(ctx.rng.integers(len(strong)))]
+            pair = normalize_question(outsider, member)
+            chosen.add(pair)
+            questions.append(pair)
+        leftover = ctx.budget - len(questions)
+        if leftover > 0:
+            questions.extend(
+                _extra_questions(strong, outsiders, leftover, chosen, ctx)
+            )
+        return questions
+
+
+def _extra_questions(
+    strong: List[Element],
+    outsiders: List[Element],
+    leftover: int,
+    chosen: Set[Question],
+    ctx: SelectionContext,
+) -> List[Question]:
+    """Spend leftover budget: outsider-to-clique pairs first, then outsider
+    pairs (clique pairs are all asked already)."""
+    pools = [
+        [
+            normalize_question(o, s)
+            for o in outsiders
+            for s in strong
+            if normalize_question(o, s) not in chosen
+        ],
+        [
+            normalize_question(a, b)
+            for i, a in enumerate(outsiders)
+            for b in outsiders[i + 1 :]
+            if normalize_question(a, b) not in chosen
+        ],
+    ]
+    extras: List[Question] = []
+    for pool in pools:
+        if leftover <= 0:
+            break
+        ctx.rng.shuffle(pool)
+        take = pool[:leftover]
+        extras.extend(take)
+        leftover -= len(take)
+    return extras

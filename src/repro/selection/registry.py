@@ -1,0 +1,44 @@
+"""Name-based registry of question selectors, used by the CLI and experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import InvalidParameterError
+from repro.selection.base import QuestionSelector
+from repro.selection.complete import Complete
+from repro.selection.ct import ct25, ct50, ct75
+from repro.selection.greedy import Greedy, SpreadGreedy
+from repro.selection.spread import Spread
+from repro.selection.tournament import TournamentFormation
+
+_FACTORIES: Dict[str, Callable[[], QuestionSelector]] = {
+    "Tournament": TournamentFormation,
+    "SPREAD": Spread,
+    "COMPLETE": Complete,
+    "CT25": ct25,
+    "CT50": ct50,
+    "CT75": ct75,
+    "GREEDY": Greedy,
+    "SG25": SpreadGreedy,
+}
+
+
+def available_selectors() -> List[str]:
+    """Names of all registered question-selection algorithms."""
+    return sorted(_FACTORIES)
+
+
+def selector_by_name(name: str) -> QuestionSelector:
+    """Instantiate the selector registered under *name* (case-insensitive).
+
+    Raises:
+        InvalidParameterError: for unknown names, listing the valid ones.
+    """
+    lowered = {key.lower(): factory for key, factory in _FACTORIES.items()}
+    factory = lowered.get(name.lower())
+    if factory is None:
+        raise InvalidParameterError(
+            f"unknown selector {name!r}; available: {available_selectors()}"
+        )
+    return factory()

@@ -1,0 +1,85 @@
+"""SPREAD: degree-balanced random question selection (Section 5.2).
+
+SPREAD "randomly selects pairs of elements, as long as each element is
+involved in the same number of questions".  We realize this with successive
+random matchings over the candidates, chosen degree-aware: every sweep pairs
+up the currently lowest-degree elements (random tie-break) while avoiding
+pairs picked in earlier sweeps, so after any prefix of the selection the
+per-element degrees stay within a small band of each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.selection.base import QuestionSelector, SelectionContext, all_pairs
+from repro.types import Element, Question, normalize_question
+
+
+class Spread(QuestionSelector):
+    """Random questions with per-element degree kept as equal as possible."""
+
+    name = "SPREAD"
+
+    def select(self, ctx: SelectionContext) -> List[Question]:
+        candidates = list(ctx.candidates)
+        if len(candidates) < 2 or ctx.budget == 0:
+            return []
+        max_pairs = len(candidates) * (len(candidates) - 1) // 2
+        target = min(ctx.budget, max_pairs)
+        chosen: Set[Question] = set()
+        degrees: Dict[Element, int] = {e: 0 for e in candidates}
+        questions: List[Question] = []
+        stale_sweeps = 0
+        while len(questions) < target and stale_sweeps < 5:
+            added = self._sweep(
+                candidates, target - len(questions), chosen, degrees, ctx
+            )
+            questions.extend(added)
+            stale_sweeps = stale_sweeps + 1 if not added else 0
+        if len(questions) < target:
+            # The matchings got stuck on a few missing pairs (dense regime);
+            # finish from the leftover pairs, lowest-degree endpoints first.
+            leftovers = [
+                pair for pair in all_pairs(ctx.candidates) if pair not in chosen
+            ]
+            ctx.rng.shuffle(leftovers)
+            leftovers.sort(key=lambda pair: degrees[pair[0]] + degrees[pair[1]])
+            questions.extend(leftovers[: target - len(questions)])
+        return questions
+
+    @staticmethod
+    def _sweep(
+        candidates: List[Element],
+        budget: int,
+        chosen: Set[Question],
+        degrees: Dict[Element, int],
+        ctx: SelectionContext,
+    ) -> List[Question]:
+        """One matching sweep: greedily pair lowest-degree elements first,
+        skipping pairs already chosen in previous sweeps."""
+        order = list(candidates)
+        ctx.rng.shuffle(order)
+        order.sort(key=degrees.__getitem__)  # stable: random tie-break
+        unmatched = order
+        added: List[Question] = []
+        index = 0
+        while index < len(unmatched) - 1 and len(added) < budget:
+            first = unmatched[index]
+            partner_position = None
+            for offset in range(index + 1, len(unmatched)):
+                pair = normalize_question(first, unmatched[offset])
+                if pair not in chosen:
+                    partner_position = offset
+                    break
+            if partner_position is None:
+                index += 1  # every remaining partner already met this one
+                continue
+            partner = unmatched.pop(partner_position)
+            unmatched.pop(index)
+            pair = normalize_question(first, partner)
+            chosen.add(pair)
+            degrees[first] += 1
+            degrees[partner] += 1
+            added.append(pair)
+        return added

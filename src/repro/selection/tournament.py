@@ -1,0 +1,93 @@
+"""The Tournament-formation question-selection algorithm (Section 5.2).
+
+In each round the algorithm finds the lowest integer ``c_next`` such that
+``Q(|C_j|, c_next) <= b_j`` — i.e. it forms the fewest tournaments the round
+budget allows, because fewer (larger) tournaments eliminate more candidates.
+If budget remains after forming the tournaments, the leftover is spent on
+random questions between elements of *different* tournaments.
+
+Elements are assigned to tournaments uniformly at random; scores from
+previous rounds play no role (the paper's Section 5.2 description).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.questions import fewest_tournaments_within
+from repro.graphs.tournaments import form_tournaments, tournament_question_graph
+from repro.selection.base import QuestionSelector, SelectionContext
+from repro.types import Question, normalize_question
+
+
+class TournamentFormation(QuestionSelector):
+    """Form the fewest affordable tournaments; spend leftovers across them.
+
+    Args:
+        spend_leftover: when ``True`` (the paper's behaviour) budget left
+            after forming the tournaments buys random cross-tournament
+            questions; when ``False`` the leftover is simply not spent.
+            The ``False`` variant exists for the leftover-spending ablation
+            benchmark.
+    """
+
+    name = "Tournament"
+
+    def __init__(self, spend_leftover: bool = True) -> None:
+        self.spend_leftover = spend_leftover
+
+    def select(self, ctx: SelectionContext) -> List[Question]:
+        candidates = ctx.candidates
+        if len(candidates) < 2 or ctx.budget == 0:
+            return []
+        n_tournaments = fewest_tournaments_within(len(candidates), ctx.budget)
+        groups = form_tournaments(list(candidates), n_tournaments, ctx.rng)
+        questions = tournament_question_graph(groups)
+        leftover = ctx.budget - len(questions)
+        if self.spend_leftover and leftover > 0 and n_tournaments > 1:
+            questions.extend(
+                _cross_tournament_extras(groups, leftover, set(questions), ctx)
+            )
+        return questions
+
+
+def _cross_tournament_extras(
+    groups: List[List[int]],
+    leftover: int,
+    already: Set[Question],
+    ctx: SelectionContext,
+) -> List[Question]:
+    """Random distinct questions between elements of different tournaments."""
+    group_of = {
+        element: index for index, group in enumerate(groups) for element in group
+    }
+    members = [element for group in groups for element in group]
+    extras: List[Question] = []
+    # Rejection-sample random cross pairs; fall back to enumeration when the
+    # leftover is a large fraction of the available cross pairs.
+    attempts_left = 20 * leftover
+    while leftover > 0 and attempts_left > 0:
+        a, b = ctx.rng.choice(len(members), size=2, replace=False)
+        first, second = members[a], members[b]
+        if group_of[first] == group_of[second]:
+            attempts_left -= 1
+            continue
+        pair = normalize_question(first, second)
+        if pair in already:
+            attempts_left -= 1
+            continue
+        already.add(pair)
+        extras.append(pair)
+        leftover -= 1
+    if leftover > 0:
+        # Dense regime: enumerate all remaining cross pairs and sample.
+        remaining = [
+            normalize_question(a, b)
+            for i, a in enumerate(members)
+            for b in members[i + 1 :]
+            if group_of[a] != group_of[b]
+            and normalize_question(a, b) not in already
+        ]
+        ctx.rng.shuffle(remaining)
+        extras.extend(remaining[:leftover])
+    return extras

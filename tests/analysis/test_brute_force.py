@@ -1,0 +1,60 @@
+"""Tests for the brute-force MinLatency reference."""
+
+import pytest
+
+from repro.analysis.brute_force import brute_force_min_latency, iter_sequences
+from repro.core.latency import LinearLatency
+from repro.errors import InvalidParameterError
+
+
+class TestSequenceEnumeration:
+    def test_counts_are_powers_of_two(self):
+        """There are 2^(n-2) strictly decreasing sequences from n to 1 (each
+        intermediate count is either included or not)."""
+        for n in range(2, 10):
+            assert sum(1 for _ in iter_sequences(n)) == 2 ** (n - 2)
+
+    def test_all_sequences_valid(self):
+        for sequence in iter_sequences(6):
+            assert sequence[0] == 6
+            assert sequence[-1] == 1
+            assert all(b < a for a, b in zip(sequence, sequence[1:]))
+
+    def test_no_duplicates(self):
+        sequences = list(iter_sequences(7))
+        assert len(sequences) == len(set(sequences))
+
+
+class TestBruteForce:
+    def test_fig4_budget(self):
+        solution = brute_force_min_latency(10, 45, LinearLatency(100, 1))
+        # With C(10,2) = 45 available, the single round (10, 1) costs
+        # L(45) = 145; any 2-round plan costs >= 200.  The optimum is 145.
+        assert solution.sequence == (10, 1)
+        assert solution.total_latency == 145
+
+    def test_minimal_budget_forces_cheap_rounds(self):
+        solution = brute_force_min_latency(8, 7, LinearLatency(10, 1))
+        assert solution.questions_used == 7
+
+    def test_tie_breaks_toward_fewer_questions(self):
+        """With alpha = 0 every plan with the same round count costs the
+        same; the reported optimum must use the cheapest questions."""
+        solution = brute_force_min_latency(6, 15, LinearLatency(100, 0))
+        assert solution.sequence == (6, 1)
+        assert solution.questions_used == 15
+        # Actually with alpha=0 a single round costs 100 regardless of
+        # questions; (6,1) uses 15.  No cheaper single-round plan exists.
+
+    def test_refuses_large_collections(self):
+        with pytest.raises(InvalidParameterError):
+            brute_force_min_latency(50, 100, LinearLatency(1, 1))
+
+    def test_refuses_infeasible_budget(self):
+        with pytest.raises(InvalidParameterError):
+            brute_force_min_latency(8, 6, LinearLatency(1, 1))
+
+    def test_single_element(self):
+        solution = brute_force_min_latency(1, 0, LinearLatency(1, 1))
+        assert solution.sequence == (1,)
+        assert solution.total_latency == 0

@@ -1,0 +1,116 @@
+"""Tests for the Appendix A expected-RC analysis (Lemmas 4-5, Theorem 5)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.expected_rc import (
+    enumerate_rc_distribution,
+    exact_expected_rc,
+    lemma4_expected_rc,
+    minimal_expected_rc,
+    monte_carlo_expected_rc,
+    regular_degree_bounds,
+    survivors_under_permutation,
+    tournament_degrees,
+)
+from repro.core.questions import tournament_questions, tournament_sizes
+from repro.errors import InvalidParameterError
+
+
+class TestPaperExample:
+    def test_fig16_distribution(self):
+        """Figure 16: path a-b-c.  E[R] = 1/6*1 + 1/6*1 + 2/6*1 + 2/6*2."""
+        counts = enumerate_rc_distribution([0, 1, 2], [(0, 1), (1, 2)])
+        assert counts == {1: 4, 2: 2}
+
+    def test_fig16_expectation(self):
+        assert exact_expected_rc([0, 1, 2], [(0, 1), (1, 2)]) == pytest.approx(
+            4 / 3
+        )
+
+
+class TestLemma4:
+    @given(st.integers(1, 6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_closed_form_matches_enumeration(self, n, data):
+        edges = data.draw(
+            st.sets(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                    lambda t: t[0] < t[1]
+                ),
+                max_size=n * (n - 1) // 2,
+            )
+        )
+        nodes = list(range(n))
+        assert lemma4_expected_rc(nodes, sorted(edges)) == pytest.approx(
+            exact_expected_rc(nodes, sorted(edges))
+        )
+
+    def test_monte_carlo_agrees(self, rng):
+        nodes = list(range(12))
+        edges = [(i, (i + 1) % 12) for i in range(12)]  # a 12-cycle
+        closed_form = lemma4_expected_rc(nodes, edges)
+        estimate = monte_carlo_expected_rc(nodes, edges, 20_000, rng)
+        assert estimate == pytest.approx(closed_form, rel=0.05)
+
+
+class TestLemma5AndTheorem5:
+    def test_minimal_expected_rc_is_near_regular(self):
+        # 6 nodes, 7 edges: degrees (3, 3, 2, 2, 2, 2).
+        assert minimal_expected_rc(6, 7) == pytest.approx(2 / 4 + 4 / 3)
+
+    def test_tournament_graph_achieves_the_minimum(self):
+        """Theorem 5: for the edge budget of a tournament graph, no graph
+        has lower E[R] than the tournament graph itself."""
+        for c_prev, c_next in [(6, 2), (9, 3), (10, 4), (7, 3)]:
+            degrees = tournament_degrees(tournament_sizes(c_prev, c_next))
+            tournament_value = sum(1 / (d + 1) for d in degrees)
+            n_edges = tournament_questions(c_prev, c_next)
+            assert tournament_value == pytest.approx(
+                minimal_expected_rc(c_prev, n_edges)
+            )
+
+    def test_exhaustive_check_small_graphs(self):
+        """Enumerate all 5-node graphs with the edge count of G_T(5, 2) and
+        confirm none beats the tournament's E[R]."""
+        c_prev, c_next = 5, 2
+        n_edges = tournament_questions(c_prev, c_next)  # sizes 3+2 -> 4 edges
+        nodes = list(range(c_prev))
+        all_pairs = [(a, b) for a in nodes for b in nodes if a < b]
+        tournament_value = sum(
+            1 / (d + 1)
+            for d in tournament_degrees(tournament_sizes(c_prev, c_next))
+        )
+        best = min(
+            lemma4_expected_rc(nodes, edge_subset)
+            for edge_subset in itertools.combinations(all_pairs, n_edges)
+        )
+        assert tournament_value == pytest.approx(best)
+
+    def test_regular_degree_bounds(self):
+        assert regular_degree_bounds(6, 7) == (2, 3)
+        assert regular_degree_bounds(4, 6) == (3, 3)
+
+
+class TestHelpers:
+    def test_survivors_under_permutation(self):
+        rank = {0: 2, 1: 0, 2: 1}  # order: 1 > 2 > 0
+        survivors = survivors_under_permutation(
+            [0, 1, 2], [(0, 1), (1, 2)], rank
+        )
+        assert survivors == (1,)
+
+    def test_enumeration_size_limit(self):
+        with pytest.raises(InvalidParameterError):
+            enumerate_rc_distribution(list(range(12)), [])
+
+    def test_tournament_degrees_validation(self):
+        with pytest.raises(InvalidParameterError):
+            tournament_degrees([3, 0])
+
+    def test_monte_carlo_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            monte_carlo_expected_rc([0, 1], [(0, 1)], 0, rng)

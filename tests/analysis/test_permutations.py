@@ -1,0 +1,95 @@
+"""Tests for linear-extension counting and exact P-Max (Appendix B.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.permutations import count_linear_extensions, p_max
+from repro.errors import InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.types import Answer
+
+
+def chain_graph(n):
+    """A total order: i beats i+1 for all i."""
+    graph = AnswerGraph(range(n))
+    for i in range(n - 1):
+        graph.record(Answer(winner=i, loser=i + 1))
+    return graph
+
+
+class TestLinearExtensionCounting:
+    def test_empty_graph_counts_all_permutations(self):
+        for n in range(1, 7):
+            assert count_linear_extensions(AnswerGraph(range(n))) == math.factorial(n)
+
+    def test_total_order_has_one_extension(self):
+        for n in range(2, 8):
+            assert count_linear_extensions(chain_graph(n)) == 1
+
+    def test_single_answer_halves_the_count(self):
+        graph = AnswerGraph(range(4))
+        graph.record(Answer(winner=0, loser=1))
+        assert count_linear_extensions(graph) == math.factorial(4) // 2
+
+    def test_two_independent_chains(self):
+        """Two disjoint 2-chains over 4 elements: 4!/(2*2) = 6 extensions."""
+        graph = AnswerGraph(range(4))
+        graph.record(Answer(winner=0, loser=1))
+        graph.record(Answer(winner=2, loser=3))
+        assert count_linear_extensions(graph) == 6
+
+    def test_size_limit(self):
+        with pytest.raises(InvalidParameterError):
+            count_linear_extensions(AnswerGraph(range(25)))
+
+
+class TestPMax:
+    def test_uniform_without_evidence(self):
+        probabilities = p_max(AnswerGraph(range(5)))
+        assert all(p == pytest.approx(1 / 5) for p in probabilities.values())
+
+    def test_total_order_is_certain(self):
+        probabilities = p_max(chain_graph(5))
+        assert probabilities[0] == pytest.approx(1.0)
+        assert all(probabilities[i] == 0.0 for i in range(1, 5))
+
+    def test_losers_have_zero_probability(self):
+        graph = AnswerGraph(range(4))
+        graph.record(Answer(winner=0, loser=1))
+        probabilities = p_max(graph)
+        assert probabilities[1] == 0.0
+
+    def test_known_three_element_case(self):
+        """After the answer a > b: P(a is MAX) = 2/3, P(c is MAX) = 1/3 —
+        the Appendix A uniform-history discussion."""
+        graph = AnswerGraph(range(3))
+        graph.record(Answer(winner=0, loser=1))
+        probabilities = p_max(graph)
+        assert probabilities[0] == pytest.approx(2 / 3)
+        assert probabilities[2] == pytest.approx(1 / 3)
+
+    @given(st.integers(1, 7), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_distribution_sums_to_one(self, n, data):
+        order = data.draw(st.permutations(list(range(n))))
+        rank = {e: i for i, e in enumerate(order)}
+        pairs = data.draw(
+            st.sets(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                    lambda t: t[0] < t[1]
+                ),
+                max_size=2 * n,
+            )
+        )
+        graph = AnswerGraph(range(n))
+        for a, b in pairs:
+            winner = a if rank[a] < rank[b] else b
+            loser = b if winner == a else a
+            graph.record(Answer(winner=winner, loser=loser))
+        probabilities = p_max(graph)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        survivors = graph.remaining_candidates()
+        assert {e for e, p in probabilities.items() if p > 0} == survivors

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.latency import LinearLatency, PowerLawLatency
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic randomness source; fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mturk_latency() -> LinearLatency:
+    """The paper's fitted MTurk latency function."""
+    return LinearLatency(delta=239.0, alpha=0.06)
+
+
+@pytest.fixture
+def fig4_latency() -> LinearLatency:
+    """The latency function of the paper's Figure 4 worked example."""
+    return LinearLatency(delta=100.0, alpha=1.0)
+
+
+@pytest.fixture
+def quadratic_latency() -> PowerLawLatency:
+    """A convex latency function (Section 6.6, p = 2)."""
+    return PowerLawLatency(delta=239.0, alpha=0.06, p=2.0)

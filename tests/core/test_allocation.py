@@ -1,0 +1,85 @@
+"""Tests for the Allocation value type and the allocator interface."""
+
+import pytest
+
+from repro.core.allocation import Allocation, BudgetAllocator
+from repro.core.latency import LinearLatency
+from repro.errors import InfeasibleBudgetError, InvalidParameterError
+
+
+class TestAllocation:
+    def test_from_element_sequence_fig4(self):
+        # Figure 4(b): (40, 8, 1) costs 80 + 28 = 108 questions.
+        allocation = Allocation.from_element_sequence((40, 8, 1))
+        assert allocation.round_budgets == (80, 28)
+        assert allocation.total_questions == 108
+        assert allocation.rounds == 2
+
+    def test_predicted_latency_fig4(self):
+        allocation = Allocation.from_element_sequence((40, 8, 1))
+        assert allocation.predicted_latency(LinearLatency(100, 1)) == 308
+
+    def test_fig4a_alternative_sequence(self):
+        allocation = Allocation.from_element_sequence((40, 20, 5, 1))
+        assert allocation.round_budgets == (20, 30, 10)
+        assert allocation.predicted_latency(LinearLatency(100, 1)) == 360
+
+    def test_plain_round_budgets(self):
+        allocation = Allocation(round_budgets=(17, 17, 17))
+        assert allocation.total_questions == 51
+        assert allocation.element_sequence is None
+
+    def test_degenerate_single_element(self):
+        allocation = Allocation(round_budgets=(), element_sequence=(1,))
+        assert allocation.rounds == 0
+        assert allocation.predicted_latency(LinearLatency(100, 1)) == 0
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidParameterError):
+            Allocation(round_budgets=(5, -1))
+
+    def test_rejects_sequence_not_ending_at_one(self):
+        with pytest.raises(InvalidParameterError):
+            Allocation(round_budgets=(3,), element_sequence=(4, 2))
+
+    def test_rejects_non_decreasing_sequence(self):
+        with pytest.raises(InvalidParameterError):
+            Allocation(round_budgets=(1, 1), element_sequence=(4, 4, 1))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            Allocation(round_budgets=(3, 3), element_sequence=(4, 1))
+
+    def test_check_within_budget(self):
+        allocation = Allocation(round_budgets=(50, 50))
+        allocation.check_within_budget(100)
+        with pytest.raises(InvalidParameterError):
+            allocation.check_within_budget(99)
+
+
+class _NullAllocator(BudgetAllocator):
+    name = "null"
+
+    def _allocate(self, n_elements, budget, latency):
+        return Allocation(round_budgets=(budget,), allocator_name=self.name)
+
+
+class TestBudgetAllocatorInterface:
+    def test_infeasible_budget_raises_theorem1(self):
+        with pytest.raises(InfeasibleBudgetError) as excinfo:
+            _NullAllocator().allocate(10, 8, LinearLatency(1, 1))
+        assert excinfo.value.n_elements == 10
+        assert excinfo.value.budget == 8
+
+    def test_minimum_feasible_budget_accepted(self):
+        allocation = _NullAllocator().allocate(10, 9, LinearLatency(1, 1))
+        assert allocation.round_budgets == (9,)
+
+    def test_single_element_needs_no_questions(self):
+        allocation = _NullAllocator().allocate(1, 0, LinearLatency(1, 1))
+        assert allocation.rounds == 0
+        assert allocation.element_sequence == (1,)
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            _NullAllocator().allocate(0, 5, LinearLatency(1, 1))

@@ -1,0 +1,109 @@
+"""Tests for the bounded-rounds MinLatency solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.brute_force import iter_sequences
+from repro.core.latency import LinearLatency
+from repro.core.questions import tournament_questions
+from repro.core.tdp import (
+    solve_min_latency,
+    solve_min_latency_bounded_rounds,
+)
+from repro.errors import InvalidParameterError
+
+MTURK = LinearLatency(239, 0.06)
+
+
+def brute_force_bounded(n, budget, latency, max_rounds):
+    best = None
+    for sequence in iter_sequences(n):
+        if len(sequence) - 1 > max_rounds:
+            continue
+        questions = [
+            tournament_questions(a, b)
+            for a, b in zip(sequence, sequence[1:])
+        ]
+        if sum(questions) > budget:
+            continue
+        total = sum(latency(q) for q in questions)
+        if best is None or total < best:
+            best = total
+    return best
+
+
+class TestAgainstBruteForce:
+    @given(
+        n=st.integers(2, 10),
+        data=st.data(),
+        delta=st.floats(0, 400),
+        alpha=st.floats(0.01, 2),
+        max_rounds=st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_exhaustive(self, n, data, delta, alpha, max_rounds):
+        budget = data.draw(
+            st.integers(n - 1, n * (n - 1) // 2 + 3)
+        )
+        latency = LinearLatency(delta, alpha)
+        expected = brute_force_bounded(n, budget, latency, max_rounds)
+        if expected is None:
+            with pytest.raises(InvalidParameterError):
+                solve_min_latency_bounded_rounds(n, budget, latency, max_rounds)
+        else:
+            plan = solve_min_latency_bounded_rounds(
+                n, budget, latency, max_rounds
+            )
+            assert plan.total_latency == pytest.approx(expected)
+            assert plan.rounds <= max_rounds
+            assert plan.questions_used <= budget
+
+
+class TestBehaviour:
+    def test_generous_cap_matches_unbounded(self):
+        unbounded = solve_min_latency(500, 4000, MTURK)
+        bounded = solve_min_latency_bounded_rounds(500, 4000, MTURK, 10)
+        assert bounded.total_latency == pytest.approx(unbounded.total_latency)
+        assert bounded.sequence == unbounded.sequence
+
+    def test_single_round_cap_forces_complete_tournament(self):
+        plan = solve_min_latency_bounded_rounds(40, 1000, MTURK, 1)
+        assert plan.sequence == (40, 1)
+        assert plan.questions_used == 780
+
+    def test_single_round_cap_infeasible_on_tight_budget(self):
+        with pytest.raises(InvalidParameterError):
+            solve_min_latency_bounded_rounds(40, 500, MTURK, 1)
+
+    def test_tighter_cap_never_faster(self):
+        values = [
+            solve_min_latency_bounded_rounds(200, 1500, MTURK, r).total_latency
+            for r in (2, 3, 5, 8)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_constant_latency_minimizes_rounds(self):
+        """With L(q) = delta the objective is delta * rounds: the solver
+        must find the minimum feasible round count (the rounds-as-latency
+        model of related work [23])."""
+        constant = LinearLatency(100, 0.0)
+        # Budget 127 for 128 elements forces halving: 7 rounds minimum.
+        plan = solve_min_latency_bounded_rounds(128, 127, constant, 10)
+        assert plan.rounds == 7
+        assert plan.total_latency == pytest.approx(700.0)
+        # A lavish budget allows the single round.
+        plan = solve_min_latency_bounded_rounds(128, 10_000, constant, 10)
+        assert plan.rounds == 1
+
+    def test_single_element(self):
+        plan = solve_min_latency_bounded_rounds(1, 0, MTURK, 3)
+        assert plan.sequence == (1,)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            solve_min_latency_bounded_rounds(0, 10, MTURK, 2)
+        with pytest.raises(InvalidParameterError):
+            solve_min_latency_bounded_rounds(10, 5, MTURK, 2)
+        with pytest.raises(InvalidParameterError):
+            solve_min_latency_bounded_rounds(10, 20, MTURK, 0)

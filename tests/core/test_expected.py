@@ -1,0 +1,137 @@
+"""Tests for the eDP expected-case allocator extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expected import (
+    ExpectedCaseAllocator,
+    _expected_costs,
+    expected_survivors,
+    expected_transition_cost,
+    solve_expected_min_latency,
+)
+from repro.core.latency import LinearLatency
+from repro.core.questions import max_useful_budget, tournament_questions
+from repro.core.tdp import solve_min_latency
+from repro.errors import InvalidParameterError
+from repro.graphs.candidates import expected_remaining_candidates
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+class TestExpectedSurvivors:
+    def test_matches_lemma4_on_regular_graphs(self):
+        """For a cycle (2-regular) the closed form must equal the Lemma 4
+        sum over the actual graph."""
+        n = 12
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        assert expected_survivors(n, len(edges)) == pytest.approx(
+            expected_remaining_candidates(range(n), edges)
+        )
+
+    def test_zero_questions(self):
+        assert expected_survivors(10, 0) == 10
+
+    def test_complete_graph_keeps_one(self):
+        assert expected_survivors(10, 45) == pytest.approx(1.0)
+
+    @given(st.integers(2, 60), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_decreasing_in_questions(self, n, data):
+        q = data.draw(st.integers(0, max_useful_budget(n) - 1))
+        assert expected_survivors(n, q + 1) <= expected_survivors(n, q)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            expected_survivors(0, 1)
+        with pytest.raises(InvalidParameterError):
+            expected_survivors(3, -1)
+        with pytest.raises(InvalidParameterError):
+            expected_survivors(3, 4)
+
+
+class TestTransitionCost:
+    def test_cheaper_than_worst_case(self):
+        """The expected-case cost never exceeds the worst-case tournament
+        cost Q(c, c')."""
+        for c in (5, 10, 50, 100):
+            for target in (1, 2, c // 2, c - 1):
+                if target < 1 or target >= c:
+                    continue
+                assert expected_transition_cost(c, target) <= (
+                    tournament_questions(c, target)
+                )
+
+    def test_cost_reaches_the_target(self):
+        for c in (7, 24, 60):
+            for target in range(1, c):
+                q = expected_transition_cost(c, target)
+                assert int(expected_survivors(c, q) + 0.5) <= target
+                if q > 1:
+                    assert int(expected_survivors(c, q - 1) + 0.5) > target
+
+    @given(st.integers(2, 80))
+    @settings(max_examples=30, deadline=None)
+    def test_vectorized_costs_match_scalar(self, c):
+        vector = _expected_costs(c)
+        assert len(vector) == c - 1
+        for target in range(1, c):
+            assert vector[target - 1] == expected_transition_cost(c, target)
+
+    def test_invalid_target(self):
+        with pytest.raises(InvalidParameterError):
+            expected_transition_cost(5, 0)
+        with pytest.raises(InvalidParameterError):
+            expected_transition_cost(5, 5)
+
+
+class TestSolver:
+    def test_never_slower_than_tdp_plan(self):
+        """eDP's *planned* latency lower-bounds tDP's: every expected-case
+        transition is at most as expensive as the worst-case one."""
+        for budget in (600, 1000, 4000):
+            expected_plan = solve_expected_min_latency(500, budget, LATENCY)
+            worst_plan = solve_min_latency(500, budget, LATENCY)
+            assert expected_plan.total_latency <= worst_plan.total_latency + 1e-9
+
+    def test_paper_workload_plan(self):
+        plan = solve_expected_min_latency(500, 4000, LATENCY)
+        assert plan.sequence[0] == 500
+        assert plan.sequence[-1] == 1
+        assert plan.questions_used <= 4000
+
+    def test_infeasible_budget(self):
+        with pytest.raises(InvalidParameterError):
+            solve_expected_min_latency(10, 8, LATENCY)
+
+
+class TestAllocator:
+    def test_allocation_structure(self):
+        allocation = ExpectedCaseAllocator().allocate(100, 700, LATENCY)
+        assert allocation.allocator_name == "eDP"
+        assert allocation.total_questions <= 700
+        assert allocation.element_sequence is None  # counts are not promises
+
+    def test_runs_end_to_end(self):
+        """eDP plans execute; termination is not guaranteed, correctness of
+        the run machinery is."""
+        from repro.engine.simulation import aggregate
+        from repro.selection.tournament import TournamentFormation
+
+        stats = aggregate(
+            60,
+            400,
+            ExpectedCaseAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            n_runs=10,
+            seed=3,
+        )
+        assert stats.mean_latency > 0
+        assert 0.0 <= stats.singleton_rate <= 1.0
+
+    def test_registered(self):
+        from repro.core.registry import allocator_by_name
+
+        assert allocator_by_name("eDP").name == "eDP"

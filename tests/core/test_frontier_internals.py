@@ -1,0 +1,98 @@
+"""White-box tests of the Pareto-frontier machinery inside the tDP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LinearLatency, PowerLawLatency
+from repro.core.questions import tournament_questions
+from repro.core.tdp import (
+    _FrontierTable,
+    _build_frontiers,
+    _transition_questions,
+)
+
+
+class TestTransitionQuestions:
+    @given(st.integers(2, 300))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_q(self, c):
+        vector = _transition_questions(c)
+        assert len(vector) == c - 1
+        for target in range(1, c):
+            assert vector[target - 1] == tournament_questions(c, target)
+
+
+class TestFrontierTable:
+    def test_grow_preserves_contents(self):
+        table = _FrontierTable(5, width=2)
+        table.set_row(
+            1,
+            cost=np.zeros(1, np.int64),
+            lat=np.zeros(1),
+            parent_c=np.zeros(1, np.int32),
+            parent_i=np.zeros(1, np.int32),
+        )
+        table.grow(8)
+        assert table.width == 8
+        assert table.size[1] == 1
+        assert table.cost[1, 0] == 0
+        assert table.lat[1, 1] == np.inf  # padding intact
+
+    def test_set_row_wider_than_table_grows(self):
+        table = _FrontierTable(4, width=2)
+        table.set_row(
+            2,
+            cost=np.array([1, 2, 3], dtype=np.int64),
+            lat=np.array([3.0, 2.0, 1.0]),
+            parent_c=np.ones(3, np.int32),
+            parent_i=np.zeros(3, np.int32),
+        )
+        assert table.width >= 3
+        assert table.size[2] == 3
+
+
+class TestFrontierInvariants:
+    @given(
+        n=st.integers(2, 60),
+        data=st.data(),
+        delta=st.floats(0, 300),
+        alpha=st.floats(0.0, 2.0),
+        p=st.floats(0.5, 2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_frontiers_are_strict_pareto_sets(self, n, data, delta, alpha, p):
+        budget = data.draw(st.integers(n - 1, n * (n - 1) // 2))
+        latency = PowerLawLatency(delta, max(alpha, 1e-9), p)
+        table = _build_frontiers(n, budget, latency)
+        for c in range(1, n + 1):
+            count = int(table.size[c])
+            assert count >= 1
+            costs = table.cost[c, :count]
+            lats = table.lat[c, :count]
+            # Cost strictly ascending, latency strictly descending.
+            assert all(b > a for a, b in zip(costs, costs[1:]))
+            assert all(b < a for a, b in zip(lats, lats[1:]))
+            # Every point respects the global budget.
+            assert costs[-1] <= budget
+            # Theorem 1 lower bound per candidate count.
+            assert costs[0] >= c - 1
+
+    def test_parents_reference_valid_points(self):
+        latency = LinearLatency(239, 0.06)
+        table = _build_frontiers(50, 400, latency)
+        for c in range(2, 51):
+            for i in range(int(table.size[c])):
+                parent_c = int(table.parent_c[c, i])
+                parent_i = int(table.parent_i[c, i])
+                assert 1 <= parent_c < c
+                assert 0 <= parent_i < int(table.size[parent_c])
+                step = tournament_questions(c, parent_c)
+                assert (
+                    table.cost[c, i]
+                    == step + table.cost[parent_c, parent_i]
+                )
+                assert table.lat[c, i] == pytest.approx(
+                    latency(step) + table.lat[parent_c, parent_i]
+                )

@@ -1,0 +1,160 @@
+"""Tests for the HE / HF / uHE / uHF heuristics (Section 5.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristics import (
+    HeavyEnd,
+    HeavyFront,
+    UniformHeavyEnd,
+    UniformHeavyFront,
+    _uniform_split,
+)
+from repro.core.latency import LinearLatency
+from repro.core.questions import tournament_questions
+from repro.errors import InfeasibleBudgetError
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+class TestPaperExamples:
+    """Figure 10: 24 elements, budget of 51 questions."""
+
+    def test_heavy_end(self):
+        allocation = HeavyEnd().allocate(24, 51, LATENCY)
+        assert allocation.round_budgets == (12, 6, 33)
+
+    def test_heavy_front(self):
+        allocation = HeavyFront().allocate(24, 51, LATENCY)
+        assert allocation.round_budgets == (44, 4, 2, 1)
+
+    def test_uniform_heavy_end(self):
+        allocation = UniformHeavyEnd().allocate(24, 51, LATENCY)
+        assert allocation.round_budgets == (17, 17, 17)
+
+    def test_uniform_heavy_front(self):
+        allocation = UniformHeavyFront().allocate(24, 51, LATENCY)
+        assert allocation.round_budgets == (13, 13, 13, 12)
+
+
+class TestUniformSplit:
+    def test_remainder_goes_to_front(self):
+        assert _uniform_split(51, 4) == (13, 13, 13, 12)
+
+    def test_even_split(self):
+        assert _uniform_split(51, 3) == (17, 17, 17)
+
+    @given(st.integers(1, 10_000), st.integers(1, 50))
+    def test_split_conserves_budget(self, budget, rounds):
+        split = _uniform_split(budget, rounds)
+        assert sum(split) == budget
+        assert max(split) - min(split) <= 1
+
+
+ALL_HEURISTICS = [HeavyEnd, HeavyFront, UniformHeavyEnd, UniformHeavyFront]
+
+
+@pytest.mark.parametrize("heuristic_cls", ALL_HEURISTICS)
+class TestCommonProperties:
+    @given(n_elements=st.integers(2, 120), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_budget_never_exceeded(self, heuristic_cls, n_elements, data):
+        budget = data.draw(
+            st.integers(n_elements - 1, n_elements * (n_elements - 1) // 2)
+        )
+        allocation = heuristic_cls().allocate(n_elements, budget, LATENCY)
+        assert allocation.total_questions <= budget
+        assert all(b >= 0 for b in allocation.round_budgets)
+
+    def test_minimum_budget_is_feasible(self, heuristic_cls):
+        """Theorem 1 boundary: b = c0 - 1 must be accepted by every
+        heuristic (knockout halving fits exactly)."""
+        for n_elements in range(2, 40):
+            allocation = heuristic_cls().allocate(
+                n_elements, n_elements - 1, LATENCY
+            )
+            assert allocation.total_questions <= n_elements - 1
+
+    def test_infeasible_budget_rejected(self, heuristic_cls):
+        with pytest.raises(InfeasibleBudgetError):
+            heuristic_cls().allocate(24, 22, LATENCY)
+
+    def test_allocator_name_recorded(self, heuristic_cls):
+        allocation = heuristic_cls().allocate(24, 51, LATENCY)
+        assert allocation.allocator_name == heuristic_cls.name
+
+
+class TestHeavyEndStructure:
+    def test_halving_prefix(self):
+        """Every round before the last halves the candidates with one
+        question per element."""
+        allocation = HeavyEnd().allocate(100, 300, LATENCY)
+        candidates = 100
+        for budget in allocation.round_budgets[:-1]:
+            assert budget == candidates // 2
+            candidates = (candidates + 1) // 2
+
+    def test_last_round_takes_all_remaining_budget(self):
+        allocation = HeavyEnd().allocate(100, 300, LATENCY)
+        assert allocation.total_questions == 300
+
+    def test_single_round_when_budget_is_lavish(self):
+        allocation = HeavyEnd().allocate(10, 45, LATENCY)
+        assert allocation.round_budgets == (45,)
+
+    def test_uses_whole_budget_always(self):
+        for budget in (99, 150, 1000, 4950):
+            allocation = HeavyEnd().allocate(100, budget, LATENCY)
+            assert allocation.total_questions == budget
+
+
+class TestHeavyFrontStructure:
+    def test_halving_suffix(self):
+        """After the heavy first round the budgets are a pure halving tail:
+        m/2, m/4, ..., 1 for a power-of-two entry point m."""
+        allocation = HeavyFront().allocate(100, 300, LATENCY)
+        tail = allocation.round_budgets[1:]
+        assert list(tail) == sorted(tail, reverse=True)
+        assert tail[-1] == 1
+        for bigger, smaller in zip(tail, tail[1:]):
+            assert bigger == 2 * smaller
+
+    def test_first_round_jump_is_affordable(self):
+        allocation = HeavyFront().allocate(100, 300, LATENCY)
+        tail_entry = 2 * allocation.round_budgets[1]
+        assert tournament_questions(100, tail_entry) <= allocation.round_budgets[0]
+
+    def test_uses_whole_budget_always(self):
+        for budget in (99, 150, 1000, 4950):
+            allocation = HeavyFront().allocate(100, budget, LATENCY)
+            assert allocation.total_questions == budget
+
+    def test_tight_budget_degenerates_to_halving(self):
+        allocation = HeavyFront().allocate(64, 63, LATENCY)
+        assert allocation.round_budgets == (32, 16, 8, 4, 2, 1)
+
+
+class TestUniformVariants:
+    def test_uhe_round_count_matches_he(self):
+        for budget in (51, 120, 276):
+            he_rounds = HeavyEnd().allocate(24, budget, LATENCY).rounds
+            uhe = UniformHeavyEnd().allocate(24, budget, LATENCY)
+            assert uhe.rounds == he_rounds
+            assert uhe.total_questions == budget
+
+    def test_uhf_round_count_matches_hf(self):
+        for budget in (51, 120, 276):
+            hf_rounds = HeavyFront().allocate(24, budget, LATENCY).rounds
+            uhf = UniformHeavyFront().allocate(24, budget, LATENCY)
+            assert uhf.rounds == hf_rounds
+            assert uhf.total_questions == budget
+
+    def test_heuristics_ignore_latency_function(self):
+        """Section 6: only tDP consults L(q); heuristic output must be
+        identical under wildly different latency models."""
+        steep = LinearLatency(10_000, 50)
+        for heuristic_cls in ALL_HEURISTICS:
+            flat_alloc = heuristic_cls().allocate(60, 400, LATENCY)
+            steep_alloc = heuristic_cls().allocate(60, 400, steep)
+            assert flat_alloc.round_budgets == steep_alloc.round_budgets

@@ -1,0 +1,164 @@
+"""Tests for the latency-function models (Definition 3, Sections 6.1/6.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.latency import (
+    LinearLatency,
+    PiecewiseLinearLatency,
+    PowerLawLatency,
+    TabulatedLatency,
+    fit_linear_latency,
+    mturk_car_latency,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestLinearLatency:
+    def test_paper_example(self):
+        # Section 2.1: L(q) = 60 + q gives L(Q(24, 5)) = L(46) = 106.
+        latency = LinearLatency(60, 1)
+        assert latency(46) == 106
+
+    def test_mturk_constants(self):
+        latency = mturk_car_latency()
+        assert latency.delta == 239.0
+        assert latency.alpha == 0.06
+        assert latency(0) == 239.0
+
+    def test_batch_matches_scalar(self):
+        latency = LinearLatency(10, 0.5)
+        qs = np.array([0, 1, 10, 100])
+        assert np.allclose(latency.batch(qs), [latency(int(q)) for q in qs])
+
+    def test_negative_batch_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinearLatency(1, 1)(-1)
+        with pytest.raises(InvalidParameterError):
+            LinearLatency(1, 1).batch(np.array([3, -1]))
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinearLatency(-1, 0)
+        with pytest.raises(InvalidParameterError):
+            LinearLatency(0, -0.5)
+
+    def test_equality_and_hash(self):
+        assert LinearLatency(1, 2) == LinearLatency(1, 2)
+        assert LinearLatency(1, 2) != LinearLatency(1, 3)
+        assert hash(LinearLatency(1, 2)) == hash(LinearLatency(1, 2))
+
+    @given(st.floats(0, 1e3), st.floats(0, 10), st.integers(0, 10_000))
+    def test_non_negative_and_increasing(self, delta, alpha, q):
+        latency = LinearLatency(delta, alpha)
+        assert latency(q) >= 0
+        assert latency(q + 1) >= latency(q)
+
+
+class TestPowerLawLatency:
+    def test_reduces_to_linear_at_p1(self):
+        power = PowerLawLatency(239, 0.06, 1.0)
+        linear = LinearLatency(239, 0.06)
+        for q in (0, 1, 17, 4000):
+            assert power(q) == pytest.approx(linear(q))
+
+    def test_superlinear_grows_faster(self):
+        p2 = PowerLawLatency(0, 1, 2.0)
+        assert p2(10) == 100
+
+    def test_batch_matches_scalar(self):
+        latency = PowerLawLatency(5, 0.1, 1.7)
+        qs = np.array([0, 3, 50])
+        assert np.allclose(latency.batch(qs), [latency(int(q)) for q in qs])
+
+    def test_invalid_exponent(self):
+        with pytest.raises(InvalidParameterError):
+            PowerLawLatency(1, 1, 0)
+        with pytest.raises(InvalidParameterError):
+            PowerLawLatency(1, 1, -1)
+
+
+class TestPiecewiseLinearLatency:
+    def test_interpolates_between_knots(self):
+        latency = PiecewiseLinearLatency([(0, 100.0), (10, 200.0)])
+        assert latency(5) == 150.0
+
+    def test_clamps_below_first_knot(self):
+        latency = PiecewiseLinearLatency([(10, 100.0), (20, 200.0)])
+        assert latency(0) == 100.0
+
+    def test_extrapolates_last_segment(self):
+        latency = PiecewiseLinearLatency([(0, 0.0), (10, 10.0), (20, 30.0)])
+        assert latency(30) == pytest.approx(50.0)
+
+    def test_rejects_decreasing_knots(self):
+        with pytest.raises(InvalidParameterError):
+            PiecewiseLinearLatency([(0, 100.0), (10, 50.0)])
+
+    def test_rejects_duplicate_batch_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            PiecewiseLinearLatency([(5, 1.0), (5, 2.0)])
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(InvalidParameterError):
+            PiecewiseLinearLatency([(0, 1.0)])
+
+    def test_saturation_shape(self):
+        """Model the Figure 11(a) shape: flat then steep after saturation."""
+        latency = PiecewiseLinearLatency([(0, 240.0), (1000, 300.0), (2000, 3000.0)])
+        flat_slope = (latency(1000) - latency(0)) / 1000
+        steep_slope = (latency(2000) - latency(1000)) / 1000
+        assert steep_slope > 10 * flat_slope
+
+
+class TestTabulatedLatency:
+    def test_isotonic_cleanup_of_noisy_samples(self):
+        # The 40-question sample dips below the 20-question one; the table
+        # must still be non-decreasing.
+        latency = TabulatedLatency([(10, 250.0), (20, 280.0), (40, 260.0)])
+        assert latency(40) >= latency(20) >= latency(10)
+
+    def test_duplicate_sizes_collapse_to_running_max(self):
+        latency = TabulatedLatency([(10, 250.0), (10, 300.0), (20, 310.0)])
+        assert latency(10) == 300.0
+
+    def test_monotone_everywhere(self):
+        latency = TabulatedLatency([(1, 5.0), (4, 3.0), (9, 20.0), (16, 18.0)])
+        values = [latency(q) for q in range(0, 30)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestFitLinearLatency:
+    def test_exact_fit_on_linear_data(self):
+        truth = LinearLatency(239, 0.06)
+        samples = [(q, truth(q)) for q in (10, 20, 40, 80, 160, 320)]
+        fitted = fit_linear_latency(samples)
+        assert fitted.delta == pytest.approx(239, abs=1e-9)
+        assert fitted.alpha == pytest.approx(0.06, abs=1e-12)
+
+    def test_negative_slope_clamped(self):
+        fitted = fit_linear_latency([(0, 100.0), (10, 50.0)])
+        assert fitted.alpha == 0.0
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(InvalidParameterError):
+            fit_linear_latency([(10, 5.0)])
+        with pytest.raises(InvalidParameterError):
+            fit_linear_latency([(10, 5.0), (10, 6.0)])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2000), st.floats(0, 1e5)),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_fit_never_produces_invalid_model(self, samples):
+        sizes = {q for q, _ in samples}
+        if len(sizes) < 2:
+            return  # degenerate by construction; rejected separately
+        fitted = fit_linear_latency(samples)
+        assert fitted.delta >= 0
+        assert fitted.alpha >= 0

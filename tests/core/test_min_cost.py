@@ -1,0 +1,108 @@
+"""Tests for the min-cost-under-deadline dual solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.brute_force import iter_sequences
+from repro.core.latency import LinearLatency, PowerLawLatency
+from repro.core.questions import tournament_questions
+from repro.core.tdp import solve_min_cost, solve_min_latency
+from repro.errors import InvalidParameterError
+
+MTURK = LinearLatency(239, 0.06)
+
+
+def brute_force_min_cost(n, deadline, latency):
+    """Cheapest tournament sequence finishing within the deadline.
+
+    A tiny relative tolerance absorbs float-association differences: the
+    solver accumulates per-round latencies bottom-up (right-associated)
+    while this reference sums front-to-back, which can differ by an ulp.
+    """
+    best = None
+    for sequence in iter_sequences(n):
+        questions = [
+            tournament_questions(a, b)
+            for a, b in zip(sequence, sequence[1:])
+        ]
+        total_latency = sum(latency(q) for q in questions)
+        if total_latency <= deadline * (1 + 1e-12):
+            cost = sum(questions)
+            if best is None or cost < best:
+                best = cost
+    return best
+
+
+class TestAgainstBruteForce:
+    @given(
+        n=st.integers(2, 10),
+        delta=st.floats(1, 400),
+        alpha=st.floats(0.01, 2),
+        slack=st.floats(1e-6, 3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_exhaustive_minimum(self, n, delta, alpha, slack):
+        latency = LinearLatency(delta, alpha)
+        fastest = solve_min_latency(
+            n, n * (n - 1) // 2, latency
+        ).total_latency
+        # Keep the deadline strictly off the achievable-latency knife edge
+        # (the exact-boundary behaviour is covered deterministically below).
+        deadline = fastest * (1.0 + slack) + 1e-6
+        expected = brute_force_min_cost(n, deadline, latency)
+        plan = solve_min_cost(n, deadline, latency)
+        assert plan.questions_used == expected
+        assert plan.total_latency <= deadline * (1 + 1e-12)
+
+
+class TestBehaviour:
+    def test_tight_deadline_uses_optimal_latency_plan(self):
+        fastest = solve_min_latency(500, 124750, MTURK)
+        plan = solve_min_cost(500, fastest.total_latency, MTURK)
+        assert plan.total_latency == pytest.approx(fastest.total_latency)
+        assert plan.questions_used == fastest.questions_used
+
+    def test_loose_deadline_approaches_knockout_cost(self):
+        """With an enormous deadline the cheapest plan spends the Theorem 1
+        minimum of c0 - 1 questions."""
+        plan = solve_min_cost(64, 1e9, MTURK)
+        assert plan.questions_used == 63
+
+    def test_cost_monotone_in_deadline(self):
+        deadlines = (700, 1000, 2000, 10_000)
+        costs = [
+            solve_min_cost(500, deadline, MTURK).questions_used
+            for deadline in deadlines
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_impossible_deadline_reports_fastest(self):
+        with pytest.raises(InvalidParameterError) as excinfo:
+            solve_min_cost(500, 10.0, MTURK)
+        assert "fastest achievable" in str(excinfo.value)
+
+    def test_budget_cap_respected(self):
+        plan = solve_min_cost(64, 1e9, MTURK, budget=100)
+        assert plan.questions_used <= 100
+
+    def test_single_element(self):
+        plan = solve_min_cost(1, 0.0, MTURK)
+        assert plan.sequence == (1,)
+        assert plan.questions_used == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            solve_min_cost(0, 100, MTURK)
+        with pytest.raises(InvalidParameterError):
+            solve_min_cost(5, -1, MTURK)
+        with pytest.raises(InvalidParameterError):
+            solve_min_cost(10, 1000, MTURK, budget=5)
+
+    def test_convex_latency(self, quadratic_latency):
+        fastest = solve_min_latency(100, 4950, quadratic_latency)
+        plan = solve_min_cost(
+            100, fastest.total_latency * 1.5, quadratic_latency
+        )
+        assert plan.total_latency <= fastest.total_latency * 1.5
+        assert plan.questions_used <= fastest.questions_used

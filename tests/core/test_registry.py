@@ -1,0 +1,31 @@
+"""Tests for the allocator registry."""
+
+import pytest
+
+from repro.core.allocation import BudgetAllocator
+from repro.core.registry import allocator_by_name, available_allocators
+from repro.errors import InvalidParameterError
+
+
+def test_all_paper_allocators_registered():
+    names = available_allocators()
+    for expected in ("tDP", "HE", "HF", "uHE", "uHF"):
+        assert expected in names
+
+
+def test_lookup_returns_fresh_instances():
+    first = allocator_by_name("tDP")
+    second = allocator_by_name("tDP")
+    assert isinstance(first, BudgetAllocator)
+    assert first is not second
+
+
+def test_lookup_is_case_insensitive():
+    assert allocator_by_name("uhe").name == "uHE"
+    assert allocator_by_name("TDP").name == "tDP"
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(InvalidParameterError) as excinfo:
+        allocator_by_name("nope")
+    assert "tDP" in str(excinfo.value)

@@ -1,0 +1,174 @@
+"""Tests for the tDP optimal budget allocator (Algorithm 1 / Problem 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.brute_force import brute_force_min_latency
+from repro.core.latency import LinearLatency, PowerLawLatency
+from repro.core.questions import tournament_questions
+from repro.core.tdp import TDPAllocator, solve_min_latency
+from repro.errors import InvalidParameterError
+
+
+class TestPaperAllocations:
+    def test_beats_fig4_example(self, fig4_latency):
+        """The optimum for (c0=40, b=108, L=100+q) is at most the paper's
+        (40, 8, 1) example, which costs 308 s."""
+        plan = solve_min_latency(40, 108, fig4_latency)
+        assert plan.total_latency <= 308
+        assert plan.questions_used <= 108
+
+    def test_paper_250_elements_allocation(self, mturk_latency):
+        """Section 6.4: for 250 elements and b = 4000, tDP generates the
+        allocation (884, 465)."""
+        allocation = TDPAllocator().allocate(250, 4000, mturk_latency)
+        assert allocation.round_budgets == (884, 465)
+        assert allocation.element_sequence == (250, 31, 1)
+
+    def test_paper_500_elements_budget_capping(self, mturk_latency):
+        """Section 6.5: past 4000 questions tDP keeps producing
+        (2250, 1225) and uses only 3475 questions of any larger budget."""
+        for budget in (4000, 8000, 16000, 32000, 124750):
+            plan = solve_min_latency(500, budget, mturk_latency)
+            assert plan.sequence == (500, 50, 1)
+            assert plan.questions_used == 3475
+
+    def test_single_element(self, mturk_latency):
+        plan = solve_min_latency(1, 0, mturk_latency)
+        assert plan.sequence == (1,)
+        assert plan.total_latency == 0
+        assert plan.questions_used == 0
+
+    def test_two_elements(self, mturk_latency):
+        plan = solve_min_latency(2, 1, mturk_latency)
+        assert plan.sequence == (2, 1)
+        assert plan.questions_used == 1
+
+
+class TestOptimality:
+    @given(
+        n_elements=st.integers(2, 12),
+        data=st.data(),
+        delta=st.floats(0, 500),
+        alpha=st.floats(0.001, 3),
+        p=st.floats(0.5, 2.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, n_elements, data, delta, alpha, p):
+        budget = data.draw(
+            st.integers(n_elements - 1, n_elements * (n_elements - 1) // 2 + 5)
+        )
+        latency = PowerLawLatency(delta, alpha, p)
+        expected = brute_force_min_latency(n_elements, budget, latency)
+        plan = solve_min_latency(n_elements, budget, latency)
+        assert plan.total_latency == pytest.approx(
+            expected.total_latency, rel=1e-12, abs=1e-9
+        )
+
+    @given(n_elements=st.integers(2, 40), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_sequence_is_feasible_and_consistent(self, n_elements, data):
+        budget = data.draw(st.integers(n_elements - 1, 4 * n_elements))
+        latency = LinearLatency(100, 0.5)
+        plan = solve_min_latency(n_elements, budget, latency)
+        assert plan.sequence[0] == n_elements
+        assert plan.sequence[-1] == 1
+        assert all(b > a for a, b in zip(plan.sequence[1:], plan.sequence))
+        questions = [
+            tournament_questions(c_prev, c_next)
+            for c_prev, c_next in zip(plan.sequence, plan.sequence[1:])
+        ]
+        assert sum(questions) == plan.questions_used
+        assert plan.questions_used <= budget
+        assert plan.total_latency == pytest.approx(
+            sum(latency(q) for q in questions)
+        )
+
+    @given(n_elements=st.integers(2, 25), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_latency_non_increasing_in_budget(self, n_elements, data):
+        budget = data.draw(st.integers(n_elements - 1, 3 * n_elements))
+        latency = LinearLatency(50, 1.0)
+        lower = solve_min_latency(n_elements, budget, latency)
+        higher = solve_min_latency(n_elements, budget + 1, latency)
+        assert higher.total_latency <= lower.total_latency + 1e-9
+
+
+class TestBudgetLimiting:
+    def test_convex_latency_caps_budget_early(self, quadratic_latency):
+        """Figure 14(b): under p = 2 tDP uses far fewer questions than
+        available."""
+        plan = solve_min_latency(500, 32000, quadratic_latency)
+        assert plan.questions_used < 4000
+
+    def test_stronger_convexity_caps_earlier(self):
+        mild = PowerLawLatency(239, 0.06, 1.2)
+        strong = PowerLawLatency(239, 0.06, 1.8)
+        budget = 16000
+        used_mild = solve_min_latency(500, budget, mild).questions_used
+        used_strong = solve_min_latency(500, budget, strong).questions_used
+        assert used_strong <= used_mild
+
+    def test_zero_overhead_prefers_many_cheap_rounds(self):
+        """With delta = 0 rounds are free, so the knockout (one question at
+        a time is allowed but pairing is just as cheap) minimum of c0 - 1
+        questions is optimal."""
+        plan = solve_min_latency(16, 200, LinearLatency(0, 1.0))
+        assert plan.questions_used == 15
+        assert plan.total_latency == pytest.approx(15.0)
+
+    def test_huge_overhead_prefers_single_round(self):
+        plan = solve_min_latency(16, 120, LinearLatency(10_000, 0.001))
+        assert plan.sequence == (16, 1)
+
+
+class TestValidation:
+    def test_infeasible_budget(self, mturk_latency):
+        with pytest.raises(InvalidParameterError):
+            solve_min_latency(10, 8, mturk_latency)
+
+    def test_invalid_element_count(self, mturk_latency):
+        with pytest.raises(InvalidParameterError):
+            solve_min_latency(0, 10, mturk_latency)
+
+    def test_allocator_name(self, mturk_latency):
+        allocation = TDPAllocator().allocate(10, 20, mturk_latency)
+        assert allocation.allocator_name == "tDP"
+
+
+class TestPaperScale:
+    def test_largest_paper_workload_is_practical(self, mturk_latency):
+        """The solver handles the paper's biggest Figure 15 cell (c0=2000,
+        b=32000) quickly and returns a structurally sound plan."""
+        import time
+
+        start = time.perf_counter()
+        plan = solve_min_latency(2000, 32000, mturk_latency)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0  # generous bound; typically ~1-2 s
+        assert plan.sequence[0] == 2000
+        assert plan.sequence[-1] == 1
+        assert plan.questions_used <= 32000
+        # A frontier-based solver cannot be budget-sensitive: the same plan
+        # must come back for any larger budget too.
+        again = solve_min_latency(2000, 64000, mturk_latency)
+        assert again.total_latency <= plan.total_latency + 1e-9
+
+
+class TestDiagnostics:
+    def test_frontier_sizes_reported(self, mturk_latency):
+        plan = solve_min_latency(50, 400, mturk_latency)
+        assert len(plan.frontier_sizes) == 50
+        assert plan.frontier_sizes[0] == 1  # P(1) is the single base point
+        assert all(size >= 1 for size in plan.frontier_sizes)
+
+    def test_frontiers_stay_small_for_linear_latency(self, mturk_latency):
+        """For linear L the frontier of c has at most ~log2(c) + 1 points
+        (one per useful round count)."""
+        plan = solve_min_latency(200, 4000, mturk_latency)
+        assert max(plan.frontier_sizes) <= 12
+
+    def test_rounds_property(self, mturk_latency):
+        plan = solve_min_latency(500, 4000, mturk_latency)
+        assert plan.rounds == len(plan.sequence) - 1 == 2

@@ -1,0 +1,76 @@
+"""Tests for the literal Algorithm 1 memoized solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LinearLatency, PowerLawLatency
+from repro.core.tdp import solve_min_latency
+from repro.core.tdp_memo import (
+    MemoizedTDPAllocator,
+    StateLimitExceededError,
+    solve_min_latency_memo,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestEquivalenceWithParetoSolver:
+    @given(
+        n_elements=st.integers(2, 30),
+        data=st.data(),
+        delta=st.floats(0, 400),
+        alpha=st.floats(0.01, 2),
+        p=st.floats(0.6, 2.2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_same_optimal_latency(self, n_elements, data, delta, alpha, p):
+        budget = data.draw(st.integers(n_elements - 1, 6 * n_elements))
+        latency = PowerLawLatency(delta, alpha, p)
+        memo_plan = solve_min_latency_memo(n_elements, budget, latency)
+        pareto_plan = solve_min_latency(n_elements, budget, latency)
+        assert memo_plan.total_latency == pytest.approx(
+            pareto_plan.total_latency, rel=1e-12, abs=1e-9
+        )
+
+    def test_paper_500_element_allocation(self, mturk_latency):
+        plan = solve_min_latency_memo(500, 4000, mturk_latency)
+        assert plan.sequence == (500, 50, 1)
+        assert plan.questions_used == 3475
+
+
+class TestBehaviour:
+    def test_single_element(self, mturk_latency):
+        plan = solve_min_latency_memo(1, 0, mturk_latency)
+        assert plan.sequence == (1,)
+        assert plan.states_visited == 1
+
+    def test_states_grow_slowly_with_budget(self, mturk_latency):
+        """The Section 6.7 observation: doubling b does not double the
+        reachable state count."""
+        small = solve_min_latency_memo(60, 120, mturk_latency)
+        large = solve_min_latency_memo(60, 960, mturk_latency)
+        assert large.states_visited < 4 * small.states_visited
+
+    def test_state_limit_enforced(self, mturk_latency):
+        with pytest.raises(StateLimitExceededError):
+            solve_min_latency_memo(80, 640, mturk_latency, max_states=10)
+
+    def test_sequence_spends_reported_questions(self):
+        latency = LinearLatency(25, 0.4)
+        plan = solve_min_latency_memo(40, 300, latency)
+        from repro.core.questions import tournament_questions
+
+        spent = sum(
+            tournament_questions(a, b)
+            for a, b in zip(plan.sequence, plan.sequence[1:])
+        )
+        assert spent == plan.questions_used <= 300
+
+    def test_infeasible_budget(self, mturk_latency):
+        with pytest.raises(InvalidParameterError):
+            solve_min_latency_memo(10, 8, mturk_latency)
+
+    def test_allocator_wrapper(self, mturk_latency):
+        allocation = MemoizedTDPAllocator().allocate(30, 90, mturk_latency)
+        assert allocation.allocator_name == "tDP-memo"
+        assert allocation.total_questions <= 90

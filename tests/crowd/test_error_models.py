@@ -1,0 +1,73 @@
+"""Tests for worker error models."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.error_models import (
+    DistanceSensitiveError,
+    PerfectWorkers,
+    UniformError,
+)
+from repro.crowd.ground_truth import GroundTruth
+
+
+class TestPerfectWorkers:
+    def test_zero_error_probability(self):
+        truth = GroundTruth.identity(5)
+        assert PerfectWorkers().error_probability(truth, 0, 4) == 0.0
+
+    def test_answers_always_correct(self, rng):
+        truth = GroundTruth.identity(10)
+        model = PerfectWorkers()
+        for _ in range(50):
+            a, b = rng.choice(10, size=2, replace=False)
+            answer = model.worker_answer(truth, int(a), int(b), rng)
+            assert answer.winner == truth.better(int(a), int(b))
+
+
+class TestUniformError:
+    def test_rate_bounds(self):
+        with pytest.raises(Exception):
+            UniformError(0.5)
+        with pytest.raises(Exception):
+            UniformError(-0.1)
+        UniformError(0.0)
+        UniformError(0.49)
+
+    def test_empirical_error_rate(self):
+        truth = GroundTruth.identity(4)
+        model = UniformError(0.3)
+        rng = np.random.default_rng(0)
+        wrong = sum(
+            model.worker_answer(truth, 0, 3, rng).winner == 3
+            for _ in range(5000)
+        )
+        assert wrong / 5000 == pytest.approx(0.3, abs=0.03)
+
+
+class TestDistanceSensitiveError:
+    def test_adjacent_pairs_hardest(self):
+        truth = GroundTruth.identity(20)
+        model = DistanceSensitiveError(base=0.4, scale=5.0)
+        adjacent = model.error_probability(truth, 5, 6)
+        distant = model.error_probability(truth, 0, 19)
+        assert adjacent == pytest.approx(0.4)
+        assert distant < 0.02
+        assert adjacent > distant
+
+    def test_monotone_in_gap(self):
+        truth = GroundTruth.identity(30)
+        model = DistanceSensitiveError()
+        probabilities = [
+            model.error_probability(truth, 0, other) for other in range(1, 30)
+        ]
+        assert all(
+            later <= earlier
+            for earlier, later in zip(probabilities, probabilities[1:])
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(Exception):
+            DistanceSensitiveError(base=0.6)
+        with pytest.raises(Exception):
+            DistanceSensitiveError(scale=0)

@@ -1,0 +1,77 @@
+"""Tests for the hidden true order."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.ground_truth import GroundTruth
+from repro.errors import InvalidParameterError
+
+
+class TestConstruction:
+    def test_identity(self):
+        truth = GroundTruth.identity(5)
+        assert truth.max_element == 0
+        assert truth.rank(4) == 4
+
+    def test_explicit_order(self):
+        truth = GroundTruth([2, 0, 1])
+        assert truth.max_element == 2
+        assert truth.rank(2) == 0
+        assert truth.rank(1) == 2
+
+    def test_random_is_a_permutation(self, rng):
+        truth = GroundTruth.random(50, rng)
+        assert sorted(truth.rank(e) for e in range(50)) == list(range(50))
+
+    def test_random_is_deterministic_per_seed(self):
+        first = GroundTruth.random(20, np.random.default_rng(5))
+        second = GroundTruth.random(20, np.random.default_rng(5))
+        assert [first.rank(e) for e in range(20)] == [
+            second.rank(e) for e in range(20)
+        ]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidParameterError):
+            GroundTruth([0, 0, 1])
+        with pytest.raises(InvalidParameterError):
+            GroundTruth([1, 2, 3])
+
+    def test_rejects_empty_random(self, rng):
+        with pytest.raises(InvalidParameterError):
+            GroundTruth.random(0, rng)
+
+
+class TestComparisons:
+    def test_better_follows_rank(self):
+        truth = GroundTruth([3, 1, 0, 2])
+        assert truth.better(3, 2) == 3
+        assert truth.better(0, 1) == 1
+
+    def test_answer_structure(self):
+        truth = GroundTruth.identity(4)
+        answer = truth.answer(2, 1)
+        assert answer.winner == 1
+        assert answer.loser == 2
+
+    def test_answers_are_transitively_consistent(self, rng):
+        truth = GroundTruth.random(10, rng)
+        for a in range(10):
+            for b in range(10):
+                for c in range(10):
+                    if len({a, b, c}) < 3:
+                        continue
+                    if truth.better(a, b) == a and truth.better(b, c) == b:
+                        assert truth.better(a, c) == a
+
+    def test_self_comparison_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GroundTruth.identity(3).better(1, 1)
+
+    def test_unknown_element(self):
+        with pytest.raises(InvalidParameterError):
+            GroundTruth.identity(3).rank(9)
+
+    def test_rank_gap(self):
+        truth = GroundTruth([4, 3, 2, 1, 0])
+        assert truth.rank_gap(4, 0) == 4
+        assert truth.rank_gap(2, 3) == 1

@@ -1,0 +1,166 @@
+"""Tests for the caller-driven MaxSession."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.latency import LinearLatency
+from repro.core.tdp import TDPAllocator
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+from repro.engine.session import MaxSession, SessionStateError
+from repro.errors import InvalidParameterError
+from repro.selection.tournament import TournamentFormation
+from repro.types import Answer
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+def drive_to_completion(session, truth):
+    """Answer every pending batch from the ground truth."""
+    while not session.done:
+        batch = session.pending_questions()
+        session.submit(truth.answer(a, b) for a, b in batch)
+    return session
+
+
+class TestHappyPath:
+    def test_finds_the_max(self):
+        rng = np.random.default_rng(0)
+        truth = GroundTruth.random(40, rng)
+        allocation = TDPAllocator().allocate(40, 200, LATENCY)
+        session = MaxSession(allocation, TournamentFormation(), 40, rng)
+        drive_to_completion(session, truth)
+        assert session.singleton_termination
+        assert session.winner == truth.max_element
+
+    def test_matches_engine_run(self):
+        """Driving a session yields the same winner and question count as
+        the batch engine under the same seed."""
+        allocation = TDPAllocator().allocate(30, 150, LATENCY)
+        rng_engine = np.random.default_rng(3)
+        truth_engine = GroundTruth.random(30, rng_engine)
+        engine_result = MaxEngine(
+            TournamentFormation(),
+            OracleAnswerSource(truth_engine, LATENCY),
+            rng_engine,
+        ).run(truth_engine, allocation)
+
+        rng_session = np.random.default_rng(3)
+        truth_session = GroundTruth.random(30, rng_session)
+        session = MaxSession(
+            allocation, TournamentFormation(), 30, rng_session
+        )
+        drive_to_completion(session, truth_session)
+        assert session.winner == engine_result.winner
+        assert session.questions_posted == engine_result.total_questions
+        assert session.rounds_executed == engine_result.rounds_run
+
+    def test_pending_is_stable_until_submit(self):
+        rng = np.random.default_rng(1)
+        allocation = Allocation.from_element_sequence((10, 2, 1))
+        session = MaxSession(allocation, TournamentFormation(), 10, rng)
+        first = session.pending_questions()
+        second = session.pending_questions()
+        assert first == second
+
+    def test_early_singleton_finishes_session(self):
+        """A lavish first round resolves everything; the session must be
+        done without touching round 2."""
+        rng = np.random.default_rng(2)
+        truth = GroundTruth.random(8, rng)
+        allocation = Allocation(round_budgets=(28, 10))
+        session = MaxSession(allocation, TournamentFormation(), 8, rng)
+        batch = session.pending_questions()
+        session.submit(truth.answer(a, b) for a, b in batch)
+        assert session.done
+        assert session.rounds_executed == 1
+        assert session.winner == truth.max_element
+
+    def test_zero_budget_rounds_skipped(self):
+        rng = np.random.default_rng(4)
+        truth = GroundTruth.random(6, rng)
+        allocation = Allocation(round_budgets=(0, 0, 15))
+        session = MaxSession(allocation, TournamentFormation(), 6, rng)
+        assert session.round_index == 2
+        drive_to_completion(session, truth)
+        assert session.winner == truth.max_element
+
+
+class TestMisuse:
+    def make_session(self):
+        rng = np.random.default_rng(5)
+        allocation = Allocation.from_element_sequence((6, 2, 1))
+        return MaxSession(allocation, TournamentFormation(), 6, rng)
+
+    def test_submit_before_asking(self):
+        session = self.make_session()
+        with pytest.raises(SessionStateError):
+            session.submit([])
+
+    def test_partial_answers_rejected(self):
+        session = self.make_session()
+        truth = GroundTruth.identity(6)
+        batch = session.pending_questions()
+        with pytest.raises(InvalidParameterError):
+            session.submit([truth.answer(*batch[0])])
+
+    def test_foreign_answers_rejected(self):
+        session = self.make_session()
+        batch = session.pending_questions()
+        wrong = [Answer(winner=a, loser=b) for a, b in batch]
+        wrong[0] = Answer(winner=0, loser=1)
+        if (0, 1) not in set(batch):
+            with pytest.raises(InvalidParameterError):
+                session.submit(wrong)
+
+    def test_winner_before_done(self):
+        session = self.make_session()
+        session.pending_questions()
+        with pytest.raises(SessionStateError):
+            _ = session.winner
+
+    def test_questions_after_done(self):
+        rng = np.random.default_rng(6)
+        truth = GroundTruth.random(6, rng)
+        allocation = Allocation.from_element_sequence((6, 1))
+        session = MaxSession(allocation, TournamentFormation(), 6, rng)
+        drive_to_completion(session, truth)
+        with pytest.raises(SessionStateError):
+            session.pending_questions()
+
+
+class TestNonSingletonFinish:
+    def test_budget_too_small_declares_scored_winner(self):
+        rng = np.random.default_rng(7)
+        truth = GroundTruth.random(10, rng)
+        allocation = Allocation(round_budgets=(3,))
+        session = MaxSession(allocation, TournamentFormation(), 10, rng)
+        drive_to_completion(session, truth)
+        assert session.done
+        assert not session.singleton_termination
+        assert 0 <= session.winner < 10
+
+
+class TestCheckpointing:
+    def test_evidence_survives_a_round_trip(self):
+        """Persist mid-session evidence and verify it reloads identically
+        (a new session cannot resume, but the evidence for analysis can)."""
+        from repro.persistence import (
+            answer_graph_from_dict,
+            answer_graph_to_dict,
+        )
+
+        rng = np.random.default_rng(8)
+        truth = GroundTruth.random(12, rng)
+        allocation = Allocation.from_element_sequence((12, 3, 1))
+        session = MaxSession(allocation, TournamentFormation(), 12, rng)
+        batch = session.pending_questions()
+        session.submit(truth.answer(a, b) for a, b in batch)
+        restored = answer_graph_from_dict(
+            answer_graph_to_dict(session.evidence)
+        )
+        assert (
+            restored.remaining_candidates()
+            == session.evidence.remaining_candidates()
+        )

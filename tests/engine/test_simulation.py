@@ -1,0 +1,114 @@
+"""Tests for the repeated-run simulation helpers."""
+
+import pytest
+
+from repro.core.latency import LinearLatency
+from repro.core.tdp import TDPAllocator
+from repro.engine.results import MaxRunResult
+from repro.engine.simulation import AggregateStats, aggregate, run_many, run_once
+from repro.errors import InvalidParameterError
+from repro.selection.tournament import TournamentFormation
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+class TestRunMany:
+    def test_returns_requested_count(self):
+        results = run_many(
+            20, 60, TDPAllocator(), TournamentFormation(), LATENCY, 5, seed=1
+        )
+        assert len(results) == 5
+        assert all(isinstance(r, MaxRunResult) for r in results)
+
+    def test_deterministic_per_seed(self):
+        args = (20, 60, TDPAllocator(), TournamentFormation(), LATENCY, 3)
+        first = run_many(*args, seed=7)
+        second = run_many(*args, seed=7)
+        assert [r.total_latency for r in first] == [
+            r.total_latency for r in second
+        ]
+        assert [r.winner for r in first] == [r.winner for r in second]
+
+    def test_different_seeds_vary_ground_truth(self):
+        first = run_many(
+            20, 60, TDPAllocator(), TournamentFormation(), LATENCY, 4, seed=1
+        )
+        second = run_many(
+            20, 60, TDPAllocator(), TournamentFormation(), LATENCY, 4, seed=2
+        )
+        assert [r.true_max for r in first] != [r.true_max for r in second]
+
+    def test_invalid_run_count(self):
+        with pytest.raises(InvalidParameterError):
+            run_many(
+                20, 60, TDPAllocator(), TournamentFormation(), LATENCY, 0, seed=1
+            )
+
+
+class TestAggregateStats:
+    def test_perfect_runs_aggregate_cleanly(self):
+        stats = aggregate(
+            30, 100, TDPAllocator(), TournamentFormation(), LATENCY, 6, seed=3
+        )
+        assert stats.n_runs == 6
+        assert stats.singleton_rate == 1.0
+        assert stats.accuracy == 1.0
+        assert stats.mean_latency > 0
+        assert stats.mean_questions <= 100
+
+    def test_std_zero_for_identical_runs(self):
+        """Tournament selection under a fixed allocation posts the same
+        question counts in every run, so the latency variance is zero."""
+        stats = aggregate(
+            30, 100, TDPAllocator(), TournamentFormation(), LATENCY, 5, seed=3
+        )
+        assert stats.std_latency == pytest.approx(0.0)
+
+    def test_from_results_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            AggregateStats.from_results([])
+
+    def test_confidence_interval_brackets_the_mean(self):
+        stats = aggregate(
+            30, 100, TDPAllocator(), TournamentFormation(), LATENCY, 6, seed=3
+        )
+        low, high = stats.latency_confidence_interval()
+        assert low <= stats.mean_latency <= high
+
+    def test_confidence_interval_shrinks_with_more_runs(self):
+        from repro.selection.ct import ct25
+        from repro.core.heuristics import HeavyFront
+
+        few = aggregate(
+            40, 200, HeavyFront(), ct25(), LATENCY, 5, seed=1
+        )
+        many = aggregate(
+            40, 200, HeavyFront(), ct25(), LATENCY, 40, seed=1
+        )
+        few_width = few.latency_confidence_interval()[1] - (
+            few.latency_confidence_interval()[0]
+        )
+        many_width = many.latency_confidence_interval()[1] - (
+            many.latency_confidence_interval()[0]
+        )
+        assert many_width < few_width or few_width == 0.0
+
+    def test_confidence_interval_validation(self):
+        stats = aggregate(
+            10, 45, TDPAllocator(), TournamentFormation(), LATENCY, 2, seed=0
+        )
+        with pytest.raises(InvalidParameterError):
+            stats.latency_confidence_interval(z=-1)
+
+    def test_single_run_has_zero_std(self):
+        result = run_once(
+            10,
+            30,
+            TDPAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            rng=__import__("numpy").random.default_rng(0),
+        )
+        stats = AggregateStats.from_results([result])
+        assert stats.n_runs == 1
+        assert stats.std_latency == 0.0

@@ -1,0 +1,101 @@
+"""Tests for the top-k extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import LinearLatency
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import OracleAnswerSource
+from repro.engine.topk import TopKEngine, minimum_topk_budget
+from repro.errors import InvalidParameterError
+from repro.selection.tournament import TournamentFormation
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+def run_topk(n, k, budget, seed=0):
+    rng = np.random.default_rng(seed)
+    truth = GroundTruth.random(n, rng)
+    engine = TopKEngine(
+        TournamentFormation(spend_leftover=False),
+        OracleAnswerSource(truth, LATENCY),
+        LATENCY,
+        rng,
+    )
+    return engine.run(truth, k, budget), truth
+
+
+class TestCorrectness:
+    def test_finds_true_topk_in_order(self):
+        for seed in range(8):
+            result, truth = run_topk(40, 3, 400, seed=seed)
+            expected = tuple(sorted(range(40), key=truth.rank)[:3])
+            assert result.ranking == expected
+            assert result.correct
+
+    def test_k_equals_one_is_plain_max(self):
+        result, truth = run_topk(30, 1, 150)
+        assert result.ranking == (truth.max_element,)
+
+    def test_k_equals_n_gives_total_order(self):
+        result, truth = run_topk(8, 8, 200)
+        assert result.ranking == tuple(sorted(range(8), key=truth.rank))
+
+    def test_budget_respected(self):
+        result, _ = run_topk(40, 5, 300)
+        assert result.total_questions <= 300
+
+
+class TestEvidenceReuse:
+    def test_later_phases_much_cheaper(self):
+        """Phase 2 starts from the runner-up pool, not from scratch: its
+        question count must be a small fraction of phase 1's."""
+        result, _ = run_topk(100, 2, 800)
+        phase1 = sum(r.questions_posted for r in result.phase_records[0])
+        phase2 = sum(r.questions_posted for r in result.phase_records[1])
+        assert phase2 < phase1 / 3
+
+    def test_cheaper_than_independent_runs(self):
+        """Total cost for top-3 is far below 3x the cost of one MAX."""
+        result, _ = run_topk(60, 3, 600)
+        single, _ = run_topk(60, 1, 600)
+        assert result.total_questions < 2 * single.total_questions
+
+    def test_total_question_bookkeeping(self):
+        result, _ = run_topk(50, 4, 500)
+        per_phase = sum(
+            record.questions_posted
+            for phase in result.phase_records
+            for record in phase
+        )
+        assert per_phase == result.total_questions
+
+
+class TestBudgetExhaustion:
+    def test_partial_ranking_when_budget_runs_out(self):
+        """With the bare minimum budget the engine returns what it could
+        certify instead of guessing."""
+        result, truth = run_topk(20, 5, minimum_topk_budget(20, 5), seed=3)
+        assert 1 <= len(result.ranking) <= 5
+        expected_prefix = tuple(
+            sorted(range(20), key=truth.rank)[: len(result.ranking)]
+        )
+        assert result.ranking == expected_prefix
+
+    def test_infeasible_budget_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_topk(20, 5, 10)
+
+
+class TestMinimumBudget:
+    def test_values(self):
+        assert minimum_topk_budget(10, 1) == 9
+        assert minimum_topk_budget(10, 3) == 11
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            minimum_topk_budget(5, 6)
+        with pytest.raises(InvalidParameterError):
+            minimum_topk_budget(0, 1)
+        with pytest.raises(InvalidParameterError):
+            minimum_topk_budget(5, 0)

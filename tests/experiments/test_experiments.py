@@ -1,0 +1,191 @@
+"""Shape and property tests for every Section 6 experiment at small scale.
+
+These tests assert the *shapes* the paper reports — who wins, monotonicity,
+termination behaviour — not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig11a,
+    fig11b,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    findings68,
+)
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.runner import (
+    available_experiments,
+    run_all,
+    run_experiment,
+)
+from repro.errors import ExperimentError
+
+TINY = ExperimentScale(name="small", n_runs=5, n_elements=40, budget=300)
+
+
+class TestFig11a:
+    def test_fit_is_valid_latency_model(self):
+        estimate = fig11a.estimate_latency(SMALL)
+        assert estimate.fitted.delta > 0
+        assert estimate.fitted.alpha >= 0
+
+    def test_large_batches_take_longer_than_small(self):
+        estimate = fig11a.estimate_latency(
+            SMALL, batch_sizes=(10, 2000), repeats=5
+        )
+        measured = estimate.table.column("measured mean (s)")
+        assert measured[-1] > measured[0]
+
+    def test_table_shape(self):
+        tables = fig11a.run(SMALL)
+        assert len(tables) == 1
+        assert tables[0].name == "fig11a"
+        assert len(tables[0].rows) == len(fig11a.SMALL_BATCH_SIZES)
+
+
+class TestFig11b:
+    def test_all_allocators_reported(self):
+        (table,) = fig11b.run(TINY)
+        assert table.column("allocator") == ["tDP", "HE", "HF", "uHE", "uHF"]
+        assert all(t > 0 for t in table.column("real time (s)"))
+        assert all(t > 0 for t in table.column("estimated time (s)"))
+
+
+class TestFig12:
+    def test_tournament_always_singleton_terminates(self):
+        latency_table, singleton_table = fig12.run(TINY, budgets=(60, 120))
+        assert singleton_table.column("tDP + Tournament (%)") == [100.0, 100.0]
+        assert singleton_table.column("HF + Tournament (%)") == [100.0, 100.0]
+
+    def test_tdp_not_worse_than_hf(self):
+        latency_table, _ = fig12.run(TINY, budgets=(60, 120))
+        tdp = latency_table.column("tDP + Tournament (s)")
+        hf = latency_table.column("HF + Tournament (s)")
+        assert all(t <= h + 1e-9 for t, h in zip(tdp, hf))
+
+
+class TestFig13:
+    """Shape assertions at a mid-size workload (c0 = 150).
+
+    At very small collections the CT25 baselines can beat tDP on *average*
+    latency through early-termination luck (tDP optimizes the worst case);
+    the paper's 'tDP always lowest' claim holds at its workload ratios, so
+    the tests use a proportionally similar configuration.  A 2% tolerance
+    absorbs the paper's own observation that uniform allocators sometimes
+    land essentially on tDP's allocation.
+    """
+
+    MID = ExperimentScale(name="small", n_runs=10, n_elements=150, budget=1200)
+
+    def test_tdp_wins_collection_sweep(self):
+        table = fig13.run_collection_sweep(self.MID, collection_sizes=(100, 150))
+        for row in table.rows:
+            tdp_latency = row[1]
+            assert tdp_latency <= 1.02 * min(row[1:])
+
+    def test_tdp_wins_budget_sweep(self):
+        table = fig13.run_budget_sweep(self.MID, budgets=(1200, 2400, 9600))
+        for row in table.rows:
+            assert row[1] <= 1.02 * min(row[1:])
+
+    def test_tdp_latency_flat_once_budget_is_ample(self):
+        """The Figure 13(b) plateau: tDP stops improving once extra budget
+        stops helping, while the heuristics drift back up."""
+        table = fig13.run_budget_sweep(self.MID, budgets=(1200, 9600))
+        tdp_values = [row[1] for row in table.rows]
+        assert tdp_values[0] == pytest.approx(tdp_values[1])
+        # The heuristics (columns 2..5) are clearly slower than tDP at the
+        # largest budget: they spend everything they are given.
+        final_row = table.rows[-1]
+        assert min(final_row[2:]) > 1.2 * final_row[1]
+
+
+class TestFig14:
+    def test_gap_explodes_with_exponent(self):
+        table = fig14.run_exponent_sweep(TINY, exponents=(1.0, 2.0))
+        first, last = table.rows[0], table.rows[-1]
+
+        def gap(row):
+            tdp = row[1]
+            second_best = min(row[2:])
+            return second_best / tdp
+
+        assert gap(last) > gap(first)
+
+    def test_tdp_always_best_at_high_exponent(self):
+        table = fig14.run_exponent_sweep(TINY, exponents=(2.0,))
+        row = table.rows[0]
+        assert row[1] == min(row[1:])
+
+    def test_budget_usage_caps(self):
+        table = fig14.run_budget_usage(TINY, budgets=(100, 400, 780))
+        # Column 1 = p=1.0, column 3 = p=1.8, column 4 = others.
+        for row in table.rows:
+            budget, *used, others = row
+            assert others == min(budget, 40 * 39 // 2)
+            assert all(u <= budget for u in used)
+        # Stronger convexity caps usage at or below the linear case at the
+        # largest budget.
+        final = table.rows[-1]
+        assert final[3] <= final[1]
+
+    def test_usage_monotone_in_budget_for_linear(self):
+        table = fig14.run_budget_usage(TINY, budgets=(100, 400, 780))
+        linear_usage = [row[1] for row in table.rows]
+        assert all(b >= a for a, b in zip(linear_usage, linear_usage[1:]))
+
+
+class TestFig15:
+    def test_timings_positive_and_complete(self):
+        (table,) = fig15.run(SMALL)
+        assert len(table.rows) == len(fig15.SMALL_COLLECTION_SIZES) * len(
+            fig15.BUDGET_MULTIPLES
+        )
+        assert all(row[3] > 0 for row in table.rows)
+
+    def test_memo_states_grow_slowly_in_budget(self):
+        (table,) = fig15.run(SMALL)
+        by_size = {}
+        for row in table.rows:
+            by_size.setdefault(row[0], []).append(row[5])
+        for states in by_size.values():
+            assert states[-1] < 8 * states[0]
+
+
+class TestFindings68:
+    def test_grid_shape_and_verdicts(self):
+        grid, verdicts = findings68.run(TINY)
+        # 4 heuristic allocators x 3 selectors.
+        assert len(grid.rows) == 12
+        assert len(verdicts.rows) == 3
+        assert all(isinstance(row[2], bool) for row in verdicts.rows)
+
+    def test_tournament_always_singleton(self):
+        grid, _ = findings68.run(TINY)
+        for allocator, selector, _, singleton in grid.rows:
+            if selector == "Tournament":
+                assert singleton == 100.0
+
+
+class TestRunner:
+    def test_all_experiments_registered(self):
+        assert available_experiments() == [
+            "fig11a",
+            "fig11b",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "findings68",
+        ]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99", SMALL)
+
+    def test_run_experiment_returns_tables(self):
+        tables = run_experiment("fig15", SMALL)
+        assert all(hasattr(t, "to_text") for t in tables)

@@ -1,0 +1,70 @@
+"""Tests for experiment result serialization."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.export import (
+    from_json,
+    to_csv,
+    to_json,
+    to_markdown,
+    to_report,
+)
+from repro.experiments.tables import ExperimentResult
+
+
+def sample_table():
+    table = ExperimentResult(
+        name="fig99",
+        title="A sample",
+        columns=("budget", "tDP (s)"),
+        notes="hello",
+    )
+    table.add_row(100, 700.5)
+    table.add_row(200, 500.0)
+    return table
+
+
+class TestJson:
+    def test_round_trip(self):
+        original = [sample_table()]
+        restored = from_json(to_json(original))
+        assert len(restored) == 1
+        assert restored[0].name == "fig99"
+        assert restored[0].columns == ("budget", "tDP (s)")
+        assert restored[0].rows == [(100, 700.5), (200, 500.0)]
+        assert restored[0].notes == "hello"
+
+    def test_json_is_valid(self):
+        payload = json.loads(to_json([sample_table()]))
+        assert payload[0]["rows"][0] == [100, 700.5]
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            from_json("not json at all")
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        rows = list(csv.reader(io.StringIO(to_csv(sample_table()))))
+        assert rows[0] == ["budget", "tDP (s)"]
+        assert rows[1] == ["100", "700.5"]
+        assert len(rows) == 3
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = to_markdown(sample_table())
+        assert text.startswith("### fig99: A sample")
+        assert "| budget | tDP (s) |" in text
+        assert "| 100 | 700.5 |" in text
+        assert "*hello*" in text
+
+    def test_report_concatenates(self):
+        report = to_report([sample_table(), sample_table()], title="Rep")
+        assert report.startswith("# Rep")
+        assert report.count("### fig99") == 2

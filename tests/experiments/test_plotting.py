@@ -1,0 +1,171 @@
+"""Tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError, InvalidParameterError
+from repro.experiments.plotting import (
+    SERIES_GLYPHS,
+    ascii_bar_chart,
+    ascii_line_chart,
+    chart_for,
+)
+from repro.experiments.tables import ExperimentResult
+
+
+def numeric_table():
+    table = ExperimentResult(
+        name="demo",
+        title="Two series",
+        columns=("budget", "tDP (s)", "HF (s)"),
+    )
+    table.add_row(100, 700.0, 900.0)
+    table.add_row(200, 500.0, 800.0)
+    table.add_row(400, 500.0, 950.0)
+    return table
+
+
+class TestLineChart:
+    def test_contains_legend_and_axes(self):
+        chart = ascii_line_chart(numeric_table())
+        assert "*=tDP (s)" in chart
+        assert "o=HF (s)" in chart
+        assert "x: budget" in chart
+        assert "100" in chart and "400" in chart
+
+    def test_extremes_labelled(self):
+        chart = ascii_line_chart(numeric_table())
+        assert "950" in chart
+        assert "500" in chart
+
+    def test_glyphs_present(self):
+        chart = ascii_line_chart(numeric_table())
+        assert "*" in chart and "o" in chart
+
+    def test_log_scale(self):
+        chart = ascii_line_chart(numeric_table(), log_y=True)
+        assert "[log y]" in chart
+
+    def test_log_scale_rejects_non_positive(self):
+        table = ExperimentResult("t", "t", ("x", "y"))
+        table.add_row(1, 0.0)
+        table.add_row(2, 5.0)
+        with pytest.raises(InvalidParameterError):
+            ascii_line_chart(table, log_y=True)
+
+    def test_non_numeric_column_rejected(self):
+        table = ExperimentResult("t", "t", ("x", "y"))
+        table.add_row("a", 1.0)
+        with pytest.raises(ExperimentError):
+            ascii_line_chart(table)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_line_chart(ExperimentResult("t", "t", ("x", "y")))
+
+    def test_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_line_chart(numeric_table(), width=3)
+
+    def test_too_many_series_rejected(self):
+        columns = ("x",) + tuple(f"s{i}" for i in range(len(SERIES_GLYPHS) + 1))
+        table = ExperimentResult("t", "t", columns)
+        table.add_row(*range(len(columns)))
+        table.add_row(*range(1, len(columns) + 1))
+        with pytest.raises(InvalidParameterError):
+            ascii_line_chart(table)
+
+    def test_constant_series_renders(self):
+        table = ExperimentResult("t", "t", ("x", "y"))
+        table.add_row(1, 5.0)
+        table.add_row(2, 5.0)
+        chart = ascii_line_chart(table)
+        assert "*" in chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        table = ExperimentResult("t", "t", ("who", "value"))
+        table.add_row("small", 10.0)
+        table.add_row("big", 100.0)
+        chart = ascii_bar_chart(table, width=50)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        small_bar = lines[0].split("|")[1]
+        big_bar = lines[1].split("|")[1]
+        assert big_bar.count("#") == 50
+        assert 3 <= small_bar.count("#") <= 7
+
+    def test_zero_value_gets_empty_bar(self):
+        table = ExperimentResult("t", "t", ("who", "value"))
+        table.add_row("none", 0.0)
+        table.add_row("some", 10.0)
+        chart = ascii_bar_chart(table)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert lines[0].split("|")[1].count("#") == 0
+
+    def test_all_zero_rejected(self):
+        table = ExperimentResult("t", "t", ("who", "value"))
+        table.add_row("a", 0.0)
+        with pytest.raises(InvalidParameterError):
+            ascii_bar_chart(table)
+
+    def test_non_numeric_columns_skipped_by_default(self):
+        table = ExperimentResult("t", "t", ("who", "comment", "value"))
+        table.add_row("a", "fast", 3.0)
+        chart = ascii_bar_chart(table)
+        assert "value" in chart
+        assert "comment" not in chart
+
+
+class TestChartForRealExperiments:
+    def test_every_small_scale_table_is_plottable(self):
+        """The CLI --plot path must work for every registered experiment."""
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.runner import available_experiments, run_experiment
+
+        tiny = ExperimentScale(
+            name="small", n_runs=3, n_elements=20, budget=100
+        )
+        for name in available_experiments():
+            for table in run_experiment(name, tiny):
+                chart = chart_for(table)
+                assert table.name in chart
+
+
+class TestChartFor:
+    def test_fig11b_becomes_bars(self):
+        table = ExperimentResult(
+            name="fig11b",
+            title="bars",
+            columns=(
+                "allocator",
+                "real time (s)",
+                "estimated time (s)",
+                "rounds",
+                "questions",
+            ),
+        )
+        table.add_row("tDP", 700.0, 800.0, 2, 3000)
+        table.add_row("HE", 1300.0, 1250.0, 4, 2400)
+        chart = chart_for(table)
+        assert "#" in chart
+        assert "real time (s)" in chart
+
+    def test_numeric_table_becomes_lines(self):
+        chart = chart_for(numeric_table())
+        assert "x: budget" in chart
+
+    def test_fig14a_uses_log_axis(self):
+        table = ExperimentResult(
+            name="fig14a", title="explodes", columns=("p", "tDP (s)", "HF (s)")
+        )
+        table.add_row(1.0, 700.0, 1500.0)
+        table.add_row(2.0, 4000.0, 900000.0)
+        chart = chart_for(table)
+        assert "[log y]" in chart
+
+    def test_string_first_column_falls_back_to_bars(self):
+        table = ExperimentResult("other", "t", ("who", "value"))
+        table.add_row("a", 1.0)
+        table.add_row("b", 2.0)
+        chart = chart_for(table)
+        assert "#" in chart

@@ -1,0 +1,63 @@
+"""Tests for experiment table formatting."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.tables import ExperimentResult, format_cell
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert format_cell(1234.5) == "1,234"
+        assert format_cell(12.345) == "12.35"
+        assert format_cell(0.00123) == "0.00123"
+        assert format_cell(float("nan")) == "-"
+
+    def test_bools_and_ints(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(42) == "42"
+
+    def test_strings_pass_through(self):
+        assert format_cell("tDP") == "tDP"
+
+
+class TestExperimentResult:
+    def make(self):
+        table = ExperimentResult(
+            name="demo",
+            title="A demo table",
+            columns=("x", "y"),
+        )
+        table.add_row(1, 10.0)
+        table.add_row(2, 20.0)
+        return table
+
+    def test_add_row_checks_arity(self):
+        table = self.make()
+        with pytest.raises(ExperimentError):
+            table.add_row(3)
+
+    def test_to_text_contains_everything(self):
+        text = self.make().to_text()
+        assert "# demo: A demo table" in text
+        assert "x" in text and "y" in text
+        assert "20" in text
+
+    def test_notes_rendered(self):
+        table = self.make()
+        table.notes = "hello world"
+        assert "notes: hello world" in table.to_text()
+
+    def test_column_accessor(self):
+        table = self.make()
+        assert table.column("x") == [1, 2]
+        assert table.column("y") == [10.0, 20.0]
+
+    def test_column_unknown(self):
+        with pytest.raises(ExperimentError):
+            self.make().column("z")
+
+    def test_empty_table_renders(self):
+        table = ExperimentResult(name="e", title="t", columns=("only",))
+        assert "only" in table.to_text()

@@ -1,0 +1,76 @@
+"""Tests for concrete tournament-graph construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.questions import tournament_questions, tournament_sizes
+from repro.errors import InvalidParameterError
+from repro.graphs.tournaments import form_tournaments, tournament_question_graph
+
+
+class TestFormTournaments:
+    def test_partition_is_exact(self, rng):
+        groups = form_tournaments(list(range(24)), 5, rng)
+        flattened = sorted(e for group in groups for e in group)
+        assert flattened == list(range(24))
+
+    def test_group_sizes_match_definition(self, rng):
+        groups = form_tournaments(list(range(24)), 5, rng)
+        assert sorted(len(g) for g in groups) == sorted(tournament_sizes(24, 5))
+
+    def test_single_tournament(self, rng):
+        groups = form_tournaments([3, 1, 4], 1, rng)
+        assert len(groups) == 1
+        assert sorted(groups[0]) == [1, 3, 4]
+
+    def test_deterministic_under_seed(self):
+        first = form_tournaments(list(range(30)), 4, np.random.default_rng(9))
+        second = form_tournaments(list(range(30)), 4, np.random.default_rng(9))
+        assert first == second
+
+    def test_assignment_is_randomized(self):
+        results = {
+            tuple(
+                tuple(g)
+                for g in form_tournaments(
+                    list(range(12)), 3, np.random.default_rng(seed)
+                )
+            )
+            for seed in range(10)
+        }
+        assert len(results) > 1
+
+    def test_empty_elements_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            form_tournaments([], 1, rng)
+
+    @given(st.integers(1, 50), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_partition_properties(self, n, data):
+        n_tournaments = data.draw(st.integers(1, n))
+        rng = np.random.default_rng(0)
+        groups = form_tournaments(list(range(n)), n_tournaments, rng)
+        assert len(groups) == n_tournaments
+        assert sum(len(g) for g in groups) == n
+
+
+class TestQuestionGraph:
+    def test_edge_count_matches_q(self, rng):
+        for c_prev, c_next in [(20, 5), (24, 5), (7, 3), (10, 1)]:
+            groups = form_tournaments(list(range(c_prev)), c_next, rng)
+            questions = tournament_question_graph(groups)
+            assert len(questions) == tournament_questions(c_prev, c_next)
+
+    def test_questions_are_canonical_and_distinct(self, rng):
+        groups = form_tournaments(list(range(15)), 4, rng)
+        questions = tournament_question_graph(groups)
+        assert all(a < b for a, b in questions)
+        assert len(set(questions)) == len(questions)
+
+    def test_questions_stay_inside_groups(self, rng):
+        groups = form_tournaments(list(range(12)), 3, rng)
+        group_of = {e: i for i, g in enumerate(groups) for e in g}
+        for a, b in tournament_question_graph(groups):
+            assert group_of[a] == group_of[b]

@@ -1,0 +1,118 @@
+"""Full-pipeline integration tests: platform -> estimate -> tDP -> MAX."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import fit_linear_latency
+from repro.core.registry import allocator_by_name
+from repro.core.tdp import TDPAllocator
+from repro.crowd.error_models import UniformError
+from repro.crowd.ground_truth import GroundTruth
+from repro.crowd.platform import SimulatedPlatform
+from repro.crowd.rwl import ReliableWorkerLayer
+from repro.engine.max_engine import MaxEngine, PlatformAnswerSource
+from repro.experiments.fig11a import _random_batch
+from repro.selection.tournament import TournamentFormation
+
+
+class TestCalibrateThenSolve:
+    """The Section 6.1 -> 6.2 workflow end to end."""
+
+    def test_estimate_feeds_tdp_and_finds_the_max(self):
+        rng = np.random.default_rng(0)
+        probe_truth = GroundTruth.random(100, rng)
+        probe_platform = SimulatedPlatform(probe_truth, rng)
+        samples = []
+        for size in (10, 50, 200):
+            for _ in range(3):
+                batch = _random_batch(100, size, rng)
+                samples.append(
+                    (size, probe_platform.post_batch(batch).completion_time)
+                )
+        estimate = fit_linear_latency(samples)
+        assert estimate.delta > 0
+
+        allocation = TDPAllocator().allocate(60, 350, estimate)
+        run_rng = np.random.default_rng(1)
+        truth = GroundTruth.random(60, run_rng)
+        platform = SimulatedPlatform(truth, run_rng)
+        engine = MaxEngine(
+            TournamentFormation(),
+            PlatformAnswerSource(ReliableWorkerLayer(platform, run_rng)),
+            run_rng,
+        )
+        result = engine.run(truth, allocation)
+        assert result.singleton_termination
+        assert result.winner == truth.max_element
+        assert result.total_latency > 0
+
+
+class TestAllAllocatorsEndToEnd:
+    @pytest.mark.parametrize("name", ["tDP", "HE", "HF", "uHE", "uHF"])
+    def test_every_allocator_finds_the_max_on_the_platform(self, name):
+        rng = np.random.default_rng(42)
+        truth = GroundTruth.random(40, rng)
+        platform = SimulatedPlatform(truth, rng)
+        from repro.core.latency import mturk_car_latency
+
+        allocation = allocator_by_name(name).allocate(
+            40, 300, mturk_car_latency()
+        )
+        engine = MaxEngine(
+            TournamentFormation(),
+            PlatformAnswerSource(ReliableWorkerLayer(platform, rng)),
+            rng,
+        )
+        result = engine.run(truth, allocation)
+        assert result.winner == truth.max_element
+        assert result.total_questions <= 300
+
+
+class TestNoisyEndToEnd:
+    def test_rwl_shields_the_operator_from_errors(self):
+        """With 20% worker error and 5x repetition the pipeline still finds
+        the exact MAX in most runs, and never crashes on inconsistencies."""
+        hits = 0
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            truth = GroundTruth.random(16, rng)
+            platform = SimulatedPlatform(
+                truth, rng, error_model=UniformError(0.2)
+            )
+            rwl = ReliableWorkerLayer(platform, rng, repetition=5)
+            from repro.core.latency import mturk_car_latency
+
+            allocation = TDPAllocator().allocate(16, 80, mturk_car_latency())
+            engine = MaxEngine(
+                TournamentFormation(), PlatformAnswerSource(rwl), rng
+            )
+            result = engine.run(truth, allocation)
+            hits += result.winner == truth.max_element
+        assert hits >= 8
+
+    def test_repetition_multiplies_platform_load_not_rounds(self):
+        """Repetition inflates batch sizes (and hence platform load) but
+        does not add rounds — the RWL folds the copies into each round."""
+
+        def run_with(repetition, seed=3):
+            rng = np.random.default_rng(seed)
+            truth = GroundTruth.random(30, rng)
+            platform = SimulatedPlatform(truth, rng)
+            rwl = ReliableWorkerLayer(platform, rng, repetition=repetition)
+            from repro.core.latency import mturk_car_latency
+
+            allocation = TDPAllocator().allocate(30, 200, mturk_car_latency())
+            engine = MaxEngine(
+                TournamentFormation(), PlatformAnswerSource(rwl), rng
+            )
+            result = engine.run(truth, allocation)
+            return result, platform
+
+        plain_result, plain_platform = run_with(1)
+        redundant_result, redundant_platform = run_with(9)
+        assert redundant_result.rounds_run == plain_result.rounds_run
+        assert redundant_result.total_questions == plain_result.total_questions
+        assert (
+            redundant_platform.stats.questions_posted
+            == 9 * plain_platform.stats.questions_posted
+        )

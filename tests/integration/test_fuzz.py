@@ -1,0 +1,129 @@
+"""Registry-wide fuzzing: every allocator x selector combination must
+produce internally consistent runs.
+
+These tests treat the whole pipeline as a black box and check only the
+universal invariants (via :mod:`repro.engine.validation`) plus the
+error-free guarantee: whenever a run singleton-terminates, the winner is
+the true MAX.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LinearLatency, PowerLawLatency
+from repro.core.registry import allocator_by_name, available_allocators
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+from repro.engine.validation import validate_run, validate_selection
+from repro.graphs.answer_graph import AnswerGraph
+from repro.selection.base import SelectionContext
+from repro.selection.registry import available_selectors, selector_by_name
+
+
+@pytest.mark.parametrize("allocator_name", available_allocators())
+@pytest.mark.parametrize("selector_name", available_selectors())
+def test_every_combination_runs_consistently(allocator_name, selector_name):
+    n_elements, budget = 30, 200
+    latency = LinearLatency(100, 0.5)
+    allocator = allocator_by_name(allocator_name)
+    allocation = allocator.allocate(n_elements, budget, latency)
+    rng = np.random.default_rng(7)
+    truth = GroundTruth.random(n_elements, rng)
+    engine = MaxEngine(
+        selector_by_name(selector_name),
+        OracleAnswerSource(truth, latency),
+        rng,
+    )
+    result = engine.run(truth, allocation)
+    validate_run(result, n_elements, budget)
+    if result.singleton_termination:
+        assert result.winner == truth.max_element
+
+
+@given(
+    n_elements=st.integers(2, 50),
+    budget_factor=st.floats(1.0, 8.0),
+    seed=st.integers(0, 500),
+    allocator_name=st.sampled_from(available_allocators()),
+    selector_name=st.sampled_from(available_selectors()),
+    delta=st.floats(0, 500),
+    alpha=st.floats(0.0, 2.0),
+    p=st.floats(0.5, 2.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_configurations(
+    n_elements, budget_factor, seed, allocator_name, selector_name, delta,
+    alpha, p,
+):
+    budget = max(n_elements - 1, int(budget_factor * n_elements))
+    latency = PowerLawLatency(delta, alpha, p) if alpha > 0 else LinearLatency(
+        delta, 0.0
+    )
+    allocation = allocator_by_name(allocator_name).allocate(
+        n_elements, budget, latency
+    )
+    rng = np.random.default_rng(seed)
+    truth = GroundTruth.random(n_elements, rng)
+    engine = MaxEngine(
+        selector_by_name(selector_name),
+        OracleAnswerSource(truth, latency),
+        rng,
+    )
+    result = engine.run(truth, allocation)
+    validate_run(result, n_elements, budget)
+    if result.singleton_termination:
+        assert result.winner == truth.max_element
+    assert 0 <= result.winner < n_elements
+
+
+@given(
+    n_elements=st.integers(2, 40),
+    budget_factor=st.floats(1.0, 6.0),
+    seed=st.integers(0, 300),
+    allocator_name=st.sampled_from(available_allocators()),
+)
+@settings(max_examples=40, deadline=None)
+def test_run_latency_bounded_by_predicted(
+    n_elements, budget_factor, seed, allocator_name
+):
+    """In oracle mode with tournament selection, a run's measured latency
+    never exceeds the allocation's predicted latency: rounds post at most
+    their budget (monotone L) and early stopping only removes rounds."""
+    budget = max(n_elements - 1, int(budget_factor * n_elements))
+    latency = LinearLatency(120, 0.8)
+    allocation = allocator_by_name(allocator_name).allocate(
+        n_elements, budget, latency
+    )
+    rng = np.random.default_rng(seed)
+    truth = GroundTruth.random(n_elements, rng)
+    engine = MaxEngine(
+        selector_by_name("Tournament"),
+        OracleAnswerSource(truth, latency),
+        rng,
+    )
+    result = engine.run(truth, allocation)
+    assert result.total_latency <= allocation.predicted_latency(latency) + 1e-9
+
+
+@given(
+    n_elements=st.integers(2, 40),
+    budget=st.integers(0, 200),
+    seed=st.integers(0, 200),
+    selector_name=st.sampled_from(available_selectors()),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_selector_honours_the_contract(
+    n_elements, budget, seed, selector_name
+):
+    context = SelectionContext(
+        budget=budget,
+        candidates=tuple(range(n_elements)),
+        evidence=AnswerGraph(range(n_elements)),
+        round_index=0,
+        total_rounds=2,
+        rng=np.random.default_rng(seed),
+    )
+    questions = selector_by_name(selector_name).select(context)
+    validate_selection(context, questions)

@@ -1,0 +1,85 @@
+"""Tests for the CT selectors (SPREAD early, COMPLETE late)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.selection.base import SelectionContext
+from repro.selection.ct import CTSelector, ct25, ct50, ct75
+
+
+def make_context(candidates, budget, round_index, total_rounds, seed=0):
+    return SelectionContext(
+        budget=budget,
+        candidates=tuple(candidates),
+        evidence=AnswerGraph(candidates),
+        round_index=round_index,
+        total_rounds=total_rounds,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestSpreadRounds:
+    def test_paper_example_four_rounds(self):
+        """CT25 with a 4-round allocation: SPREAD in round 1, COMPLETE in
+        the last 3."""
+        assert ct25().spread_rounds(4) == 1
+
+    def test_eight_rounds(self):
+        assert ct25().spread_rounds(8) == 2
+
+    def test_always_at_least_one_spread_round(self):
+        assert ct25().spread_rounds(1) == 1
+        assert ct25().spread_rounds(2) == 1
+
+    def test_ct50_and_ct75(self):
+        assert ct50().spread_rounds(4) == 2
+        assert ct75().spread_rounds(4) == 3
+
+    def test_names(self):
+        assert ct25().name == "CT25"
+        assert ct50().name == "CT50"
+        assert ct75().name == "CT75"
+
+
+class TestDispatch:
+    def test_early_round_behaves_like_spread(self):
+        """In the SPREAD phase the questions form a matching for a budget of
+        n/2."""
+        questions = ct25().select(
+            make_context(range(10), 5, round_index=0, total_rounds=4)
+        )
+        degrees = Counter(e for q in questions for e in q)
+        assert all(count == 1 for count in degrees.values())
+
+    def test_late_round_behaves_like_complete(self):
+        """In the COMPLETE phase a lavish budget yields the full clique on
+        the candidates (coverage + clique + leftovers)."""
+        questions = ct25().select(
+            make_context(range(6), 15, round_index=3, total_rounds=4)
+        )
+        assert sorted(questions) == [
+            (a, b) for a in range(6) for b in range(6) if a < b
+        ]
+
+    def test_boundary_round_is_complete(self):
+        """Round index == spread_rounds is the first COMPLETE round."""
+        selector = ct25()
+        boundary = selector.spread_rounds(8)
+        questions = selector.select(
+            make_context(range(8), 28, round_index=boundary, total_rounds=8)
+        )
+        assert len(questions) == 28  # full clique C(8,2): COMPLETE territory
+
+
+class TestValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            CTSelector(0.0)
+        with pytest.raises(InvalidParameterError):
+            CTSelector(1.0)
+        with pytest.raises(InvalidParameterError):
+            CTSelector(-0.5)

@@ -1,0 +1,28 @@
+"""Tests for the selector registry."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.selection.base import QuestionSelector
+from repro.selection.registry import available_selectors, selector_by_name
+
+
+def test_paper_selectors_registered():
+    names = available_selectors()
+    for expected in ("Tournament", "SPREAD", "COMPLETE", "CT25"):
+        assert expected in names
+
+
+def test_lookup_returns_selector_instances():
+    for name in available_selectors():
+        assert isinstance(selector_by_name(name), QuestionSelector)
+
+
+def test_case_insensitive():
+    assert selector_by_name("tournament").name == "Tournament"
+    assert selector_by_name("ct25").name == "CT25"
+
+
+def test_unknown_selector():
+    with pytest.raises(InvalidParameterError):
+        selector_by_name("oracle")

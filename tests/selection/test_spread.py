@@ -1,0 +1,86 @@
+"""Tests for the SPREAD selector (balanced random questions)."""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.answer_graph import AnswerGraph
+from repro.selection.base import SelectionContext
+from repro.selection.spread import Spread
+
+
+def make_context(candidates, budget, seed=0):
+    return SelectionContext(
+        budget=budget,
+        candidates=tuple(candidates),
+        evidence=AnswerGraph(candidates),
+        round_index=0,
+        total_rounds=1,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestBasics:
+    def test_empty_for_single_candidate(self):
+        assert Spread().select(make_context([0], 5)) == []
+
+    def test_empty_for_zero_budget(self):
+        assert Spread().select(make_context(range(4), 0)) == []
+
+    def test_budget_capped_by_pair_space(self):
+        questions = Spread().select(make_context(range(4), 100))
+        assert len(questions) == 6
+
+
+class TestDegreeBalance:
+    def test_full_sweep_is_a_matching(self):
+        """A budget of n/2 questions must touch every element exactly once."""
+        questions = Spread().select(make_context(range(10), 5))
+        degrees = Counter(e for q in questions for e in q)
+        assert all(degrees[e] == 1 for e in range(10))
+
+    def test_two_sweeps_give_degree_two(self):
+        questions = Spread().select(make_context(range(10), 10))
+        degrees = Counter(e for q in questions for e in q)
+        assert all(degrees[e] == 2 for e in range(10))
+
+    @given(st.integers(4, 30), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_degrees_near_equal(self, n, data):
+        """Each element is involved in (almost) the same number of
+        questions — the SPREAD defining property."""
+        budget = data.draw(st.integers(1, n))
+        questions = Spread().select(
+            make_context(range(n), budget, seed=data.draw(st.integers(0, 50)))
+        )
+        degrees = Counter(e for q in questions for e in q)
+        values = [degrees.get(e, 0) for e in range(n)]
+        assert max(values) - min(values) <= 2
+
+    @given(st.integers(2, 25), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_contract(self, n, data):
+        max_pairs = n * (n - 1) // 2
+        budget = data.draw(st.integers(0, max_pairs + 10))
+        questions = Spread().select(
+            make_context(range(n), budget, seed=data.draw(st.integers(0, 50)))
+        )
+        assert len(questions) == min(budget, max_pairs)
+        assert len(set(questions)) == len(questions)
+        assert all(0 <= a < b < n for a, b in questions)
+
+
+class TestRandomness:
+    def test_deterministic_under_seed(self):
+        first = Spread().select(make_context(range(12), 9, seed=4))
+        second = Spread().select(make_context(range(12), 9, seed=4))
+        assert first == second
+
+    def test_varies_across_seeds(self):
+        selections = {
+            tuple(Spread().select(make_context(range(12), 9, seed=s)))
+            for s in range(8)
+        }
+        assert len(selections) > 1

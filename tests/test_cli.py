@@ -1,0 +1,195 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tDP" in out
+        assert "Tournament" in out
+        assert "fig15" in out
+
+
+class TestAllocate:
+    def test_default_workload(self, capsys):
+        assert main(["allocate"]) == 0
+        out = capsys.readouterr().out
+        assert "(2250, 1225)" in out
+        assert "(500, 50, 1)" in out
+
+    def test_heuristic_allocator(self, capsys):
+        assert main(
+            ["allocate", "--elements", "24", "--budget", "51", "--allocator", "HE"]
+        ) == 0
+        assert "(12, 6, 33)" in capsys.readouterr().out
+
+    def test_power_law_latency(self, capsys):
+        assert main(
+            [
+                "allocate",
+                "--elements",
+                "100",
+                "--budget",
+                "2000",
+                "--exponent",
+                "2.0",
+            ]
+        ) == 0
+        assert "questions used" in capsys.readouterr().out
+
+    def test_infeasible_budget_is_reported(self, capsys):
+        assert main(["allocate", "--elements", "100", "--budget", "5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_allocator(self, capsys):
+        assert main(["allocate", "--allocator", "magic"]) == 2
+        assert "unknown allocator" in capsys.readouterr().err
+
+
+class TestSolve:
+    def test_end_to_end(self, capsys):
+        assert main(
+            [
+                "solve",
+                "--elements",
+                "30",
+                "--budget",
+                "120",
+                "--seed",
+                "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MAX=" in out
+        assert "correct" in out
+
+    def test_ct25_selector(self, capsys):
+        assert main(
+            [
+                "solve",
+                "--elements",
+                "30",
+                "--budget",
+                "200",
+                "--selector",
+                "CT25",
+                "--allocator",
+                "uHF",
+            ]
+        ) == 0
+        assert "round" in capsys.readouterr().out
+
+
+class TestAdaptiveSolve:
+    def test_adaptive_flag(self, capsys):
+        assert main(
+            ["solve", "--elements", "30", "--budget", "120", "--adaptive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+        assert "MAX=" in out
+
+
+class TestSimulate:
+    def test_aggregate_output(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--elements",
+                "20",
+                "--budget",
+                "100",
+                "--runs",
+                "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "singleton rate:       100%" in out
+        assert "accuracy:             100%" in out
+
+    def test_ct25_combo(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--elements",
+                "20",
+                "--budget",
+                "100",
+                "--runs",
+                "3",
+                "--allocator",
+                "uHF",
+                "--selector",
+                "CT25",
+            ]
+        ) == 0
+        assert "mean latency" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_small_fig15(self, capsys):
+        assert main(["experiment", "fig15", "--scale", "small"]) == 0
+        assert "Running time of tDP" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(
+            ["experiment", "fig15", "--scale", "small", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["name"] == "fig15"
+
+    def test_markdown_format(self, capsys):
+        assert main(
+            ["experiment", "fig15", "--scale", "small", "--format", "markdown"]
+        ) == 0
+        assert "### fig15" in capsys.readouterr().out
+
+    def test_csv_format(self, capsys):
+        assert main(
+            ["experiment", "fig15", "--scale", "small", "--format", "csv"]
+        ) == 0
+        assert capsys.readouterr().out.startswith("c0,")
+
+    def test_plot_flag(self, capsys):
+        assert main(
+            ["experiment", "fig15", "--scale", "small", "--plot"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "x: c0" in out or "#" in out
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(
+            [
+                "experiment",
+                "fig15",
+                "--scale",
+                "small",
+                "--format",
+                "json",
+                "--output",
+                str(target),
+            ]
+        ) == 0
+        assert "wrote 1 table(s)" in capsys.readouterr().out
+        assert target.exists()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99", "--scale", "small"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_scale(self, capsys):
+        assert main(["experiment", "fig15", "--scale", "huge"]) == 2
+        assert "unknown scale" in capsys.readouterr().err
+
+
+class TestArgparse:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

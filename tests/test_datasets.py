@@ -1,0 +1,85 @@
+"""Tests for the synthetic labelled collections."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Collection,
+    car_collection,
+    debate_responses,
+    photo_collection,
+)
+from repro.errors import InvalidParameterError
+
+GENERATORS = [car_collection, photo_collection, debate_responses]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestGenerators:
+    def test_sizes_and_labels(self, generator, rng):
+        collection = generator(50, rng)
+        assert len(collection) == 50
+        assert len(set(collection.labels)) >= 1
+        assert all(isinstance(label, str) for label in collection.labels)
+
+    def test_values_are_distinct(self, generator, rng):
+        collection = generator(200, rng)
+        assert len(set(collection.values)) == 200
+
+    def test_ground_truth_orders_by_value(self, generator, rng):
+        collection = generator(30, rng)
+        truth = collection.ground_truth()
+        best = truth.max_element
+        assert collection.values[best] == max(collection.values)
+        ranked = sorted(range(30), key=truth.rank)
+        values = [collection.values[e] for e in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_deterministic_per_seed(self, generator):
+        first = generator(20, np.random.default_rng(3))
+        second = generator(20, np.random.default_rng(3))
+        assert first.values == second.values
+        assert first.labels == second.labels
+
+    def test_rejects_empty(self, generator, rng):
+        with pytest.raises(InvalidParameterError):
+            generator(0, rng)
+
+
+class TestCollectionType:
+    def test_label_accessor(self, rng):
+        collection = car_collection(5, rng)
+        assert collection.label(0) == collection.labels[0]
+        with pytest.raises(InvalidParameterError):
+            collection.label(99)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Collection(name="x", labels=("a",), values=(1.0, 2.0))
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Collection(name="x", labels=("a", "b"), values=(1.0, 1.0))
+
+    def test_car_prices_realistic(self, rng):
+        collection = car_collection(300, rng, mean_price=40_000)
+        mean = sum(collection.values) / len(collection)
+        assert 25_000 < mean < 60_000
+
+    def test_end_to_end_with_engine(self, rng, mturk_latency):
+        """A collection's ground truth plugs straight into the pipeline."""
+        from repro.core.tdp import TDPAllocator
+        from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+        from repro.selection.tournament import TournamentFormation
+
+        collection = car_collection(40, rng)
+        truth = collection.ground_truth()
+        allocation = TDPAllocator().allocate(40, 200, mturk_latency)
+        engine = MaxEngine(
+            TournamentFormation(),
+            OracleAnswerSource(truth, mturk_latency),
+            rng,
+        )
+        result = engine.run(truth, allocation)
+        assert result.winner == truth.max_element
+        assert collection.values[result.winner] == max(collection.values)

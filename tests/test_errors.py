@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ExperimentError,
+    InconsistentAnswersError,
+    InfeasibleBudgetError,
+    InvalidParameterError,
+    PlatformError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_cls in (
+        InvalidParameterError,
+        InfeasibleBudgetError,
+        InconsistentAnswersError,
+        PlatformError,
+        ExperimentError,
+    ):
+        assert issubclass(error_cls, ReproError)
+
+
+def test_invalid_parameter_is_a_value_error():
+    assert issubclass(InvalidParameterError, ValueError)
+
+
+def test_infeasible_budget_message_cites_theorem1():
+    error = InfeasibleBudgetError(n_elements=10, budget=5)
+    assert "Theorem 1" in str(error)
+    assert error.n_elements == 10
+    assert error.budget == 5
+
+
+def test_catching_base_class():
+    with pytest.raises(ReproError):
+        raise InfeasibleBudgetError(3, 1)

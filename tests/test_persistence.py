@@ -1,0 +1,134 @@
+"""Tests for JSON persistence of allocations, evidence and run results."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.latency import LinearLatency
+from repro.core.tdp import TDPAllocator
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+from repro.errors import InconsistentAnswersError, InvalidParameterError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.persistence import (
+    allocation_from_dict,
+    allocation_to_dict,
+    answer_graph_from_dict,
+    answer_graph_to_dict,
+    load_json,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_json,
+)
+from repro.types import Answer
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+class TestAllocationRoundTrip:
+    def test_tournament_allocation(self):
+        original = TDPAllocator().allocate(40, 200, LATENCY)
+        restored = allocation_from_dict(allocation_to_dict(original))
+        assert restored == original
+        assert restored.allocator_name == "tDP"
+
+    def test_plain_budget_allocation(self):
+        original = Allocation(round_budgets=(17, 17, 17), allocator_name="uHE")
+        restored = allocation_from_dict(allocation_to_dict(original))
+        assert restored.round_budgets == (17, 17, 17)
+        assert restored.element_sequence is None
+
+    def test_tampered_payload_fails_validation(self):
+        payload = allocation_to_dict(TDPAllocator().allocate(40, 200, LATENCY))
+        payload["element_sequence"] = [40, 40, 1]  # not strictly decreasing
+        with pytest.raises(InvalidParameterError):
+            allocation_from_dict(payload)
+
+    def test_missing_key_reported(self):
+        with pytest.raises(InvalidParameterError):
+            allocation_from_dict({"round_budgets": [1]})
+
+
+class TestAnswerGraphRoundTrip:
+    def test_round_trip_preserves_answers(self):
+        graph = AnswerGraph(range(6))
+        graph.record_all(
+            [Answer(3, 0), Answer(3, 1), Answer(4, 2), Answer(5, 4)]
+        )
+        restored = answer_graph_from_dict(answer_graph_to_dict(graph))
+        assert restored.elements == graph.elements
+        assert restored.answered_questions() == graph.answered_questions()
+        assert restored.remaining_candidates() == graph.remaining_candidates()
+
+    def test_inconsistent_payload_rejected(self):
+        payload = {
+            "elements": [0, 1],
+            "answers": [[0, 1], [1, 0]],  # both directions
+        }
+        with pytest.raises(InconsistentAnswersError):
+            answer_graph_from_dict(payload)
+
+    def test_checkpoint_resume_between_rounds(self):
+        """The intended workflow: persist evidence after a round, reload,
+        and keep going with identical state."""
+        rng = np.random.default_rng(0)
+        truth = GroundTruth.random(12, rng)
+        graph = AnswerGraph(range(12))
+        for i in range(0, 12, 2):
+            graph.record(truth.answer(i, i + 1))
+        restored = answer_graph_from_dict(answer_graph_to_dict(graph))
+        for a in (0, 2, 4):
+            restored.record(truth.answer(a, a + 2))  # further rounds work
+        assert len(restored.remaining_candidates()) < len(
+            graph.remaining_candidates()
+        )
+
+
+class TestRunResultRoundTrip:
+    def make_result(self):
+        rng = np.random.default_rng(1)
+        truth = GroundTruth.random(20, rng)
+        allocation = TDPAllocator().allocate(20, 100, LATENCY)
+        from repro.selection.tournament import TournamentFormation
+
+        engine = MaxEngine(
+            TournamentFormation(), OracleAnswerSource(truth, LATENCY), rng
+        )
+        return engine.run(truth, allocation)
+
+    def test_round_trip(self):
+        original = self.make_result()
+        restored = run_result_from_dict(run_result_to_dict(original))
+        assert restored == original
+
+    def test_validates_after_restore(self):
+        from repro.engine.validation import validate_run
+
+        restored = run_result_from_dict(run_result_to_dict(self.make_result()))
+        validate_run(restored, n_elements=20, budget=100)
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        graph = AnswerGraph(range(3))
+        graph.record(Answer(0, 1))
+        save_json(answer_graph_to_dict(graph), path)
+        restored = answer_graph_from_dict(load_json(path))
+        assert restored.answered_questions() == {(0, 1)}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_json(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken", encoding="utf-8")
+        with pytest.raises(InvalidParameterError):
+            load_json(path)
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(InvalidParameterError):
+            load_json(path)

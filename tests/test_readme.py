@@ -1,0 +1,59 @@
+"""Doc-sync tests: the README's claims and code must stay true."""
+
+import io
+import re
+from contextlib import redirect_stdout
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeCode:
+    def test_quickstart_block_runs_and_matches_claims(self):
+        blocks = python_blocks()
+        assert blocks, "README lost its python quickstart block"
+        quickstart = blocks[0]
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            exec(compile(quickstart, "<README quickstart>", "exec"), {})
+        output = buffer.getvalue()
+        # The commented expectations in the block are real outputs.
+        assert "(2250, 1225)" in output
+        assert "(500, 50, 1)" in output
+        assert "correct, singleton" in output
+
+
+class TestReadmeClaims:
+    def test_examples_table_lists_real_files(self):
+        text = README.read_text(encoding="utf-8")
+        examples_dir = README.parent / "examples"
+        for name in re.findall(r"`(\w+\.py)`", text):
+            if name in ("setup.py",):
+                continue
+            assert (examples_dir / name).exists(), f"README references {name}"
+
+    def test_docs_referenced_exist(self):
+        text = README.read_text(encoding="utf-8")
+        for relative in ("docs/api.md", "docs/theory.md", "docs/extending.md",
+                         "EXPERIMENTS.md"):
+            if relative in text:
+                assert (README.parent / relative).exists()
+
+    def test_cli_commands_in_readme_are_registered(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        text = README.read_text(encoding="utf-8")
+        for command in re.findall(r"tdp-repro (\w+)", text):
+            # argparse raises SystemExit(2) for unknown subcommands.
+            try:
+                parser.parse_args([command] + (
+                    ["fig15"] if command == "experiment" else []
+                ))
+            except SystemExit as error:
+                assert error.code != 2, f"README shows unknown command {command}"

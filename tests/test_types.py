@@ -1,0 +1,29 @@
+"""Tests for the shared value types."""
+
+import pytest
+
+from repro.types import Answer, normalize_question
+
+
+class TestNormalizeQuestion:
+    def test_orders_endpoints(self):
+        assert normalize_question(5, 2) == (2, 5)
+        assert normalize_question(2, 5) == (2, 5)
+
+    def test_rejects_self_comparison(self):
+        with pytest.raises(ValueError):
+            normalize_question(3, 3)
+
+
+class TestAnswer:
+    def test_question_is_canonical(self):
+        assert Answer(winner=7, loser=3).question == (3, 7)
+        assert Answer(winner=3, loser=7).question == (3, 7)
+
+    def test_rejects_self_answer(self):
+        with pytest.raises(ValueError):
+            Answer(winner=1, loser=1)
+
+    def test_answers_are_hashable_values(self):
+        assert Answer(1, 2) == Answer(1, 2)
+        assert len({Answer(1, 2), Answer(1, 2), Answer(2, 1)}) == 2
