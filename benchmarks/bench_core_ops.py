@@ -12,7 +12,6 @@ from repro.crowd.ground_truth import GroundTruth
 from repro.graphs.answer_graph import AnswerGraph
 from repro.graphs.tournaments import form_tournaments, tournament_question_graph
 from repro.selection.scoring import score_candidates
-from repro.types import Answer
 
 
 def bench_q_function_row(benchmark):

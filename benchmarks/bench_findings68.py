@@ -4,7 +4,7 @@ Regenerates the grid behind the paper's summarized findings (3)-(5) and
 asserts the verdicts hold at the benchmark scale.
 """
 
-from _harness import SCALE, run_and_report
+from _harness import SCALE
 from repro.experiments import findings68
 
 

@@ -18,7 +18,16 @@ The package provides:
   linear extensions, brute-force optimal allocations).
 * :mod:`repro.experiments` — runnable reproductions of every figure in the
   paper's evaluation (Section 6).
+* :mod:`repro.obs` — observability: structured run tracing, a process-wide
+  metrics registry, and profiling spans (see ``docs/observability.md``).
+
+The package logs under the ``repro`` logger hierarchy with a
+:class:`logging.NullHandler` attached, per library convention: nothing is
+printed unless the application configures logging (the CLI's ``--verbose``
+flag does exactly that).
 """
+
+import logging as _logging
 
 from repro.core import (
     Allocation,
@@ -48,6 +57,10 @@ from repro.errors import (
     PlatformError,
     ReproError,
 )
+
+# Library logging convention: a NullHandler on the package logger, so
+# nothing is printed unless the application opts in (`--verbose` does).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 

@@ -6,13 +6,20 @@ Subcommands:
 * ``solve`` — run the crowdsourced MAX end to end on a synthetic collection.
 * ``experiment`` — reproduce a paper figure (``fig11a`` .. ``fig15``).
 * ``list`` — show the available allocators, selectors and experiments.
+
+Observability (see ``docs/observability.md``): ``--verbose`` turns on
+round-by-round ``repro`` logging; the ``solve``, ``simulate`` and
+``experiment`` subcommands accept ``--trace PATH`` (write a JSONL
+structured-event trace) and ``--metrics`` (print a metrics-registry
+snapshot after the run).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -31,6 +38,12 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="tdp-repro",
         description="Reproduction of the tDP crowdsourced-MAX paper "
         "(SIGMOD 2015)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="log round-by-round progress (the 'repro' logger at DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -68,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-plan with tDP after every round instead of following a "
         "static allocation (ignores --allocator)",
     )
+    _add_obs_args(solve)
 
     simulate = sub.add_parser(
         "simulate",
@@ -78,6 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--selector", default="Tournament")
     simulate.add_argument("--runs", type=int, default=20)
     simulate.add_argument("--seed", type=int, default=0)
+    _add_obs_args(simulate)
 
     experiment = sub.add_parser(
         "experiment", help="reproduce a figure from the paper's evaluation"
@@ -107,9 +122,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the results to this file instead of stdout",
     )
+    _add_obs_args(experiment)
 
     sub.add_parser("list", help="show available algorithms and experiments")
     return parser
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL structured-event trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics-registry snapshot after the run",
+    )
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -260,10 +290,62 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_verbose_logging() -> None:
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+    )
+    package_logger = logging.getLogger("repro")
+    package_logger.addHandler(handler)
+    package_logger.setLevel(logging.DEBUG)
+
+
+def _run_with_observability(
+    args: argparse.Namespace, handler: Callable[[argparse.Namespace], int]
+) -> int:
+    """Wrap *handler* with tracing/metrics when the flags ask for them.
+
+    Without ``--trace``/``--metrics`` (or on subcommands lacking them) the
+    handler runs untouched — the ambient tracer stays the no-op
+    ``NULL_TRACER`` and no registry reset happens.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path is None and not want_metrics:
+        return handler(args)
+    from repro import obs
+
+    if trace_path is not None:
+        # Fail before the run, not after: a long experiment should not
+        # complete only to lose its trace to an unwritable path.
+        try:
+            with open(trace_path, "a", encoding="utf-8"):
+                pass
+        except OSError as error:
+            raise ReproError(f"cannot write trace to {trace_path}: {error}") from error
+
+    registry = obs.get_registry()
+    registry.reset()
+    obs.declare_standard_metrics(registry)
+    tracer = obs.RecordingTracer() if trace_path else obs.NULL_TRACER
+    with obs.use_tracer(tracer):
+        exit_code = handler(args)
+    if trace_path:
+        n_events = obs.write_jsonl(tracer, trace_path)
+        print(f"wrote {n_events} trace event(s) to {trace_path}")
+    if want_metrics:
+        print()
+        print("metrics snapshot:")
+        print(obs.render_snapshot(registry.snapshot()))
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        _configure_verbose_logging()
     handlers = {
         "allocate": _cmd_allocate,
         "solve": _cmd_solve,
@@ -272,7 +354,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
     }
     try:
-        return handlers[args.command](args)
+        return _run_with_observability(args, handlers[args.command])
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -38,8 +38,31 @@ from repro.core.allocation import Allocation, BudgetAllocator
 from repro.core.latency import LatencyFunction
 from repro.core.questions import tournament_questions
 from repro.errors import InvalidParameterError
+from repro.obs.events import DPTableBuilt
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import current_tracer, timed
 
 _INITIAL_FRONTIER_WIDTH = 16
+
+
+def _record_dp_build(
+    solver: str, n_elements: int, budget: int, seconds: float, states: int
+) -> None:
+    """Feed metrics + the ambient tracer after a DP table build."""
+    registry = get_registry()
+    registry.counter("tdp.solver_calls").inc()
+    registry.counter("tdp.frontier_points").inc(states)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            DPTableBuilt(
+                solver=solver,
+                n_elements=n_elements,
+                budget=budget,
+                seconds=seconds,
+                states=states,
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -180,7 +203,11 @@ def solve_min_latency(
             f"budget {budget} < c0 - 1 = {n_elements - 1}: MinLatency is "
             f"infeasible (Theorem 1)"
         )
-    table = _build_frontiers(n_elements, budget, latency)
+    with timed("tdp.solve") as span:
+        table = _build_frontiers(n_elements, budget, latency)
+    _record_dp_build(
+        "frontier", n_elements, budget, span.seconds, int(table.size.sum())
+    )
     return _extract_plan(table, n_elements)
 
 
@@ -223,7 +250,11 @@ def solve_min_cost(
         raise InvalidParameterError(
             f"budget {budget} < c0 - 1 = {n_elements - 1} (Theorem 1)"
         )
-    table = _build_frontiers(n_elements, budget, latency)
+    with timed("tdp.solve") as span:
+        table = _build_frontiers(n_elements, budget, latency)
+    _record_dp_build(
+        "frontier", n_elements, budget, span.seconds, int(table.size.sum())
+    )
     count = int(table.size[n_elements])
     latencies = table.lat[n_elements, :count]
     meeting = np.flatnonzero(latencies <= deadline)
@@ -347,12 +378,20 @@ def solve_min_latency_bounded_rounds(
         )
         return table
 
-    tables = [base_table()]  # P_0: only the solved state exists
-    for _ in range(max_rounds):
-        current = base_table()
-        for c in range(2, n_elements + 1):
-            _build_frontier(current, c, budget, latency, source=tables[-1])
-        tables.append(current)
+    with timed("tdp.solve") as span:
+        tables = [base_table()]  # P_0: only the solved state exists
+        for _ in range(max_rounds):
+            current = base_table()
+            for c in range(2, n_elements + 1):
+                _build_frontier(current, c, budget, latency, source=tables[-1])
+            tables.append(current)
+    _record_dp_build(
+        "frontier-bounded",
+        n_elements,
+        budget,
+        span.seconds,
+        int(sum(int(t.size.sum()) for t in tables[1:])),
+    )
     final = tables[max_rounds]
     count = int(final.size[n_elements])
     if count == 0:

@@ -23,6 +23,9 @@ from repro.core.allocation import Allocation, BudgetAllocator
 from repro.core.latency import LatencyFunction
 from repro.core.questions import tournament_questions
 from repro.errors import InvalidParameterError, ReproError
+from repro.obs.events import DPTableBuilt
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import current_tracer, timed
 
 
 class StateLimitExceededError(ReproError):
@@ -94,42 +97,67 @@ def solve_min_latency_memo(
 
     # Iterative depth-first evaluation (the recursion can be ~c_0 deep per
     # branch, and CPython's recursion limit is unkind to c_0 = 2000).
+    # Memo hits/misses are tallied in locals (one registry update per solve
+    # keeps the DP loop free of locking overhead).
+    memo_hits = 0
+    memo_misses = 0
     stack: List[Tuple[int, int]] = [(budget, n_elements)]
-    while stack:
-        q, c = stack[-1]
-        if (q, c) in memo:
+    with timed("tdp_memo.solve") as span:
+        while stack:
+            q, c = stack[-1]
+            if (q, c) in memo:
+                memo_hits += 1
+                stack.pop()
+                continue
+            if c == 1:
+                memo[(q, c)] = (0.0, 1)  # Equation (7): OL(q, 1) = 0.
+                memo_misses += 1
+                stack.pop()
+                continue
+            best_latency = float("inf")
+            best_next = 0
+            missing: List[Tuple[int, int]] = []
+            for c_next, step_q, step_lat in transition_row(c):
+                remaining = q - step_q
+                if remaining < c_next - 1:
+                    continue  # Theorem 1: child state would be infeasible.
+                child = memo.get((remaining, c_next))
+                if child is None:
+                    missing.append((remaining, c_next))
+                else:
+                    memo_hits += 1
+                    total = step_lat + child[0]
+                    if total < best_latency:
+                        best_latency = total
+                        best_next = c_next
+            if missing:
+                memo_misses += len(missing)
+                stack.extend(missing)
+                continue
+            memo[(q, c)] = (best_latency, best_next)
             stack.pop()
-            continue
-        if c == 1:
-            memo[(q, c)] = (0.0, 1)  # Equation (7): OL(q, 1) = 0.
-            stack.pop()
-            continue
-        best_latency = float("inf")
-        best_next = 0
-        missing: List[Tuple[int, int]] = []
-        for c_next, step_q, step_lat in transition_row(c):
-            remaining = q - step_q
-            if remaining < c_next - 1:
-                continue  # Theorem 1: child state would be infeasible.
-            child = memo.get((remaining, c_next))
-            if child is None:
-                missing.append((remaining, c_next))
-            else:
-                total = step_lat + child[0]
-                if total < best_latency:
-                    best_latency = total
-                    best_next = c_next
-        if missing:
-            stack.extend(missing)
-            continue
-        memo[(q, c)] = (best_latency, best_next)
-        stack.pop()
-        if max_states is not None and len(memo) > max_states:
-            raise StateLimitExceededError(
-                f"memoized DP exceeded {max_states} states "
-                f"(c0={n_elements}, b={budget})"
-            )
+            if max_states is not None and len(memo) > max_states:
+                raise StateLimitExceededError(
+                    f"memoized DP exceeded {max_states} states "
+                    f"(c0={n_elements}, b={budget})"
+                )
 
+    registry = get_registry()
+    registry.counter("tdp_memo.solver_calls").inc()
+    registry.counter("tdp_memo.states_visited").inc(len(memo))
+    registry.counter("tdp_memo.memo_hits").inc(memo_hits)
+    registry.counter("tdp_memo.memo_misses").inc(memo_misses)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            DPTableBuilt(
+                solver="memo",
+                n_elements=n_elements,
+                budget=budget,
+                seconds=span.seconds,
+                states=len(memo),
+            )
+        )
     total_latency = memo[(budget, n_elements)][0]
     sequence = [n_elements]
     q, c = budget, n_elements

@@ -15,8 +15,9 @@ are replaced by fresh arrivals when the queue would otherwise starve.
 from __future__ import annotations
 
 import heapq
+import logging
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +25,12 @@ from repro.crowd.error_models import ErrorModel, PerfectWorkers
 from repro.crowd.ground_truth import GroundTruth
 from repro.crowd.workers import WorkerPoolConfig
 from repro.errors import PlatformError
+from repro.obs.events import WorkerServiced
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer, current_tracer
 from repro.types import Answer, Question
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,7 @@ class SimulatedPlatform:
         rng: np.random.Generator,
         error_model: Optional[ErrorModel] = None,
         config: Optional[WorkerPoolConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.truth = truth
         self.error_model = error_model if error_model is not None else PerfectWorkers()
@@ -97,6 +104,7 @@ class SimulatedPlatform:
         self._rng = rng
         self.stats = PlatformStats()
         self._next_worker_id = 0
+        self._tracer = tracer
 
     def post_batch(self, questions: Sequence[Question]) -> BatchResult:
         """Post *questions* as one batch and simulate until all are answered.
@@ -127,7 +135,8 @@ class SimulatedPlatform:
 
         answers: List[WorkerAnswer] = []
         completion = 0.0
-        participants = set()
+        # worker id -> [answers submitted, busy seconds] in this batch.
+        participants: Dict[int, List[float]] = {}
         for question in questions:
             time_free, worker_id, answered = heapq.heappop(free_at)
             service = config.sample_service_time(self._rng) * worker_speed[
@@ -146,7 +155,9 @@ class SimulatedPlatform:
                     worker_id=worker_id,
                 )
             )
-            participants.add(worker_id)
+            usage = participants.setdefault(worker_id, [0, 0.0])
+            usage[0] += 1
+            usage[1] += service
             completion = max(completion, submit)
             answered += 1
             if config.attention_span is not None and answered >= config.attention_span:
@@ -161,8 +172,30 @@ class SimulatedPlatform:
                     self._rng
                 )
                 heapq.heappush(free_at, (replacement_arrival, replacement_id, 0))
+                logger.debug(
+                    "worker %d exhausted its attention span (%d answers); "
+                    "replacement %d arrives at t=%.1f s",
+                    worker_id,
+                    answered,
+                    replacement_id,
+                    replacement_arrival,
+                )
             else:
                 heapq.heappush(free_at, (submit, worker_id, answered))
+        registry = get_registry()
+        registry.counter("platform.batches_posted").inc()
+        registry.counter("platform.questions_posted").inc(len(questions))
+        registry.counter("platform.workers_serviced").inc(len(participants))
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        if tracer.enabled:
+            for worker_id, (n_answers, busy_time) in sorted(participants.items()):
+                tracer.emit(
+                    WorkerServiced(
+                        worker_id=worker_id,
+                        n_answers=int(n_answers),
+                        busy_time=busy_time,
+                    )
+                )
         return BatchResult(
             worker_answers=tuple(answers),
             completion_time=completion,

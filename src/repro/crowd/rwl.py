@@ -20,16 +20,22 @@ This implementation harnesses the two technique families the paper cites:
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.crowd.platform import SimulatedPlatform
 from repro.errors import InconsistentAnswersError, InvalidParameterError
 from repro.graphs.answer_graph import AnswerGraph
+from repro.obs.events import RWLRetry
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer, current_tracer
 from repro.types import Answer, Element, Question, normalize_question
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -58,17 +64,20 @@ class ReliableWorkerLayer:
         platform: SimulatedPlatform,
         rng: np.random.Generator,
         repetition: int = 1,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if repetition < 1:
             raise InvalidParameterError(f"repetition must be >= 1: {repetition}")
         self.platform = platform
         self.repetition = repetition
         self._rng = rng
+        self._tracer = tracer
 
     def ask(self, questions: Sequence[Question]) -> RWLResult:
         """Resolve *questions* into a conflict-free answer per question."""
         distinct = list(dict.fromkeys(normalize_question(a, b) for a, b in questions))
         if not distinct:
+            logger.debug("RWL asked to resolve an empty question set")
             return RWLResult((), 0.0, 0, 0)
         posted = [pair for pair in distinct for _ in range(self.repetition)]
         batch = self.platform.post_batch(posted)
@@ -76,7 +85,31 @@ class ReliableWorkerLayer:
         majority = {
             pair: self._majority_winner(pair, votes[pair]) for pair in distinct
         }
-        answers, flips = self._resolve_cycles(distinct, majority, votes)
+        answers, flips, repaired = self._resolve_cycles(distinct, majority, votes)
+        registry = get_registry()
+        registry.counter("rwl.batches").inc()
+        registry.counter("rwl.distinct_questions").inc(len(distinct))
+        registry.counter("rwl.questions_posted").inc(len(posted))
+        if repaired:
+            registry.counter("rwl.cycle_repairs").inc()
+            registry.counter("rwl.majority_flips").inc(flips)
+            logger.warning(
+                "RWL cycle resolution fired: %d of %d majority answers "
+                "re-oriented (repetition %d)",
+                flips,
+                len(distinct),
+                self.repetition,
+            )
+            tracer = self._tracer if self._tracer is not None else current_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    RWLRetry(
+                        distinct_questions=len(distinct),
+                        questions_posted=len(posted),
+                        repetition=self.repetition,
+                        majority_flips=flips,
+                    )
+                )
         return RWLResult(
             answers=tuple(answers),
             latency=batch.completion_time,
@@ -117,7 +150,8 @@ class ReliableWorkerLayer:
         distinct: List[Question],
         majority: Dict[Question, Element],
         votes: Dict[Question, Dict[Element, int]],
-    ) -> Tuple[List[Answer], int]:
+    ) -> Tuple[List[Answer], int, bool]:
+        """Returns (answers, flips, whether cycle repair fired)."""
         elements: Set[Element] = {e for pair in distinct for e in pair}
         graph = AnswerGraph(elements)
         majority_answers: List[Answer] = []
@@ -130,8 +164,11 @@ class ReliableWorkerLayer:
         try:
             graph.validate_acyclic()
         except InconsistentAnswersError:
-            return self._rank_and_orient(distinct, majority, votes, elements)
-        return majority_answers, 0
+            answers, flips = self._rank_and_orient(
+                distinct, majority, votes, elements
+            )
+            return answers, flips, True
+        return majority_answers, 0, False
 
     def _rank_and_orient(
         self,

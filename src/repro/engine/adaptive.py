@@ -18,7 +18,8 @@ of following a stale plan.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import logging
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -29,9 +30,20 @@ from repro.engine.max_engine import AnswerSource
 from repro.engine.results import MaxRunResult, RoundRecord
 from repro.errors import InvalidParameterError
 from repro.graphs.answer_graph import AnswerGraph
+from repro.obs.events import (
+    AnswersReceived,
+    CandidateSetShrunk,
+    RoundPosted,
+    RunFinished,
+    RunStarted,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer, current_tracer
 from repro.selection.base import QuestionSelector, SelectionContext
 from repro.selection.scoring import score_candidates
 from repro.types import Element
+
+logger = logging.getLogger(__name__)
 
 
 class AdaptiveMaxEngine:
@@ -53,6 +65,7 @@ class AdaptiveMaxEngine:
         latency: LatencyFunction,
         rng: np.random.Generator,
         max_rounds: int = 10_000,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_rounds < 1:
             raise InvalidParameterError(f"max_rounds must be >= 1: {max_rounds}")
@@ -61,6 +74,7 @@ class AdaptiveMaxEngine:
         self.latency = latency
         self._rng = rng
         self.max_rounds = max_rounds
+        self._tracer = tracer
 
     def run(self, truth: GroundTruth, budget: int) -> MaxRunResult:
         """Find the MAX of *truth*'s collection within *budget* questions.
@@ -80,6 +94,19 @@ class AdaptiveMaxEngine:
         records: List[RoundRecord] = []
         total_latency = 0.0
         total_questions = 0
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        registry = get_registry()
+        registry.counter("engine.runs").inc()
+        if tracer.enabled:
+            tracer.emit(
+                RunStarted(
+                    n_elements=n_elements,
+                    budget=budget,
+                    rounds_planned=0,
+                    engine=type(self).__name__,
+                ),
+                sim_time=0.0,
+            )
         for round_index in range(self.max_rounds):
             if len(candidates) <= 1:
                 break
@@ -97,10 +124,62 @@ class AdaptiveMaxEngine:
             )
             questions = self.selector.select(context)
             if not questions:
-                break  # nothing askable: accept the current candidates
+                # Nothing askable: accept the current candidates.
+                logger.debug(
+                    "round %d: selector %s returned no questions for %d "
+                    "candidates; accepting the current candidate set",
+                    round_index,
+                    self.selector.name,
+                    len(candidates),
+                )
+                break
+            if tracer.enabled:
+                tracer.emit(
+                    RoundPosted(
+                        round_index=round_index,
+                        budget=round_budget,
+                        questions_posted=len(questions),
+                        candidates_before=len(candidates),
+                    ),
+                    sim_time=total_latency,
+                )
             answers, latency = self.source.resolve(questions)
             evidence.record_all(answers)
             next_candidates = tuple(sorted(evidence.remaining_candidates()))
+            if tracer.enabled:
+                tracer.emit(
+                    AnswersReceived(
+                        round_index=round_index,
+                        n_answers=len(answers),
+                        latency=latency,
+                    ),
+                    sim_time=total_latency + latency,
+                )
+                tracer.emit(
+                    CandidateSetShrunk(
+                        round_index=round_index,
+                        candidates_before=len(candidates),
+                        candidates_after=len(next_candidates),
+                    ),
+                    sim_time=total_latency + latency,
+                )
+                tracer.advance_sim(latency)
+            registry.counter("engine.rounds").inc()
+            registry.counter("engine.questions_posted").inc(len(questions))
+            registry.counter("engine.answers_resolved").inc(len(answers))
+            registry.histogram("engine.candidates_after").observe(
+                len(next_candidates)
+            )
+            logger.debug(
+                "round %d: %d -> %d candidates, %d questions, %.1f s "
+                "(replanned budget %d)",
+                round_index,
+                len(candidates),
+                len(next_candidates),
+                len(questions),
+                latency,
+                round_budget,
+            )
             records.append(
                 RoundRecord(
                     round_index=round_index,
@@ -116,13 +195,38 @@ class AdaptiveMaxEngine:
             remaining -= len(questions)
             candidates = next_candidates
             if remaining < len(candidates) - 1:
-                break  # cannot guarantee further progress (Theorem 1)
+                # Cannot guarantee further progress (Theorem 1).
+                logger.debug(
+                    "stopping: %d remaining questions cannot guarantee "
+                    "progress on %d candidates (Theorem 1)",
+                    remaining,
+                    len(candidates),
+                )
+                break
         singleton = len(candidates) == 1
         if singleton:
             winner = candidates[0]
         else:
             scores = score_candidates(evidence)
             winner = max(scores, key=lambda element: (scores[element], -element))
+            logger.debug(
+                "non-singleton termination: %d candidates remain after %d "
+                "rounds; declaring the highest-scoring one (%d)",
+                len(candidates),
+                len(records),
+                winner,
+            )
+        if tracer.enabled:
+            tracer.emit(
+                RunFinished(
+                    winner=int(winner),
+                    rounds_run=len(records),
+                    total_questions=total_questions,
+                    total_latency=total_latency,
+                    singleton=singleton,
+                ),
+                sim_time=total_latency,
+            )
         return MaxRunResult(
             winner=winner,
             true_max=truth.max_element,

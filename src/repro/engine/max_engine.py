@@ -20,8 +20,9 @@ Two answer sources are provided:
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,9 +33,20 @@ from repro.crowd.rwl import ReliableWorkerLayer
 from repro.engine.results import MaxRunResult, RoundRecord
 from repro.errors import InvalidParameterError
 from repro.graphs.answer_graph import AnswerGraph
+from repro.obs.events import (
+    AnswersReceived,
+    CandidateSetShrunk,
+    RoundPosted,
+    RunFinished,
+    RunStarted,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer, current_tracer
 from repro.selection.base import QuestionSelector, SelectionContext
 from repro.selection.scoring import score_candidates
 from repro.types import Answer, Element, Question
+
+logger = logging.getLogger(__name__)
 
 
 class AnswerSource(ABC):
@@ -75,17 +87,31 @@ class PlatformAnswerSource(AnswerSource):
 
 
 class MaxEngine:
-    """Runs the round-based MAX operation for one allocation."""
+    """Runs the round-based MAX operation for one allocation.
+
+    Args:
+        selector: question-selection strategy for each round.
+        source: answer source (oracle or platform).
+        rng: randomness source.
+        tracer: structured-event tracer; ``None`` falls back to the
+            ambient tracer (:func:`repro.obs.current_tracer`), which is
+            the no-op :data:`~repro.obs.NULL_TRACER` unless installed.
+    """
 
     def __init__(
         self,
         selector: QuestionSelector,
         source: AnswerSource,
         rng: np.random.Generator,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.selector = selector
         self.source = source
         self._rng = rng
+        self._tracer = tracer
+
+    def _resolve_tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else current_tracer()
 
     def run(self, truth: GroundTruth, allocation: Allocation) -> MaxRunResult:
         """Execute *allocation* against *truth* and return the full trace.
@@ -102,6 +128,19 @@ class MaxEngine:
         records: List[RoundRecord] = []
         total_latency = 0.0
         total_questions = 0
+        tracer = self._resolve_tracer()
+        registry = get_registry()
+        registry.counter("engine.runs").inc()
+        if tracer.enabled:
+            tracer.emit(
+                RunStarted(
+                    n_elements=n_elements,
+                    budget=allocation.total_questions,
+                    rounds_planned=allocation.rounds,
+                    engine=type(self).__name__,
+                ),
+                sim_time=0.0,
+            )
         for round_index, budget in enumerate(allocation.round_budgets):
             if len(candidates) <= 1:
                 break
@@ -120,10 +159,61 @@ class MaxEngine:
                     f"questions for a budget of {budget}"
                 )
             if not questions:
-                continue  # nothing to post; the round costs no latency
+                # Nothing to post; the round costs no latency.
+                logger.debug(
+                    "round %d: selector %s returned no questions for %d "
+                    "candidates (budget %d); skipping the round",
+                    round_index,
+                    self.selector.name,
+                    len(candidates),
+                    budget,
+                )
+                continue
+            if tracer.enabled:
+                tracer.emit(
+                    RoundPosted(
+                        round_index=round_index,
+                        budget=budget,
+                        questions_posted=len(questions),
+                        candidates_before=len(candidates),
+                    ),
+                    sim_time=total_latency,
+                )
             answers, latency = self.source.resolve(questions)
             evidence.record_all(answers)
             next_candidates = tuple(sorted(evidence.remaining_candidates()))
+            if tracer.enabled:
+                tracer.emit(
+                    AnswersReceived(
+                        round_index=round_index,
+                        n_answers=len(answers),
+                        latency=latency,
+                    ),
+                    sim_time=total_latency + latency,
+                )
+                tracer.emit(
+                    CandidateSetShrunk(
+                        round_index=round_index,
+                        candidates_before=len(candidates),
+                        candidates_after=len(next_candidates),
+                    ),
+                    sim_time=total_latency + latency,
+                )
+                tracer.advance_sim(latency)
+            registry.counter("engine.rounds").inc()
+            registry.counter("engine.questions_posted").inc(len(questions))
+            registry.counter("engine.answers_resolved").inc(len(answers))
+            registry.histogram("engine.candidates_after").observe(
+                len(next_candidates)
+            )
+            logger.debug(
+                "round %d: %d -> %d candidates, %d questions, %.1f s",
+                round_index,
+                len(candidates),
+                len(next_candidates),
+                len(questions),
+                latency,
+            )
             records.append(
                 RoundRecord(
                     round_index=round_index,
@@ -139,6 +229,25 @@ class MaxEngine:
             candidates = next_candidates
         singleton = len(candidates) == 1
         winner = candidates[0] if singleton else self._pick_winner(evidence)
+        if not singleton:
+            logger.debug(
+                "non-singleton termination: %d candidates remain after %d "
+                "rounds; declaring the highest-scoring one (%d)",
+                len(candidates),
+                len(records),
+                winner,
+            )
+        if tracer.enabled:
+            tracer.emit(
+                RunFinished(
+                    winner=int(winner),
+                    rounds_run=len(records),
+                    total_questions=total_questions,
+                    total_latency=total_latency,
+                    singleton=singleton,
+                ),
+                sim_time=total_latency,
+            )
         return MaxRunResult(
             winner=winner,
             true_max=truth.max_element,

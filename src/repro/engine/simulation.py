@@ -8,6 +8,7 @@ loop once for all of them.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -20,7 +21,10 @@ from repro.crowd.ground_truth import GroundTruth
 from repro.engine.max_engine import MaxEngine, OracleAnswerSource
 from repro.engine.results import MaxRunResult
 from repro.errors import InvalidParameterError
+from repro.obs.tracer import timed
 from repro.selection.base import QuestionSelector
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -124,20 +128,30 @@ def run_many(
     if n_runs < 1:
         raise InvalidParameterError(f"n_runs must be >= 1: {n_runs}")
     allocation = allocator.allocate(n_elements, budget, latency)
+    logger.debug(
+        "run_many: %d runs of %s + %s, c0=%d, b=%d, allocation %s",
+        n_runs,
+        allocator.name,
+        selector.name,
+        n_elements,
+        budget,
+        allocation.round_budgets,
+    )
     results = []
-    for run_index in range(n_runs):
-        rng = np.random.default_rng((seed, run_index))
-        results.append(
-            run_once(
-                n_elements,
-                budget,
-                allocator,
-                selector,
-                latency,
-                rng,
-                allocation=allocation,
+    with timed("simulation.run_many"):
+        for run_index in range(n_runs):
+            rng = np.random.default_rng((seed, run_index))
+            results.append(
+                run_once(
+                    n_elements,
+                    budget,
+                    allocator,
+                    selector,
+                    latency,
+                    rng,
+                    allocation=allocation,
+                )
             )
-        )
     return results
 
 

@@ -13,7 +13,6 @@ inputs, the literal Algorithm 1 memoized recursion.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.latency import mturk_car_latency
@@ -21,6 +20,7 @@ from repro.core.tdp import solve_min_latency
 from repro.core.tdp_memo import solve_min_latency_memo
 from repro.experiments.config import ExperimentScale, FULL
 from repro.experiments.tables import ExperimentResult
+from repro.obs.tracer import timed
 
 FULL_COLLECTION_SIZES: Tuple[int, ...] = (250, 500, 1000, 2000)
 SMALL_COLLECTION_SIZES: Tuple[int, ...] = (50, 100)
@@ -60,15 +60,17 @@ def run(
     for n_elements in collection_sizes:
         for multiple in budget_multiples:
             budget = n_elements * multiple
-            start = time.perf_counter()
-            solve_min_latency(n_elements, budget, latency)
-            tdp_seconds = time.perf_counter() - start
+            with timed("fig15.tdp") as tdp_span:
+                solve_min_latency(n_elements, budget, latency)
+            tdp_seconds = tdp_span.seconds
             memo_seconds: float = float("nan")
             memo_states: object = "-"
             if n_elements <= MEMO_SIZE_LIMIT:
-                start = time.perf_counter()
-                memo_plan = solve_min_latency_memo(n_elements, budget, latency)
-                memo_seconds = time.perf_counter() - start
+                with timed("fig15.memo") as memo_span:
+                    memo_plan = solve_min_latency_memo(
+                        n_elements, budget, latency
+                    )
+                memo_seconds = memo_span.seconds
                 memo_states = memo_plan.states_visited
             table.add_row(
                 n_elements,

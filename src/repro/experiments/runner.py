@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, List
 
 from repro.errors import ExperimentError
+from repro.obs.tracer import timed
+
+logger = logging.getLogger(__name__)
 from repro.experiments import (
     fig11a,
     fig11b,
@@ -43,7 +47,11 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {name!r}; available: {available_experiments()}"
         ) from None
-    return runner(scale)
+    logger.debug("running experiment %s at scale %s", name, scale.name)
+    with timed(f"experiment.{name}") as span:
+        tables = runner(scale)
+    logger.debug("experiment %s finished in %.2f s", name, span.seconds)
+    return tables
 
 
 def run_all(scale: ExperimentScale = FULL) -> List[ExperimentResult]:

@@ -1,0 +1,102 @@
+"""repro.obs — observability: tracing, metrics and profiling hooks.
+
+Three cooperating pieces:
+
+* a structured-event **tracer** (:mod:`repro.obs.tracer`,
+  :mod:`repro.obs.events`) — typed events with wall-clock and
+  simulated-clock timestamps, buffered per run, exportable to JSONL
+  (:mod:`repro.obs.export`) and summarizable into a per-round
+  latency/budget breakdown (:mod:`repro.obs.report`);
+* a process-wide **metrics registry** (:mod:`repro.obs.metrics`) —
+  counters, gauges and histograms with ``snapshot()``/``reset()``;
+* **profiling spans** (:func:`repro.obs.timed`) — a context
+  manager/decorator that feeds both of the above.
+
+The engine, allocators, Reliable Worker Layer and simulated platform are
+pre-instrumented; by default they see the no-op :data:`NULL_TRACER`, so
+uninstrumented use costs one boolean check per potential event.  Turn
+tracing on by passing a :class:`RecordingTracer` explicitly or ambiently::
+
+    from repro import obs
+
+    tracer = obs.RecordingTracer()
+    with obs.use_tracer(tracer):
+        engine.run(truth, allocation)
+    obs.write_jsonl(tracer, "trace.jsonl")
+    print(obs.render_trace_report(tracer.records))
+    print(obs.render_snapshot(obs.get_registry().snapshot()))
+
+or from the CLI: ``tdp-repro solve --trace out.jsonl --metrics``.
+"""
+
+from repro.obs.events import (
+    AnswersReceived,
+    CandidateSetShrunk,
+    DPTableBuilt,
+    RWLRetry,
+    RoundPosted,
+    RunFinished,
+    RunStarted,
+    SpanCompleted,
+    TraceEvent,
+    TraceRecord,
+    WorkerServiced,
+    event_from_dict,
+)
+from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    declare_standard_metrics,
+    get_registry,
+    render_snapshot,
+)
+from repro.obs.report import render_trace_report, report_file
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    current_tracer,
+    timed,
+    use_tracer,
+)
+
+__all__ = [
+    # events
+    "TraceEvent",
+    "TraceRecord",
+    "RunStarted",
+    "RoundPosted",
+    "AnswersReceived",
+    "CandidateSetShrunk",
+    "RunFinished",
+    "RWLRetry",
+    "WorkerServiced",
+    "DPTableBuilt",
+    "SpanCompleted",
+    "event_from_dict",
+    # tracer
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "current_tracer",
+    "use_tracer",
+    "timed",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "declare_standard_metrics",
+    "render_snapshot",
+    # export / report
+    "write_jsonl",
+    "read_jsonl",
+    "render_trace_report",
+    "report_file",
+]

@@ -1,0 +1,245 @@
+"""Typed trace events emitted by the instrumented layers.
+
+Every event is a small frozen dataclass carrying *what happened*; *when*
+it happened lives in the :class:`TraceRecord` the tracer wraps around it
+(monotonic wall-clock seconds since the tracer started, plus the simulated
+platform clock when the emitter knows it).  Keeping the payload and the
+timestamps separate means emitters never touch a clock — the tracer owns
+time — and a ``NullTracer`` run constructs nothing at all.
+
+The taxonomy follows the layers of the system:
+
+* engine — :class:`RunStarted`, :class:`RoundPosted`,
+  :class:`AnswersReceived`, :class:`CandidateSetShrunk`,
+  :class:`RunFinished`;
+* reliable worker layer — :class:`RWLRetry`;
+* simulated platform — :class:`WorkerServiced`;
+* allocators — :class:`DPTableBuilt`;
+* profiling — :class:`SpanCompleted` (emitted by :func:`repro.obs.timed`).
+
+Events round-trip through plain dicts (:meth:`TraceEvent.to_dict` /
+:func:`event_from_dict`) so traces can be exported to JSONL and read back
+without loss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type
+
+#: Registry of event kinds, populated by ``TraceEvent.__init_subclass__``.
+EVENT_KINDS: Dict[str, Type["TraceEvent"]] = {}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class of all trace events.
+
+    Subclasses set the class attribute ``kind`` (the stable wire name used
+    in JSONL exports) and add their payload fields.
+    """
+
+    kind: ClassVar[str] = "TraceEvent"
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        EVENT_KINDS[cls.kind] = cls
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the payload to a plain dict (no timestamps)."""
+        return dataclasses.asdict(self)
+
+
+def event_from_dict(kind: str, data: Dict[str, Any]) -> TraceEvent:
+    """Reconstruct a typed event from its wire form.
+
+    Unknown kinds raise ``KeyError`` — a trace written by a newer version
+    should fail loudly rather than silently dropping events.
+    """
+    cls = EVENT_KINDS[kind]
+    return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Engine events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunStarted(TraceEvent):
+    """A MAX run began.
+
+    Attributes:
+        n_elements: collection size ``c_0``.
+        budget: total question budget (planned rounds summed for a static
+            allocation; the raw budget for the adaptive engine).
+        rounds_planned: rounds in the driving allocation (0 = adaptive).
+        engine: engine class name (``MaxEngine``/``AdaptiveMaxEngine``).
+    """
+
+    kind: ClassVar[str] = "RunStarted"
+    n_elements: int
+    budget: int
+    rounds_planned: int
+    engine: str
+
+
+@dataclass(frozen=True)
+class RoundPosted(TraceEvent):
+    """One round's questions were handed to the answer source."""
+
+    kind: ClassVar[str] = "RoundPosted"
+    round_index: int
+    budget: int
+    questions_posted: int
+    candidates_before: int
+
+
+@dataclass(frozen=True)
+class AnswersReceived(TraceEvent):
+    """The answer source resolved one round's questions."""
+
+    kind: ClassVar[str] = "AnswersReceived"
+    round_index: int
+    n_answers: int
+    latency: float
+
+
+@dataclass(frozen=True)
+class CandidateSetShrunk(TraceEvent):
+    """The surviving-candidate set was recomputed after a round."""
+
+    kind: ClassVar[str] = "CandidateSetShrunk"
+    round_index: int
+    candidates_before: int
+    candidates_after: int
+
+
+@dataclass(frozen=True)
+class RunFinished(TraceEvent):
+    """A MAX run terminated."""
+
+    kind: ClassVar[str] = "RunFinished"
+    winner: int
+    rounds_run: int
+    total_questions: int
+    total_latency: float
+    singleton: bool
+
+
+# ----------------------------------------------------------------------
+# Reliable Worker Layer events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RWLRetry(TraceEvent):
+    """The RWL's cycle-resolution repair fired for a batch.
+
+    Emitted only when the majority answers contained a preference cycle
+    and had to be re-oriented; clean batches emit nothing.
+
+    Attributes:
+        distinct_questions: distinct questions in the batch.
+        questions_posted: posted copies (``distinct * repetition``).
+        repetition: per-question repetition factor.
+        majority_flips: answers whose direction was flipped by the repair.
+    """
+
+    kind: ClassVar[str] = "RWLRetry"
+    distinct_questions: int
+    questions_posted: int
+    repetition: int
+    majority_flips: int
+
+
+# ----------------------------------------------------------------------
+# Simulated-platform events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerServiced(TraceEvent):
+    """One simulated worker finished contributing to a batch.
+
+    Attributes:
+        worker_id: platform-wide worker identifier.
+        n_answers: answers the worker submitted in this batch.
+        busy_time: total service seconds the worker spent.
+    """
+
+    kind: ClassVar[str] = "WorkerServiced"
+    worker_id: int
+    n_answers: int
+    busy_time: float
+
+
+# ----------------------------------------------------------------------
+# Allocator events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DPTableBuilt(TraceEvent):
+    """A dynamic-programming solver finished building its table.
+
+    Attributes:
+        solver: ``"frontier"`` (the Pareto solver), ``"frontier-bounded"``
+            or ``"memo"`` (the literal Algorithm 1 recursion).
+        n_elements: ``c_0`` of the solved instance.
+        budget: ``b`` of the solved instance.
+        seconds: wall-clock seconds the build took.
+        states: table size — frontier points kept, or memoized states.
+    """
+
+    kind: ClassVar[str] = "DPTableBuilt"
+    solver: str
+    n_elements: int
+    budget: int
+    seconds: float
+    states: int
+
+
+# ----------------------------------------------------------------------
+# Profiling events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpanCompleted(TraceEvent):
+    """A :func:`repro.obs.timed` span closed."""
+
+    kind: ClassVar[str] = "SpanCompleted"
+    label: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped entry in a trace buffer.
+
+    Attributes:
+        seq: emission order (0-based, dense).
+        wall_time: monotonic seconds since the tracer was created.
+        sim_time: simulated-clock seconds, when the emitter knew it.
+        event: the typed payload.
+    """
+
+    seq: int
+    wall_time: float
+    sim_time: Optional[float]
+    event: TraceEvent
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "wall_time": self.wall_time,
+            "sim_time": self.sim_time,
+            "kind": self.event.kind,
+            "data": self.event.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "TraceRecord":
+        return cls(
+            seq=int(raw["seq"]),
+            wall_time=float(raw["wall_time"]),
+            sim_time=None if raw["sim_time"] is None else float(raw["sim_time"]),
+            event=event_from_dict(raw["kind"], raw["data"]),
+        )
+
+
+def events_of(records: Tuple[TraceRecord, ...], kind: str) -> Tuple[TraceRecord, ...]:
+    """Filter *records* down to one event kind (export/report helper)."""
+    return tuple(r for r in records if r.event.kind == kind)

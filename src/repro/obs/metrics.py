@@ -1,0 +1,262 @@
+"""Process-wide metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a named collection of instruments with
+``snapshot()`` / ``reset()`` semantics.  Instruments are created lazily on
+first access and are thread-safe (the simulated platform is single-threaded
+today, but the ROADMAP's scaling direction — sharded/async execution — must
+not invalidate the metrics layer).
+
+The instrumented hot paths record into the process-wide default registry
+(:func:`get_registry`) so that metrics work with zero setup; tests that
+need isolation construct their own registry.  Recording is cheap — one
+lock-guarded float update per call — and the hot paths only record
+*aggregates* (e.g. one counter bump per DP solve, not per DP cell).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Union
+
+#: Sample-retention cap per histogram; beyond it only the running
+#: aggregates (count/total/min/max) keep updating.
+_HISTOGRAM_SAMPLE_CAP = 4096
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease: {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A value that can go up and down; remembers only the latest."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value = (self._value or 0) + amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> Optional[Number]:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = None
+
+
+class Histogram:
+    """A stream of observations with running aggregates.
+
+    The first ``_HISTOGRAM_SAMPLE_CAP`` samples are retained in order (the
+    per-round candidate counts of a run, say, stay individually visible in
+    a snapshot); past the cap only the aggregates keep updating.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._samples: List[Number] = []
+        self._count = 0
+        self._total: float = 0.0
+        self._min: Optional[Number] = None
+        self._max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._samples) < _HISTOGRAM_SAMPLE_CAP:
+                self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._total / self._count if self._count else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self._count,
+                "total": self._total,
+                "min": self._min,
+                "max": self._max,
+                "mean": self.mean,
+                "samples": list(self._samples),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples = []
+            self._count = 0
+            self._total = 0.0
+            self._min = None
+            self._max = None
+
+
+class MetricsRegistry:
+    """A named, thread-safe collection of instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory: type) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, factory):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {factory.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Freeze every instrument's state into plain dicts."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instruments[name].snapshot() for name in sorted(instruments)}
+
+    def reset(self) -> None:
+        """Zero every instrument (instruments stay registered)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry the hot paths record into."""
+    return _DEFAULT_REGISTRY
+
+
+#: The instrument names the instrumented layers record, so a snapshot can
+#: pre-register them and show zeros instead of omitting untouched layers
+#: (an oracle run never exercises the RWL, but its overhead line should
+#: still appear in ``--metrics`` output).
+STANDARD_METRICS = (
+    ("counter", "engine.runs"),
+    ("counter", "engine.rounds"),
+    ("counter", "engine.questions_posted"),
+    ("counter", "engine.answers_resolved"),
+    ("histogram", "engine.candidates_after"),
+    ("counter", "rwl.batches"),
+    ("counter", "rwl.distinct_questions"),
+    ("counter", "rwl.questions_posted"),
+    ("counter", "rwl.cycle_repairs"),
+    ("counter", "rwl.majority_flips"),
+    ("counter", "platform.batches_posted"),
+    ("counter", "platform.questions_posted"),
+    ("counter", "platform.workers_serviced"),
+    ("counter", "tdp.solver_calls"),
+    ("counter", "tdp.frontier_points"),
+    ("histogram", "time.tdp.solve"),
+    ("counter", "tdp_memo.solver_calls"),
+    ("counter", "tdp_memo.states_visited"),
+    ("counter", "tdp_memo.memo_hits"),
+    ("counter", "tdp_memo.memo_misses"),
+    ("histogram", "time.tdp_memo.solve"),
+)
+
+
+def declare_standard_metrics(registry: Optional[MetricsRegistry] = None) -> None:
+    """Pre-register the standard instruments on *registry* (default: global)."""
+    registry = registry if registry is not None else get_registry()
+    for instrument_type, name in STANDARD_METRICS:
+        getattr(registry, instrument_type)(name)
+
+
+def render_snapshot(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Format a registry snapshot as an aligned human-readable block."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    width = max(len(name) for name in snapshot)
+    lines = []
+    for name, state in snapshot.items():
+        if state["type"] == "histogram":
+            if state["count"]:
+                detail = (
+                    f"count={state['count']} mean={state['mean']:.4g} "
+                    f"min={state['min']:.4g} max={state['max']:.4g}"
+                )
+                samples = state["samples"]
+                if samples and len(samples) <= 16:
+                    rendered = ", ".join(f"{s:.4g}" for s in samples)
+                    detail += f" [{rendered}]"
+            else:
+                detail = "count=0"
+            lines.append(f"{name:<{width}}  {detail}")
+        else:
+            value = state["value"]
+            rendered = "-" if value is None else f"{value:g}"
+            lines.append(f"{name:<{width}}  {rendered}")
+    return "\n".join(lines)

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.brute_force import iter_sequences
-from repro.core.latency import LinearLatency, PowerLawLatency
+from repro.core.latency import LinearLatency
 from repro.core.questions import tournament_questions
 from repro.core.tdp import solve_min_cost, solve_min_latency
 from repro.errors import InvalidParameterError

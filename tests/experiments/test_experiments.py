@@ -16,11 +16,7 @@ from repro.experiments import (
     findings68,
 )
 from repro.experiments.config import SMALL, ExperimentScale
-from repro.experiments.runner import (
-    available_experiments,
-    run_all,
-    run_experiment,
-)
+from repro.experiments.runner import available_experiments, run_experiment
 from repro.errors import ExperimentError
 
 TINY = ExperimentScale(name="small", n_runs=5, n_elements=40, budget=300)

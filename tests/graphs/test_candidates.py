@@ -17,7 +17,6 @@ from repro.graphs.candidates import (
     worst_case_answers,
 )
 from repro.graphs.tournaments import tournament_question_graph
-from repro.types import Answer
 
 
 def random_graph(n, data):

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.allocation import Allocation
 from repro.core.latency import LinearLatency
 from repro.core.tdp import TDPAllocator, solve_min_latency
 from repro.crowd.ground_truth import GroundTruth

@@ -1,0 +1,147 @@
+"""JSONL round-trip (export -> parse -> report) and event serialization."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.events import (
+    AnswersReceived,
+    CandidateSetShrunk,
+    DPTableBuilt,
+    RWLRetry,
+    RoundPosted,
+    RunFinished,
+    RunStarted,
+    SpanCompleted,
+    TraceRecord,
+    WorkerServiced,
+    event_from_dict,
+)
+from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.report import render_trace_report, report_file
+from repro.obs.tracer import RecordingTracer
+
+ALL_EVENTS = (
+    RunStarted(n_elements=30, budget=70, rounds_planned=2, engine="MaxEngine"),
+    RoundPosted(round_index=0, budget=42, questions_posted=42, candidates_before=30),
+    AnswersReceived(round_index=0, n_answers=42, latency=241.5),
+    CandidateSetShrunk(round_index=0, candidates_before=30, candidates_after=8),
+    RWLRetry(distinct_questions=28, questions_posted=84, repetition=3, majority_flips=2),
+    WorkerServiced(worker_id=5, n_answers=17, busy_time=120.5),
+    DPTableBuilt(solver="frontier", n_elements=30, budget=150, seconds=0.002, states=107),
+    SpanCompleted(label="tdp.solve", seconds=0.002),
+    RunFinished(winner=2, rounds_run=2, total_questions=70, total_latency=482.2, singleton=True),
+)
+
+
+def _trace() -> RecordingTracer:
+    tracer = RecordingTracer()
+    for event in ALL_EVENTS:
+        tracer.emit(event)
+    return tracer
+
+
+class TestEventSerialization:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.kind)
+    def test_dict_round_trip_every_kind(self, event):
+        assert event_from_dict(event.kind, event.to_dict()) == event
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            event_from_dict("NoSuchEvent", {})
+
+    def test_record_round_trip_preserves_timestamps(self):
+        record = TraceRecord(
+            seq=3, wall_time=0.5, sim_time=240.0, event=ALL_EVENTS[1]
+        )
+        assert TraceRecord.from_dict(record.to_dict()) == record
+
+    def test_record_round_trip_with_null_sim_time(self):
+        record = TraceRecord(seq=0, wall_time=0.1, sim_time=None, event=ALL_EVENTS[0])
+        assert TraceRecord.from_dict(record.to_dict()) == record
+
+
+class TestJsonl:
+    def test_file_round_trip_is_lossless(self, tmp_path):
+        tracer = _trace()
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(tracer, path)
+        assert count == len(ALL_EVENTS)
+        assert read_jsonl(path) == list(tracer.records)
+
+    def test_stream_round_trip(self):
+        tracer = _trace()
+        buffer = io.StringIO()
+        write_jsonl(tracer, buffer)
+        buffer.seek(0)
+        assert read_jsonl(buffer) == list(tracer.records)
+
+    def test_accepts_plain_record_iterables(self, tmp_path):
+        records = list(_trace().records)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(records, path)
+        assert read_jsonl(path) == records
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_trace(), path)
+        content = path.read_text()
+        path.write_text("\n" + content + "\n\n")
+        assert len(read_jsonl(path)) == len(ALL_EVENTS)
+
+    def test_one_json_object_per_line(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_trace(), path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(ALL_EVENTS)
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+
+class TestReport:
+    def test_full_pipeline_export_parse_report(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_trace(), path)
+        report = report_file(path)
+        # Run header and result line.
+        assert "c0=30" in report
+        assert "MAX=2 (singleton)" in report
+        # The per-round breakdown row: round 0, 30 -> 8 candidates.
+        assert "per-round breakdown:" in report
+        assert "30" in report and "8" in report
+        assert "241.5" in report
+        # Section per instrumented layer.
+        assert "allocator DP builds:" in report
+        assert "frontier" in report
+        assert "RWL repairs:" in report
+        assert "56 redundant question(s)" in report
+        assert "profiling spans:" in report
+        assert "tdp.solve" in report
+
+    def test_report_without_rounds(self):
+        tracer = RecordingTracer()
+        tracer.emit(SpanCompleted(label="only.spans", seconds=0.5))
+        report = render_trace_report(tracer.records)
+        assert "(no rounds recorded)" in report
+        assert "only.spans" in report
+
+    def test_cumulative_latency_column(self):
+        tracer = RecordingTracer()
+        for index, latency in enumerate((100.0, 50.0)):
+            tracer.emit(
+                RoundPosted(
+                    round_index=index,
+                    budget=10,
+                    questions_posted=10,
+                    candidates_before=20 - index,
+                )
+            )
+            tracer.emit(
+                AnswersReceived(round_index=index, n_answers=10, latency=latency)
+            )
+        report = render_trace_report(tracer.records)
+        assert "150.0" in report  # cumulative after round 1

@@ -1,0 +1,162 @@
+"""Counter/gauge/histogram semantics and registry behaviour."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    STANDARD_METRICS,
+    declare_standard_metrics,
+    get_registry,
+    render_snapshot,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrements(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(2)
+        assert counter.snapshot() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_unset_is_none(self):
+        assert Gauge("g").value is None
+
+    def test_set_and_move(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_inc_from_unset_counts_from_zero(self):
+        gauge = Gauge("g")
+        gauge.inc(2)
+        assert gauge.value == 2
+
+    def test_reset(self):
+        gauge = Gauge("g")
+        gauge.set(1)
+        gauge.reset()
+        assert gauge.value is None
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        histogram = Histogram("h")
+        for value in (2.0, 4.0, 9.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 15.0
+        assert histogram.mean == 5.0
+        snap = histogram.snapshot()
+        assert snap["min"] == 2.0
+        assert snap["max"] == 9.0
+        assert snap["samples"] == [2.0, 4.0, 9.0]
+
+    def test_empty_mean_is_none(self):
+        assert Histogram("h").mean is None
+
+    def test_sample_retention_is_capped(self):
+        histogram = Histogram("h")
+        for value in range(5000):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 5000
+        assert len(snap["samples"]) < 5000
+        assert snap["max"] == 4999  # aggregates keep updating past the cap
+
+    def test_reset(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.snapshot()["samples"] == []
+
+
+class TestRegistry:
+    def test_instruments_are_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_name_collision_across_types_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("questions").inc(7)
+        registry.histogram("lat").observe(1.5)
+        snap = registry.snapshot()
+        assert snap["questions"]["value"] == 7
+        assert snap["lat"]["count"] == 1
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["questions"]["value"] == 0  # still registered, zeroed
+        assert snap["lat"]["count"] == 0
+
+    def test_default_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_declare_standard_metrics_preregisters_names(self):
+        registry = MetricsRegistry()
+        declare_standard_metrics(registry)
+        names = registry.names()
+        for _, name in STANDARD_METRICS:
+            assert name in names
+
+    def test_thread_safety_of_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def work() -> None:
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestRender:
+    def test_render_empty(self):
+        assert "no metrics" in render_snapshot({})
+
+    def test_render_mixed_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.rounds").inc(2)
+        registry.histogram("engine.candidates_after").observe(8)
+        registry.gauge("load").set(0.5)
+        text = render_snapshot(registry.snapshot())
+        assert "engine.rounds" in text
+        assert "count=1" in text
+        assert "0.5" in text

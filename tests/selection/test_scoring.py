@@ -1,6 +1,5 @@
 """Tests for the Appendix B.2 scoring function (Algorithm 2)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
