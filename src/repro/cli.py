@@ -12,6 +12,12 @@ round-by-round ``repro`` logging; the ``solve``, ``simulate`` and
 ``experiment`` subcommands accept ``--trace PATH`` (write a JSONL
 structured-event trace) and ``--metrics`` (print a metrics-registry
 snapshot after the run).
+
+Robustness (see ``docs/robustness.md``): ``solve`` and ``simulate`` accept
+``--platform`` (measure latency on the simulated crowd platform),
+``--faults PROFILE`` (inject seeded platform faults), ``--retry ATTEMPTS``
+and ``--retry-deadline SECONDS`` (re-post unanswered questions with
+exponential backoff) and ``--repetition N`` (RWL voting factor).
 """
 
 from __future__ import annotations
@@ -25,9 +31,14 @@ import numpy as np
 
 from repro.core.latency import LinearLatency, PowerLawLatency
 from repro.core.registry import allocator_by_name, available_allocators
+from repro.crowd.faults import (
+    RetryPolicy,
+    available_fault_profiles,
+    fault_profile_by_name,
+)
 from repro.crowd.ground_truth import GroundTruth
 from repro.engine.max_engine import MaxEngine, OracleAnswerSource
-from repro.errors import ReproError
+from repro.errors import InvalidParameterError, ReproError
 from repro.experiments.config import scale_by_name
 from repro.experiments.runner import available_experiments, run_experiment
 from repro.selection.registry import available_selectors, selector_by_name
@@ -81,6 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-plan with tDP after every round instead of following a "
         "static allocation (ignores --allocator)",
     )
+    _add_fault_args(solve)
     _add_obs_args(solve)
 
     simulate = sub.add_parser(
@@ -92,6 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--selector", default="Tournament")
     simulate.add_argument("--runs", type=int, default=20)
     simulate.add_argument("--seed", type=int, default=0)
+    _add_fault_args(simulate)
     _add_obs_args(simulate)
 
     experiment = sub.add_parser(
@@ -126,6 +139,69 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show available algorithms and experiments")
     return parser
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """Robustness flags (see docs/robustness.md)."""
+    parser.add_argument(
+        "--platform",
+        action="store_true",
+        help="run on the simulated crowd platform with *measured* latency "
+        "(the Section 6.2 mode) instead of the oracle latency model",
+    )
+    parser.add_argument(
+        "--repetition",
+        type=int,
+        default=1,
+        help="RWL per-question repetition factor (platform mode only)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PROFILE",
+        help=f"inject platform faults: one of "
+        f"{available_fault_profiles()} (implies --platform)",
+    )
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="ATTEMPTS",
+        help="re-post unanswered questions with exponential backoff, up to "
+        "ATTEMPTS total posting attempts per round (default: 3 when "
+        "--faults is given, otherwise no retries)",
+    )
+    parser.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-round deadline in simulated seconds; a retry that cannot "
+        "start before it is abandoned and the round degrades gracefully",
+    )
+
+
+def _fault_options(args: argparse.Namespace):
+    """Resolve (platform_mode, fault_profile, retry_policy) from the flags."""
+    fault_profile = (
+        fault_profile_by_name(args.faults) if args.faults is not None else None
+    )
+    attempts = args.retry
+    if attempts is not None and attempts < 1:
+        raise InvalidParameterError(
+            f"--retry must be >= 1 attempt, got {attempts}"
+        )
+    if attempts is None and fault_profile is not None:
+        attempts = 3
+    retry_policy = (
+        RetryPolicy(max_attempts=attempts, deadline=args.retry_deadline)
+        if attempts is not None and attempts > 1
+        else None
+    )
+    platform_mode = (
+        args.platform or fault_profile is not None or retry_policy is not None
+    )
+    return platform_mode, fault_profile, retry_policy
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -199,6 +275,38 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     latency = _latency_from_args(args)
     selector = selector_by_name(args.selector)
+    platform_mode, fault_profile, retry_policy = _fault_options(args)
+    if platform_mode:
+        from repro.engine.simulation import run_once_on_platform
+
+        result = run_once_on_platform(
+            args.elements,
+            args.budget,
+            allocator_by_name(args.allocator),
+            selector,
+            latency,
+            seed=args.seed,
+            repetition=args.repetition,
+            fault_profile=fault_profile,
+            retry_policy=retry_policy,
+            adaptive=args.adaptive,
+        )
+        profile_name = args.faults if args.faults is not None else "none"
+        retries = (
+            f"retry x{retry_policy.max_attempts}" if retry_policy else "no retries"
+        )
+        print(
+            f"platform mode: measured latency, faults={profile_name}, "
+            f"{retries}, repetition {args.repetition}"
+        )
+        for record in result.records:
+            print(
+                f"  round {record.round_index}: {record.candidates_before} -> "
+                f"{record.candidates_after} candidates, "
+                f"{record.questions_posted} questions, {record.latency:.1f} s"
+            )
+        print(result.summary())
+        return 0
     rng = np.random.default_rng(args.seed)
     truth = GroundTruth.random(args.elements, rng)
     if args.adaptive:
@@ -224,18 +332,44 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.engine.simulation import aggregate
+    from repro.engine.simulation import (
+        AggregateStats,
+        aggregate,
+        run_many_on_platform,
+    )
 
     latency = _latency_from_args(args)
-    stats = aggregate(
-        n_elements=args.elements,
-        budget=args.budget,
-        allocator=allocator_by_name(args.allocator),
-        selector=selector_by_name(args.selector),
-        latency=latency,
-        n_runs=args.runs,
-        seed=args.seed,
-    )
+    platform_mode, fault_profile, retry_policy = _fault_options(args)
+    if platform_mode:
+        stats = AggregateStats.from_results(
+            run_many_on_platform(
+                args.elements,
+                args.budget,
+                allocator_by_name(args.allocator),
+                selector_by_name(args.selector),
+                latency,
+                n_runs=args.runs,
+                seed=args.seed,
+                repetition=args.repetition,
+                fault_profile=fault_profile,
+                retry_policy=retry_policy,
+            )
+        )
+        profile_name = args.faults if args.faults is not None else "none"
+        print(
+            f"platform mode: measured latency, faults={profile_name}, "
+            f"retries={retry_policy.max_attempts if retry_policy else 1}"
+        )
+    else:
+        stats = aggregate(
+            n_elements=args.elements,
+            budget=args.budget,
+            allocator=allocator_by_name(args.allocator),
+            selector=selector_by_name(args.selector),
+            latency=latency,
+            n_runs=args.runs,
+            seed=args.seed,
+        )
     print(f"configuration:        {args.allocator} + {args.selector}, "
           f"c0={args.elements}, b={args.budget}")
     print(f"runs:                 {stats.n_runs}")
@@ -284,9 +418,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
-    print("allocators: ", ", ".join(available_allocators()))
-    print("selectors:  ", ", ".join(available_selectors()))
-    print("experiments:", ", ".join(available_experiments()))
+    print("allocators:     ", ", ".join(available_allocators()))
+    print("selectors:      ", ", ".join(available_selectors()))
+    print("experiments:    ", ", ".join(available_experiments()))
+    print("fault profiles: ", ", ".join(available_fault_profiles()))
     return 0
 
 

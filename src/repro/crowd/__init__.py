@@ -7,8 +7,21 @@ from repro.crowd.error_models import (
     PerfectWorkers,
     UniformError,
 )
+from repro.crowd.faults import (
+    FaultProfile,
+    FaultStats,
+    FaultyPlatform,
+    RetryPolicy,
+    available_fault_profiles,
+    fault_profile_by_name,
+)
 from repro.crowd.ground_truth import GroundTruth
-from repro.crowd.platform import BatchResult, SimulatedPlatform, WorkerAnswer
+from repro.crowd.platform import (
+    BatchResult,
+    Platform,
+    SimulatedPlatform,
+    WorkerAnswer,
+)
 from repro.crowd.rwl import ReliableWorkerLayer, RWLResult
 from repro.crowd.workers import WorkerPoolConfig
 
@@ -21,9 +34,16 @@ __all__ = [
     "UniformError",
     "DistanceSensitiveError",
     "WorkerPoolConfig",
+    "Platform",
     "SimulatedPlatform",
     "BatchResult",
     "WorkerAnswer",
+    "FaultProfile",
+    "FaultStats",
+    "FaultyPlatform",
+    "RetryPolicy",
+    "available_fault_profiles",
+    "fault_profile_by_name",
     "ReliableWorkerLayer",
     "RWLResult",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import logging
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,7 +80,39 @@ class PlatformStats:
     total_busy_time: float = field(default=0.0)
 
 
-class SimulatedPlatform:
+class Platform(ABC):
+    """The posting interface every platform implementation provides.
+
+    :class:`SimulatedPlatform` is the bare discrete-event implementation
+    (and :class:`repro.crowd.diurnal.DiurnalPlatform` a subclass of it);
+    :class:`repro.crowd.faults.FaultyPlatform` is a decorator wrapping any
+    other platform.  Consumers — the Reliable Worker Layer above all —
+    depend only on this interface, so decorators and new implementations
+    slot in unchanged.
+    """
+
+    stats: PlatformStats
+
+    @abstractmethod
+    def post_batch(self, questions: Sequence[Question]) -> BatchResult:
+        """Post *questions* as one batch and block until it resolves.
+
+        Raises:
+            PlatformError: on invalid questions.
+            PlatformOutageError: when a fault-injecting implementation
+                loses the whole batch.
+        """
+
+    def measure_latency(self, batch_size: int, pairs: Sequence[Question]) -> float:
+        """Convenience: post a batch and return only its completion time."""
+        if len(pairs) != batch_size:
+            raise PlatformError(
+                f"expected {batch_size} questions, got {len(pairs)}"
+            )
+        return self.post_batch(pairs).completion_time
+
+
+class SimulatedPlatform(Platform):
     """The crowdsourcing platform substrate.
 
     Args:
@@ -201,14 +234,6 @@ class SimulatedPlatform:
             completion_time=completion,
             n_workers=len(participants),
         )
-
-    def measure_latency(self, batch_size: int, pairs: Sequence[Question]) -> float:
-        """Convenience: post a batch and return only its completion time."""
-        if len(pairs) != batch_size:
-            raise PlatformError(
-                f"expected {batch_size} questions, got {len(pairs)}"
-            )
-        return self.post_batch(pairs).completion_time
 
     def _new_worker_id(self) -> int:
         worker_id = self._next_worker_id

@@ -27,10 +27,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.crowd.platform import SimulatedPlatform
-from repro.errors import InconsistentAnswersError, InvalidParameterError
+from repro.crowd.faults import RetryPolicy
+from repro.crowd.platform import Platform
+from repro.errors import (
+    InconsistentAnswersError,
+    InvalidParameterError,
+    PlatformOutageError,
+)
 from repro.graphs.answer_graph import AnswerGraph
-from repro.obs.events import RWLRetry
+from repro.obs.events import BatchRetried, RWLRetry
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import Tracer, current_tracer
 from repro.types import Answer, Element, Question, normalize_question
@@ -43,53 +48,100 @@ class RWLResult:
     """Output of one RWL round.
 
     Attributes:
-        answers: exactly one conflict-free answer per distinct question.
-        latency: seconds the underlying platform batch took.
-        questions_posted: total posted copies (``distinct * repetition``).
+        answers: one conflict-free answer per *answered* distinct question
+            (all of them, unless faults exhausted the retry policy).
+        latency: seconds the round took — all platform batches plus the
+            backoff waits between retry attempts.
+        questions_posted: total posted copies over all attempts
+            (``distinct * repetition`` when nothing was retried).
         majority_flips: answers whose final direction disagrees with the
             majority vote (non-zero only when cycle resolution fired).
+        attempts: posting attempts made (1 = no retries).
+        unanswered: distinct questions that never received any answer —
+            non-empty only when a fault-injecting platform lost answers
+            and the retry policy ran out of attempts or deadline.
     """
 
     answers: Tuple[Answer, ...]
     latency: float
     questions_posted: int
     majority_flips: int
+    attempts: int = 1
+    unanswered: Tuple[Question, ...] = ()
 
 
 class ReliableWorkerLayer:
-    """Repetition + majority voting + cycle resolution on top of a platform."""
+    """Repetition + majority voting + cycle resolution on top of a platform.
+
+    With a :class:`~repro.crowd.faults.RetryPolicy` the layer also absorbs
+    platform faults: whenever a batch comes back with distinct questions
+    unanswered (lost/abandoned answers) or is swallowed by an outage, only
+    the unanswered questions are re-posted after an exponential backoff,
+    until every question has an answer or the policy's attempt/deadline
+    budget runs out.  Questions still unanswered at that point are
+    reported in :attr:`RWLResult.unanswered` and the layer returns a
+    conflict-free answer set for the questions that did resolve — the
+    engines degrade gracefully on the partial answers.
+    """
 
     def __init__(
         self,
-        platform: SimulatedPlatform,
+        platform: Platform,
         rng: np.random.Generator,
         repetition: int = 1,
         tracer: Optional[Tracer] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if repetition < 1:
             raise InvalidParameterError(f"repetition must be >= 1: {repetition}")
         self.platform = platform
         self.repetition = repetition
+        self.retry_policy = retry_policy
         self._rng = rng
         self._tracer = tracer
 
     def ask(self, questions: Sequence[Question]) -> RWLResult:
-        """Resolve *questions* into a conflict-free answer per question."""
+        """Resolve *questions* into a conflict-free answer per question.
+
+        Raises:
+            PlatformOutageError: only when no retry policy is configured
+                and the platform loses the whole batch; with a policy the
+                outage is retried (and, past the policy's limits, degraded
+                into ``unanswered`` questions).
+        """
         distinct = list(dict.fromkeys(normalize_question(a, b) for a, b in questions))
         if not distinct:
             logger.debug("RWL asked to resolve an empty question set")
             return RWLResult((), 0.0, 0, 0)
-        posted = [pair for pair in distinct for _ in range(self.repetition)]
-        batch = self.platform.post_batch(posted)
-        votes = self._tally(batch_answers=[wa.answer for wa in batch.worker_answers])
+        raw_answers, total_latency, questions_posted, attempts = (
+            self._post_with_retries(distinct)
+        )
+        answered = {answer.question for answer in raw_answers}
+        resolved = [pair for pair in distinct if pair in answered]
+        unanswered = tuple(pair for pair in distinct if pair not in answered)
+        votes = self._tally(batch_answers=raw_answers)
         majority = {
-            pair: self._majority_winner(pair, votes[pair]) for pair in distinct
+            pair: self._majority_winner(pair, votes[pair]) for pair in resolved
         }
-        answers, flips, repaired = self._resolve_cycles(distinct, majority, votes)
+        if resolved:
+            answers, flips, repaired = self._resolve_cycles(
+                resolved, majority, votes
+            )
+        else:
+            answers, flips, repaired = [], 0, False
         registry = get_registry()
         registry.counter("rwl.batches").inc()
         registry.counter("rwl.distinct_questions").inc(len(distinct))
-        registry.counter("rwl.questions_posted").inc(len(posted))
+        registry.counter("rwl.questions_posted").inc(questions_posted)
+        if unanswered:
+            registry.counter("rwl.unanswered").inc(len(unanswered))
+            logger.warning(
+                "RWL degraded: %d of %d questions never answered after "
+                "%d attempt(s)",
+                len(unanswered),
+                len(distinct),
+                attempts,
+            )
         if repaired:
             registry.counter("rwl.cycle_repairs").inc()
             registry.counter("rwl.majority_flips").inc(flips)
@@ -105,17 +157,105 @@ class ReliableWorkerLayer:
                 tracer.emit(
                     RWLRetry(
                         distinct_questions=len(distinct),
-                        questions_posted=len(posted),
+                        questions_posted=questions_posted,
                         repetition=self.repetition,
                         majority_flips=flips,
                     )
                 )
         return RWLResult(
             answers=tuple(answers),
-            latency=batch.completion_time,
-            questions_posted=len(posted),
+            latency=total_latency,
+            questions_posted=questions_posted,
             majority_flips=flips,
+            attempts=attempts,
+            unanswered=unanswered,
         )
+
+    # ------------------------------------------------------------------
+    # Posting + retries
+    # ------------------------------------------------------------------
+    def _post_with_retries(
+        self, distinct: List[Question]
+    ) -> Tuple[List[Answer], float, int, int]:
+        """Post *distinct* (times repetition), retrying unanswered questions.
+
+        Returns ``(raw worker answers, round latency, posted copies,
+        attempts)``.  Without a retry policy this is a single post — and,
+        on a fault-free platform, byte-identical to the pre-fault-layer
+        behaviour.
+        """
+        policy = self.retry_policy
+        raw_answers: List[Answer] = []
+        answered: Set[Question] = set()
+        pending = list(distinct)
+        total_latency = 0.0
+        questions_posted = 0
+        attempt = 0
+        registry = get_registry()
+        while pending:
+            attempt += 1
+            posted = [pair for pair in pending for _ in range(self.repetition)]
+            try:
+                batch = self.platform.post_batch(posted)
+            except PlatformOutageError as outage:
+                if policy is None:
+                    raise
+                total_latency += outage.wasted_seconds
+                reason = "outage"
+            else:
+                questions_posted += len(posted)
+                total_latency += batch.completion_time
+                raw_answers.extend(wa.answer for wa in batch.worker_answers)
+                answered.update(wa.answer.question for wa in batch.worker_answers)
+                pending = [pair for pair in pending if pair not in answered]
+                reason = "unanswered"
+            if not pending or policy is None:
+                break
+            if attempt >= policy.max_attempts:
+                logger.debug(
+                    "retry budget exhausted: %d question(s) unanswered "
+                    "after %d attempts",
+                    len(pending),
+                    attempt,
+                )
+                break
+            backoff = policy.backoff_seconds(attempt, self._rng)
+            if (
+                policy.deadline is not None
+                and total_latency + backoff >= policy.deadline
+            ):
+                logger.debug(
+                    "retry deadline hit: %.1f s + %.1f s backoff >= %.1f s "
+                    "deadline; degrading with %d unanswered question(s)",
+                    total_latency,
+                    backoff,
+                    policy.deadline,
+                    len(pending),
+                )
+                break
+            total_latency += backoff
+            registry.counter("rwl.retries").inc()
+            logger.debug(
+                "retrying %d unanswered question(s) after %.1f s backoff "
+                "(attempt %d, reason: %s)",
+                len(pending),
+                backoff,
+                attempt + 1,
+                reason,
+            )
+            tracer = self._tracer if self._tracer is not None else current_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    BatchRetried(
+                        attempt=attempt + 1,
+                        distinct_questions=len(pending),
+                        questions_reposted=len(pending) * self.repetition,
+                        backoff_seconds=backoff,
+                        reason=reason,
+                    ),
+                    sim_time=total_latency,
+                )
+        return raw_answers, total_latency, questions_posted, attempt
 
     # ------------------------------------------------------------------
     # Voting

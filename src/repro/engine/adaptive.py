@@ -14,6 +14,11 @@ eliminate more candidates than the worst case guarantees: leftover
 cross-tournament questions, exploiting selectors (CT25/GREEDY), or an eDP
 first round.  The remaining budget is then re-invested optimally instead
 of following a stale plan.
+
+The same mechanism is the adaptive engine's graceful degradation under
+platform faults (:mod:`repro.crowd.faults`): when a lossy round resolves
+fewer answers than it posted, the next iteration simply re-plans from the
+actual surviving candidates and leftover budget.
 """
 
 from __future__ import annotations
@@ -194,6 +199,22 @@ class AdaptiveMaxEngine:
             total_questions += len(questions)
             remaining -= len(questions)
             candidates = next_candidates
+            distinct_posted = len(dict.fromkeys(questions))
+            if len(answers) < distinct_posted:
+                # A lossy answer source gave up on some questions.  No
+                # special recovery is needed here: the next iteration
+                # re-solves MinLatency for the actual surviving candidates
+                # and leftover budget, which *is* the graceful degradation.
+                registry.counter("engine.degraded_rounds").inc()
+                logger.warning(
+                    "round %d degraded: %d of %d questions unanswered; "
+                    "re-planning %d remaining questions over %d candidates",
+                    round_index,
+                    distinct_posted - len(answers),
+                    distinct_posted,
+                    remaining,
+                    len(candidates),
+                )
             if remaining < len(candidates) - 1:
                 # Cannot guarantee further progress (Theorem 1).
                 logger.debug(

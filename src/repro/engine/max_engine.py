@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.latency import LatencyFunction
+from repro.core.tdp import solve_min_latency
 from repro.crowd.ground_truth import GroundTruth
 from repro.crowd.rwl import ReliableWorkerLayer
 from repro.engine.results import MaxRunResult, RoundRecord
@@ -96,6 +97,13 @@ class MaxEngine:
         tracer: structured-event tracer; ``None`` falls back to the
             ambient tracer (:func:`repro.obs.current_tracer`), which is
             the no-op :data:`~repro.obs.NULL_TRACER` unless installed.
+        replan_latency: graceful degradation under platform faults — when
+            a round resolves fewer answers than it posted (a lossy answer
+            source gave up on some questions), re-solve MinLatency for the
+            actual surviving candidates and the leftover budget and replace
+            the remaining round budgets with the fresh plan.  ``None``
+            (the default) keeps the static allocation untouched, which is
+            the paper's error-free behaviour.
     """
 
     def __init__(
@@ -104,11 +112,13 @@ class MaxEngine:
         source: AnswerSource,
         rng: np.random.Generator,
         tracer: Optional[Tracer] = None,
+        replan_latency: Optional[LatencyFunction] = None,
     ) -> None:
         self.selector = selector
         self.source = source
         self._rng = rng
         self._tracer = tracer
+        self.replan_latency = replan_latency
 
     def _resolve_tracer(self) -> Tracer:
         return self._tracer if self._tracer is not None else current_tracer()
@@ -141,7 +151,11 @@ class MaxEngine:
                 ),
                 sim_time=0.0,
             )
-        for round_index, budget in enumerate(allocation.round_budgets):
+        budgets = list(allocation.round_budgets)
+        round_index = -1
+        while round_index + 1 < len(budgets):
+            round_index += 1
+            budget = budgets[round_index]
             if len(candidates) <= 1:
                 break
             context = SelectionContext(
@@ -149,7 +163,7 @@ class MaxEngine:
                 candidates=candidates,
                 evidence=evidence,
                 round_index=round_index,
-                total_rounds=allocation.rounds,
+                total_rounds=len(budgets),
                 rng=self._rng,
             )
             questions = self.selector.select(context)
@@ -227,6 +241,22 @@ class MaxEngine:
             total_latency += latency
             total_questions += len(questions)
             candidates = next_candidates
+            distinct_posted = len(dict.fromkeys(questions))
+            if len(answers) < distinct_posted:
+                # A lossy answer source gave up on some questions: the
+                # candidate set shrank only as far as the surviving answers
+                # allow.  Re-plan the rest of the budget for the actual
+                # state instead of following the now-stale allocation.
+                registry.counter("engine.degraded_rounds").inc()
+                logger.warning(
+                    "round %d degraded: %d of %d questions unanswered; "
+                    "%d candidates survive",
+                    round_index,
+                    distinct_posted - len(answers),
+                    distinct_posted,
+                    len(candidates),
+                )
+                self._replan_remaining(budgets, round_index, len(candidates))
         singleton = len(candidates) == 1
         winner = candidates[0] if singleton else self._pick_winner(evidence)
         if not singleton:
@@ -256,6 +286,40 @@ class MaxEngine:
             total_questions=total_questions,
             records=tuple(records),
             allocation=allocation,
+        )
+
+    def _replan_remaining(
+        self, budgets: List[int], round_index: int, n_candidates: int
+    ) -> None:
+        """Replace the budgets after *round_index* with a fresh tDP plan.
+
+        No-op unless the engine was built with ``replan_latency``, the run
+        is still undecided and the leftover budget can make progress
+        (Theorem 1: at least ``candidates - 1`` questions).
+        """
+        if self.replan_latency is None or n_candidates <= 1:
+            return
+        leftover = sum(budgets[round_index + 1:])
+        if leftover < n_candidates - 1:
+            logger.warning(
+                "cannot re-plan: leftover budget %d < %d (Theorem 1); "
+                "keeping the stale allocation",
+                leftover,
+                n_candidates - 1,
+            )
+            return
+        plan = solve_min_latency(n_candidates, leftover, self.replan_latency)
+        replanned = Allocation.from_element_sequence(
+            plan.sequence, "tDP (replanned)"
+        )
+        budgets[round_index + 1:] = list(replanned.round_budgets)
+        get_registry().counter("engine.replans").inc()
+        logger.info(
+            "re-planned %d leftover questions over %d candidates into "
+            "rounds %s",
+            leftover,
+            n_candidates,
+            replanned.round_budgets,
         )
 
     def _pick_winner(self, evidence: AnswerGraph) -> Element:

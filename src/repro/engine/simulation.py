@@ -17,8 +17,17 @@ import numpy as np
 
 from repro.core.allocation import Allocation, BudgetAllocator
 from repro.core.latency import LatencyFunction
+from repro.crowd.error_models import ErrorModel
+from repro.crowd.faults import FaultProfile, FaultyPlatform, RetryPolicy
 from repro.crowd.ground_truth import GroundTruth
-from repro.engine.max_engine import MaxEngine, OracleAnswerSource
+from repro.crowd.platform import Platform, SimulatedPlatform
+from repro.crowd.rwl import ReliableWorkerLayer
+from repro.crowd.workers import WorkerPoolConfig
+from repro.engine.max_engine import (
+    MaxEngine,
+    OracleAnswerSource,
+    PlatformAnswerSource,
+)
 from repro.engine.results import MaxRunResult
 from repro.errors import InvalidParameterError
 from repro.obs.tracer import timed
@@ -168,3 +177,104 @@ def aggregate(
     return AggregateStats.from_results(
         run_many(n_elements, budget, allocator, selector, latency, n_runs, seed)
     )
+
+
+def run_once_on_platform(
+    n_elements: int,
+    budget: int,
+    allocator: BudgetAllocator,
+    selector: QuestionSelector,
+    latency: LatencyFunction,
+    seed: int,
+    *,
+    repetition: int = 1,
+    error_model: Optional[ErrorModel] = None,
+    worker_config: Optional[WorkerPoolConfig] = None,
+    fault_profile: Optional[FaultProfile] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    adaptive: bool = False,
+) -> MaxRunResult:
+    """One MAX run with *measured* latency on the simulated platform.
+
+    This is the Section 6.2 mode — questions go through the Reliable
+    Worker Layer to a :class:`~repro.crowd.platform.SimulatedPlatform` —
+    extended with the robustness stack of ``docs/robustness.md``:
+
+    * *fault_profile* (when given, including the zero profile) wraps the
+      platform in a :class:`~repro.crowd.faults.FaultyPlatform` seeded
+      from an independent stream, so a zero profile is bit-identical to
+      the unwrapped platform;
+    * *retry_policy* lets the RWL re-post unanswered questions;
+    * the engine degrades gracefully on rounds whose answers could not be
+      fully recovered — the static engine re-plans the leftover budget
+      against *latency*, the adaptive engine re-plans every round anyway.
+
+    The run is fully determined by ``seed`` (platform, workers, faults
+    and selection randomness all derive from it).
+    """
+    rng = np.random.default_rng((seed, 0))
+    truth = GroundTruth.random(n_elements, rng)
+    platform: Platform = SimulatedPlatform(
+        truth, rng, error_model=error_model, config=worker_config
+    )
+    if fault_profile is not None:
+        platform = FaultyPlatform(
+            platform, fault_profile, np.random.default_rng((seed, 1))
+        )
+    rwl = ReliableWorkerLayer(
+        platform, rng, repetition=repetition, retry_policy=retry_policy
+    )
+    source = PlatformAnswerSource(rwl)
+    if adaptive:
+        from repro.engine.adaptive import AdaptiveMaxEngine
+
+        return AdaptiveMaxEngine(selector, source, latency, rng).run(
+            truth, budget
+        )
+    allocation = allocator.allocate(n_elements, budget, latency)
+    lossy = fault_profile is not None and not fault_profile.is_zero
+    engine = MaxEngine(
+        selector,
+        source,
+        rng,
+        replan_latency=latency if lossy else None,
+    )
+    return engine.run(truth, allocation)
+
+
+def run_many_on_platform(
+    n_elements: int,
+    budget: int,
+    allocator: BudgetAllocator,
+    selector: QuestionSelector,
+    latency: LatencyFunction,
+    n_runs: int,
+    seed: int,
+    **platform_kwargs,
+) -> List[MaxRunResult]:
+    """Repeat :func:`run_once_on_platform` with per-run derived seeds.
+
+    Keyword arguments are forwarded to :func:`run_once_on_platform`
+    (repetition, fault profile, retry policy, ...).
+    """
+    if n_runs < 1:
+        raise InvalidParameterError(f"n_runs must be >= 1: {n_runs}")
+    results = []
+    with timed("simulation.run_many_on_platform"):
+        for run_index in range(n_runs):
+            results.append(
+                run_once_on_platform(
+                    n_elements,
+                    budget,
+                    allocator,
+                    selector,
+                    latency,
+                    seed=int(
+                        np.random.SeedSequence(
+                            (seed, run_index)
+                        ).generate_state(1)[0]
+                    ),
+                    **platform_kwargs,
+                )
+            )
+    return results

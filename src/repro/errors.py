@@ -46,5 +46,19 @@ class PlatformError(ReproError):
     """The simulated crowdsourcing platform was used incorrectly."""
 
 
+class PlatformOutageError(PlatformError):
+    """A posted batch was lost to a whole-platform outage.
+
+    Raised by the fault-injection layer (:mod:`repro.crowd.faults`) when an
+    injected outage swallows an entire batch.  ``wasted_seconds`` is the
+    simulated time the poster spent before concluding the batch was lost —
+    retry layers add it to the round latency.
+    """
+
+    def __init__(self, message: str, wasted_seconds: float) -> None:
+        self.wasted_seconds = wasted_seconds
+        super().__init__(message)
+
+
 class ExperimentError(ReproError):
     """An experiment configuration is invalid or an experiment run failed."""

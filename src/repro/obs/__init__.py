@@ -31,8 +31,10 @@ or from the CLI: ``tdp-repro solve --trace out.jsonl --metrics``.
 
 from repro.obs.events import (
     AnswersReceived,
+    BatchRetried,
     CandidateSetShrunk,
     DPTableBuilt,
+    FaultInjected,
     RWLRetry,
     RoundPosted,
     RunFinished,
@@ -74,7 +76,9 @@ __all__ = [
     "CandidateSetShrunk",
     "RunFinished",
     "RWLRetry",
+    "BatchRetried",
     "WorkerServiced",
+    "FaultInjected",
     "DPTableBuilt",
     "SpanCompleted",
     "event_from_dict",

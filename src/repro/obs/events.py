@@ -12,8 +12,8 @@ The taxonomy follows the layers of the system:
 * engine — :class:`RunStarted`, :class:`RoundPosted`,
   :class:`AnswersReceived`, :class:`CandidateSetShrunk`,
   :class:`RunFinished`;
-* reliable worker layer — :class:`RWLRetry`;
-* simulated platform — :class:`WorkerServiced`;
+* reliable worker layer — :class:`RWLRetry`, :class:`BatchRetried`;
+* simulated platform — :class:`WorkerServiced`, :class:`FaultInjected`;
 * allocators — :class:`DPTableBuilt`;
 * profiling — :class:`SpanCompleted` (emitted by :func:`repro.obs.timed`).
 
@@ -150,9 +150,55 @@ class RWLRetry(TraceEvent):
     majority_flips: int
 
 
+@dataclass(frozen=True)
+class BatchRetried(TraceEvent):
+    """The RWL re-posted a round's unanswered questions.
+
+    Emitted once per retry attempt, before the re-posted batch runs.
+
+    Attributes:
+        attempt: 1-based index of the posting attempt being started
+            (``2`` = first retry).
+        distinct_questions: distinct questions still unanswered.
+        questions_reposted: posted copies (``distinct * repetition``).
+        backoff_seconds: simulated seconds waited before re-posting.
+        reason: ``"outage"`` (the whole previous batch was lost) or
+            ``"unanswered"`` (some answers never arrived).
+    """
+
+    kind: ClassVar[str] = "BatchRetried"
+    attempt: int
+    distinct_questions: int
+    questions_reposted: int
+    backoff_seconds: float
+    reason: str
+
+
 # ----------------------------------------------------------------------
 # Simulated-platform events
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """The fault-injection layer perturbed a posted batch.
+
+    Emitted once per (batch, fault family) with a nonzero count, not per
+    affected answer, to keep traces compact.
+
+    Attributes:
+        fault: fault family — ``"outage"``, ``"abandonment"``, ``"drop"``,
+            ``"straggler"`` or ``"duplicate"``.
+        n_affected: answers affected (questions in the batch for an
+            outage).
+        batch_index: 0-based index of the batch on this FaultyPlatform.
+    """
+
+    kind: ClassVar[str] = "FaultInjected"
+    fault: str
+    n_affected: int
+    batch_index: int
+
+
+
 @dataclass(frozen=True)
 class WorkerServiced(TraceEvent):
     """One simulated worker finished contributing to a batch.

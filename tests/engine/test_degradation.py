@@ -1,0 +1,159 @@
+"""Graceful-degradation tests for the MAX engines under platform faults.
+
+Acceptance criterion for the robustness layer: with perfect workers a
+seeded, nonzero fault profile must demonstrably *increase* the measured
+round latency while the engines still return the true MAX.
+"""
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.latency import LinearLatency
+from repro.core.tdp import TDPAllocator
+from repro.crowd.faults import FaultProfile, RetryPolicy, fault_profile_by_name
+from repro.crowd.ground_truth import GroundTruth
+from repro.engine.max_engine import AnswerSource, MaxEngine, OracleAnswerSource
+from repro.engine.simulation import run_once_on_platform
+from repro.selection.tournament import TournamentFormation
+
+Answer = Tuple[int, int]
+
+
+class LossyOracleSource(AnswerSource):
+    """Truthful answers, but silently loses some questions in round one."""
+
+    def __init__(self, truth, latency, lose_first_n):
+        self._inner = OracleAnswerSource(truth, latency)
+        self.lose_first_n = lose_first_n
+        self.rounds_seen = 0
+
+    def resolve(
+        self, questions: Sequence[Tuple[int, int]]
+    ) -> Tuple[List[Answer], float]:
+        answers, latency = self._inner.resolve(questions)
+        self.rounds_seen += 1
+        if self.rounds_seen == 1:
+            answers = answers[self.lose_first_n:]
+        return answers, latency
+
+
+@pytest.fixture
+def latency():
+    return LinearLatency(delta=60.0, alpha=2.0)
+
+
+class TestMaxEngineReplanning:
+    def _run(self, latency, replan, seed=3, n_elements=32, budget=60):
+        rng = np.random.default_rng(seed)
+        truth = GroundTruth.random(n_elements, rng)
+        allocation = TDPAllocator().allocate(n_elements, budget, latency)
+        source = LossyOracleSource(truth, latency, lose_first_n=4)
+        engine = MaxEngine(
+            TournamentFormation(),
+            source,
+            rng,
+            replan_latency=latency if replan else None,
+        )
+        return truth, engine.run(truth, allocation)
+
+    def test_degraded_round_triggers_replan(self, latency):
+        registry = obs.get_registry()
+        registry.reset()
+        truth, result = self._run(latency, replan=True)
+        assert registry.counter("engine.degraded_rounds").value >= 1
+        assert registry.counter("engine.replans").value >= 1
+        assert result.winner == truth.max_element
+        assert result.correct
+
+    def test_degradation_counted_even_without_replan_latency(self, latency):
+        registry = obs.get_registry()
+        registry.reset()
+        truth, result = self._run(latency, replan=False)
+        assert registry.counter("engine.degraded_rounds").value >= 1
+        assert registry.counter("engine.replans").value == 0
+        # Truthful answers: the stale plan still finds the true MAX.
+        assert result.winner == truth.max_element
+
+    def test_clean_rounds_never_replan(self, latency):
+        registry = obs.get_registry()
+        registry.reset()
+        rng = np.random.default_rng(5)
+        truth = GroundTruth.random(32, rng)
+        allocation = TDPAllocator().allocate(32, 60, latency)
+        engine = MaxEngine(
+            TournamentFormation(),
+            OracleAnswerSource(truth, latency),
+            rng,
+            replan_latency=latency,
+        )
+        result = engine.run(truth, allocation)
+        assert registry.counter("engine.degraded_rounds").value == 0
+        assert registry.counter("engine.replans").value == 0
+        assert result.correct
+
+
+class TestPlatformDegradation:
+    """End-to-end acceptance: faults cost latency, not correctness."""
+
+    def _platform_run(self, latency, *, profile, adaptive=False, seed=11):
+        return run_once_on_platform(
+            24,
+            50,
+            TDPAllocator(),
+            TournamentFormation(),
+            latency,
+            seed=seed,
+            fault_profile=profile,
+            retry_policy=RetryPolicy(max_attempts=8) if profile else None,
+            adaptive=adaptive,
+        )
+
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_faults_increase_latency_but_not_errors(self, latency, adaptive):
+        clean = self._platform_run(latency, profile=None, adaptive=adaptive)
+        faulty = self._platform_run(
+            latency,
+            profile=fault_profile_by_name("severe"),
+            adaptive=adaptive,
+        )
+        # Perfect workers (no error model): both runs find the true MAX.
+        assert clean.correct
+        assert faulty.correct
+        # The seeded fault profile demonstrably costs simulated time.
+        assert faulty.total_latency > clean.total_latency
+
+    def test_zero_profile_matches_unwrapped_run(self, latency):
+        unwrapped = self._platform_run(latency, profile=None)
+        wrapped = self._platform_run(latency, profile=FaultProfile.none())
+        assert wrapped.winner == unwrapped.winner
+        assert wrapped.total_latency == unwrapped.total_latency
+        assert wrapped.total_questions == unwrapped.total_questions
+        assert wrapped.rounds_run == unwrapped.rounds_run
+
+    def test_adaptive_engine_counts_degraded_rounds(self, latency):
+        registry = obs.get_registry()
+        registry.reset()
+        # No retry policy: dropped answers hit the engine directly.
+        result = run_once_on_platform(
+            24,
+            50,
+            TDPAllocator(),
+            TournamentFormation(),
+            latency,
+            seed=11,
+            fault_profile=FaultProfile(drop_prob=0.4),
+            adaptive=True,
+        )
+        assert result.correct
+        assert registry.counter("engine.degraded_rounds").value >= 1
+
+    def test_platform_runs_are_deterministic_in_seed(self, latency):
+        profile = fault_profile_by_name("mild")
+        a = self._platform_run(latency, profile=profile, seed=21)
+        b = self._platform_run(latency, profile=profile, seed=21)
+        assert a.winner == b.winner
+        assert a.total_latency == b.total_latency
+        assert a.total_questions == b.total_questions

@@ -1,0 +1,187 @@
+"""Golden end-to-end regression tests.
+
+Every case runs a fully seeded solve/simulate pipeline and compares the
+outcome against ``golden/golden_runs.json``.  Any behavioural drift in
+the solver, the engines, the platform simulation or the fault layer shows
+up here as a diff against the committed snapshot.
+
+To regenerate the snapshot after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/integration/test_golden_runs.py
+
+then review the JSON diff like any other code change.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.latency import LinearLatency
+from repro.core.tdp import TDPAllocator, solve_min_latency
+from repro.crowd.faults import RetryPolicy, fault_profile_by_name
+from repro.engine.simulation import (
+    AggregateStats,
+    run_many,
+    run_once,
+    run_once_on_platform,
+)
+from repro.selection.tournament import TournamentFormation
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "golden_runs.json"
+
+# The paper's fitted MTurk model (Section 6.1): L(q) = 529 + 251*q.
+LATENCY = LinearLatency(delta=529.0, alpha=251.0)
+
+
+def _run_summary(result):
+    return {
+        "winner": int(result.winner),
+        "correct": bool(result.correct),
+        "singleton": bool(result.singleton_termination),
+        "rounds": int(result.rounds_run),
+        "total_latency": round(float(result.total_latency), 6),
+        "total_questions": int(result.total_questions),
+    }
+
+
+def compute_golden():
+    """Execute every golden scenario and return its summary dict."""
+    cases = {}
+
+    plan = solve_min_latency(30, 60, LATENCY)
+    cases["solver_c30_b60"] = {
+        "sequence": list(plan.sequence),
+        "total_latency": round(plan.total_latency, 6),
+        "questions_used": plan.questions_used,
+    }
+
+    cases["oracle_tdp_tournament"] = _run_summary(
+        run_once(
+            20,
+            40,
+            TDPAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            np.random.default_rng(123),
+        )
+    )
+
+    cases["platform_clean"] = _run_summary(
+        run_once_on_platform(
+            16,
+            30,
+            TDPAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            seed=7,
+        )
+    )
+
+    cases["platform_lossy_faults_with_retry"] = _run_summary(
+        run_once_on_platform(
+            30,
+            60,
+            TDPAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            seed=7,
+            fault_profile=fault_profile_by_name("lossy"),
+            retry_policy=RetryPolicy(max_attempts=6),
+        )
+    )
+    cases["platform_clean_c30"] = _run_summary(
+        run_once_on_platform(
+            30,
+            60,
+            TDPAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            seed=7,
+        )
+    )
+
+    cases["adaptive_platform"] = _run_summary(
+        run_once_on_platform(
+            16,
+            30,
+            TDPAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            seed=7,
+            adaptive=True,
+        )
+    )
+
+    stats = AggregateStats.from_results(
+        run_many(
+            12,
+            22,
+            TDPAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            n_runs=5,
+            seed=42,
+        )
+    )
+    cases["aggregate_oracle_5_runs"] = {
+        "n_runs": stats.n_runs,
+        "mean_latency": round(stats.mean_latency, 6),
+        "std_latency": round(stats.std_latency, 6),
+        "singleton_rate": stats.singleton_rate,
+        "accuracy": stats.accuracy,
+        "mean_questions": stats.mean_questions,
+        "mean_rounds": stats.mean_rounds,
+    }
+
+    return cases
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"missing golden snapshot {GOLDEN_PATH}; regenerate with "
+            "`PYTHONPATH=src python tests/integration/test_golden_runs.py`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_golden()
+
+
+def test_no_unknown_or_missing_cases(golden, current):
+    assert sorted(golden) == sorted(current)
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        "solver_c30_b60",
+        "oracle_tdp_tournament",
+        "platform_clean",
+        "platform_clean_c30",
+        "platform_lossy_faults_with_retry",
+        "adaptive_platform",
+        "aggregate_oracle_5_runs",
+    ],
+)
+def test_golden_case(golden, current, case):
+    assert current[case] == golden[case]
+
+
+def test_lossy_faults_cost_latency_in_the_snapshot(golden):
+    """The committed snapshot itself must witness the acceptance criterion."""
+    clean = golden["platform_clean_c30"]
+    faulty = golden["platform_lossy_faults_with_retry"]
+    assert faulty["total_latency"] > clean["total_latency"]
+    assert faulty["correct"] and clean["correct"]
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(compute_golden(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
