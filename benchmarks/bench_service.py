@@ -1,0 +1,78 @@
+"""Multi-query service benchmarks: throughput and tail latency vs concurrency.
+
+Not tied to a paper figure; these measure the :mod:`repro.service`
+scheduler itself — how wall-clock cost and simulated p50/p95 latency
+respond as the admission window (``max_active_queries``) widens over one
+shared platform, and what the plan cache saves on a repeated-shape
+workload.
+"""
+
+from repro.core.latency import mturk_car_latency
+from repro.service import (
+    MaxScheduler,
+    ServiceConfig,
+    generate_workload,
+    workload_by_name,
+)
+
+SEED = 0
+
+
+def _run(workload: str, **config_kwargs):
+    specs = generate_workload(workload_by_name(workload), seed=SEED)
+    config = ServiceConfig(**config_kwargs)
+    return MaxScheduler(
+        specs, mturk_car_latency(), seed=SEED, config=config
+    ).run()
+
+
+def _print_report(label, report):
+    print()
+    print(f"-- {label} --")
+    print(report.render())
+
+
+def bench_serve_burst_concurrency_sweep(benchmark):
+    """60-query burst at widening admission windows (the headline sweep)."""
+
+    def sweep():
+        return [
+            (max_active, _run("burst", max_active_queries=max_active))
+            for max_active in (4, 16, 64)
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    header = (
+        f"{'max_active':>10} {'throughput/h':>12} {'p50 (s)':>10} "
+        f"{'p95 (s)':>10} {'rounds':>7}"
+    )
+    print(header)
+    for max_active, report in results:
+        print(
+            f"{max_active:>10} {report.throughput_per_hour:>12.1f} "
+            f"{report.p50_latency:>10.1f} {report.p95_latency:>10.1f} "
+            f"{report.shared_rounds:>7}"
+        )
+        assert len(report.finished) == report.n_queries
+    # A wider admission window must not lose queries and should cut p95.
+    narrow, wide = results[0][1], results[-1][1]
+    assert wide.p95_latency <= narrow.p95_latency
+
+
+def bench_serve_steady_default(benchmark):
+    """The default steady workload under the default service config."""
+    report = benchmark.pedantic(
+        lambda: _run("steady"), rounds=1, iterations=1
+    )
+    _print_report("steady / defaults", report)
+    assert len(report.finished) == report.n_queries
+
+
+def bench_serve_plan_cache_repeated(benchmark):
+    """Repeated-shape workload: the plan cache should absorb most solves."""
+    report = benchmark.pedantic(
+        lambda: _run("repeated"), rounds=1, iterations=1
+    )
+    _print_report("repeated / plan cache", report)
+    assert report.cache_hit_rate > 0.5

@@ -4,6 +4,8 @@ Subcommands:
 
 * ``allocate`` — compute a budget allocation for given parameters.
 * ``solve`` — run the crowdsourced MAX end to end on a synthetic collection.
+* ``serve`` — run a concurrent multi-query workload on one shared platform
+  and print the service report (scheduler, plan cache, admission control).
 * ``experiment`` — reproduce a paper figure (``fig11a`` .. ``fig15``).
 * ``list`` — show the available allocators, selectors and experiments.
 
@@ -42,6 +44,9 @@ from repro.errors import InvalidParameterError, ReproError
 from repro.experiments.config import scale_by_name
 from repro.experiments.runner import available_experiments, run_experiment
 from repro.selection.registry import available_selectors, selector_by_name
+from repro.service.admission import OVERLOAD_POLICIES
+from repro.service.policies import available_policies
+from repro.service.workload import available_workloads
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -106,6 +111,99 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     _add_fault_args(simulate)
     _add_obs_args(simulate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a concurrent multi-query MAX workload on one shared "
+        "platform and print the service report",
+    )
+    serve.add_argument(
+        "--workload",
+        default="steady",
+        help=f"named workload preset: one of {available_workloads()}",
+    )
+    serve.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="override the preset's query count",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--scheduling",
+        default="fair",
+        metavar="POLICY",
+        help=f"batching policy: one of {available_policies()}",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=16,
+        help="concurrent running sessions (admission bound)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admitted-but-waiting queries allowed (admission bound)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2000,
+        help="distinct questions per shared round (backpressure cap)",
+    )
+    serve.add_argument(
+        "--overload",
+        default="defer",
+        choices=OVERLOAD_POLICIES,
+        help="shed (reject) or defer (queue in the backlog) on overload",
+    )
+    serve.add_argument(
+        "--per-query",
+        action="store_true",
+        help="also print one report line per query",
+    )
+    serve.add_argument(
+        "--delta", type=float, default=239.0, help="latency intercept (s)"
+    )
+    serve.add_argument(
+        "--alpha", type=float, default=0.06, help="latency slope (s/question)"
+    )
+    serve.add_argument(
+        "--exponent",
+        type=float,
+        default=1.0,
+        help="latency exponent p in L(q) = delta + alpha * q^p",
+    )
+    serve.add_argument(
+        "--repetition",
+        type=int,
+        default=1,
+        help="RWL per-question repetition factor",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PROFILE",
+        help=f"inject platform faults: one of {available_fault_profiles()}",
+    )
+    serve.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="ATTEMPTS",
+        help="RWL re-post attempts per shared round (default: 3 when "
+        "--faults is given, otherwise no retries)",
+    )
+    serve.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-round retry deadline in simulated seconds",
+    )
+    _add_obs_args(serve)
 
     experiment = sub.add_parser(
         "experiment", help="reproduce a figure from the paper's evaluation"
@@ -382,6 +480,62 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        MaxScheduler,
+        ServiceConfig,
+        generate_workload,
+        workload_by_name,
+    )
+
+    latency = _latency_from_args(args)
+    fault_profile = (
+        fault_profile_by_name(args.faults) if args.faults is not None else None
+    )
+    attempts = args.retry
+    if attempts is not None and attempts < 1:
+        raise InvalidParameterError(
+            f"--retry must be >= 1 attempt, got {attempts}"
+        )
+    if attempts is None and fault_profile is not None:
+        attempts = 3
+    retry_policy = (
+        RetryPolicy(max_attempts=attempts, deadline=args.retry_deadline)
+        if attempts is not None and attempts > 1
+        else None
+    )
+    specs = generate_workload(
+        workload_by_name(args.workload), seed=args.seed, n_queries=args.queries
+    )
+    config = ServiceConfig(
+        policy=args.scheduling,
+        repetition=args.repetition,
+        max_inflight_questions=args.max_inflight,
+        max_active_queries=args.max_active,
+        max_queue_depth=args.queue_depth,
+        overload_policy=args.overload,
+    )
+    scheduler = MaxScheduler(
+        specs,
+        latency,
+        seed=args.seed,
+        config=config,
+        fault_profile=fault_profile,
+        retry_policy=retry_policy,
+    )
+    report = scheduler.run()
+    profile_name = args.faults if args.faults is not None else "none"
+    retries = (
+        f"retry x{retry_policy.max_attempts}" if retry_policy else "no retries"
+    )
+    print(
+        f"workload {args.workload} ({len(specs)} queries), "
+        f"policy {args.scheduling}, faults={profile_name}, {retries}"
+    )
+    print(report.render(per_query=args.per_query))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.export import to_csv, to_json, to_report
     from repro.experiments.plotting import chart_for
@@ -422,6 +576,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("selectors:      ", ", ".join(available_selectors()))
     print("experiments:    ", ", ".join(available_experiments()))
     print("fault profiles: ", ", ".join(available_fault_profiles()))
+    print("workloads:      ", ", ".join(available_workloads()))
+    print("batch policies: ", ", ".join(available_policies()))
     return 0
 
 
@@ -485,6 +641,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "allocate": _cmd_allocate,
         "solve": _cmd_solve,
         "simulate": _cmd_simulate,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "list": _cmd_list,
     }

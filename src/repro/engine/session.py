@@ -126,6 +126,72 @@ class MaxSession:
         """Rounds that actually asked questions."""
         return self._rounds_executed
 
+    @property
+    def awaiting_answers(self) -> bool:
+        """True while a selected round has been handed out but not resolved.
+
+        A session in this state cannot be checkpointed: the pending
+        questions live only in the caller's hands, so persist between
+        rounds (after :meth:`submit`) instead.
+        """
+        return self._pending is not None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The selector randomness source (exposed for checkpointing)."""
+        return self._rng
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(
+        cls,
+        allocation: Allocation,
+        selector: QuestionSelector,
+        n_elements: int,
+        rng: np.random.Generator,
+        *,
+        evidence: AnswerGraph,
+        round_index: int,
+        questions_posted: int,
+        rounds_executed: int,
+    ) -> "MaxSession":
+        """Rebuild a session from checkpointed state (between rounds).
+
+        The counterpart of :func:`repro.persistence.session_to_dict`; the
+        evidence graph is adopted as-is, the candidate set is re-derived
+        from it, and empty upcoming rounds are skipped exactly as a live
+        session would have.
+
+        Raises:
+            InvalidParameterError: if the checkpointed state is internally
+                inconsistent with the allocation or collection size.
+        """
+        session = cls(allocation, selector, n_elements, rng)
+        if evidence.elements != session.evidence.elements:
+            raise InvalidParameterError(
+                f"checkpointed evidence covers {len(evidence.elements)} "
+                f"elements, expected {n_elements}"
+            )
+        if not 0 <= round_index <= allocation.rounds:
+            raise InvalidParameterError(
+                f"round_index {round_index} outside the allocation's "
+                f"{allocation.rounds} rounds"
+            )
+        if questions_posted < 0 or rounds_executed < 0:
+            raise InvalidParameterError(
+                "questions_posted and rounds_executed must be >= 0"
+            )
+        session.evidence = evidence
+        session._candidates = tuple(sorted(evidence.remaining_candidates()))
+        session._round_index = round_index
+        session._questions_posted = questions_posted
+        session._rounds_executed = rounds_executed
+        session._pending = None
+        session._advance_past_empty_rounds()
+        return session
+
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
@@ -166,9 +232,10 @@ class MaxSession:
         """Resolve the pending round with one answer per pending question.
 
         Raises:
-            SessionStateError: if no round is pending.
-            InvalidParameterError: if the answers do not match the pending
-                questions exactly (missing, extra or foreign answers).
+            SessionStateError: if no round is pending, or if the answers do
+                not match the pending questions exactly (missing, extra or
+                foreign answers) — accepting them would silently corrupt
+                the evidence graph.
         """
         if self._pending is None:
             raise SessionStateError(
@@ -180,7 +247,7 @@ class MaxSession:
         if provided != expected or len(answers) != len(expected):
             missing = expected - provided
             extra = provided - expected
-            raise InvalidParameterError(
+            raise SessionStateError(
                 f"answers do not match the pending questions "
                 f"(missing: {sorted(missing)[:5]}, extra: {sorted(extra)[:5]})"
             )

@@ -67,6 +67,8 @@ class AggregateStats:
         """
         if z < 0:
             raise InvalidParameterError(f"z must be >= 0, got {z}")
+        if self.n_runs <= 1 or math.isnan(self.std_latency):
+            return (self.mean_latency, self.mean_latency)
         half_width = z * self.std_latency / math.sqrt(self.n_runs)
         return (self.mean_latency - half_width, self.mean_latency + half_width)
 

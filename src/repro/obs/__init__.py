@@ -35,6 +35,10 @@ from repro.obs.events import (
     CandidateSetShrunk,
     DPTableBuilt,
     FaultInjected,
+    QueryAdmitted,
+    QueryCompleted,
+    QueryScheduled,
+    QueryShed,
     RWLRetry,
     RoundPosted,
     RunFinished,
@@ -75,6 +79,10 @@ __all__ = [
     "AnswersReceived",
     "CandidateSetShrunk",
     "RunFinished",
+    "QueryAdmitted",
+    "QueryScheduled",
+    "QueryCompleted",
+    "QueryShed",
     "RWLRetry",
     "BatchRetried",
     "WorkerServiced",

@@ -12,6 +12,8 @@ The taxonomy follows the layers of the system:
 * engine — :class:`RunStarted`, :class:`RoundPosted`,
   :class:`AnswersReceived`, :class:`CandidateSetShrunk`,
   :class:`RunFinished`;
+* multi-query service — :class:`QueryAdmitted`, :class:`QueryScheduled`,
+  :class:`QueryCompleted`, :class:`QueryShed`;
 * reliable worker layer — :class:`RWLRetry`, :class:`BatchRetried`;
 * simulated platform — :class:`WorkerServiced`, :class:`FaultInjected`;
 * allocators — :class:`DPTableBuilt`;
@@ -124,6 +126,84 @@ class RunFinished(TraceEvent):
     total_questions: int
     total_latency: float
     singleton: bool
+
+
+# ----------------------------------------------------------------------
+# Multi-query service events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryAdmitted(TraceEvent):
+    """Admission control accepted a query into the service.
+
+    Attributes:
+        query_id: the query's requester-chosen identifier.
+        n_elements: the query's collection size ``c0``.
+        budget: the query's distinct-question budget.
+        priority: the query's priority class.
+        plan_cache_hit: whether the tDP allocation came from the plan
+            cache instead of a fresh solve.
+    """
+
+    kind: ClassVar[str] = "QueryAdmitted"
+    query_id: int
+    n_elements: int
+    budget: int
+    priority: int
+    plan_cache_hit: bool
+
+
+@dataclass(frozen=True)
+class QueryScheduled(TraceEvent):
+    """A query's pending round was packed into a shared platform round.
+
+    Attributes:
+        query_id: the scheduled query.
+        tick: 0-based index of the scheduler tick (one shared round each).
+        round_index: the query's own allocation round being served.
+        n_questions: the query's distinct questions in the shared batch.
+    """
+
+    kind: ClassVar[str] = "QueryScheduled"
+    query_id: int
+    tick: int
+    round_index: int
+    n_questions: int
+
+
+@dataclass(frozen=True)
+class QueryCompleted(TraceEvent):
+    """A query left the service with a declared winner.
+
+    Attributes:
+        query_id: the finished query.
+        state: terminal state (``"completed"`` or ``"degraded"``).
+        winner: declared MAX in the query's local element IDs.
+        latency: arrival-to-completion simulated seconds.
+        queue_wait: seconds between arrival and first scheduling.
+        rounds: allocation rounds actually executed.
+    """
+
+    kind: ClassVar[str] = "QueryCompleted"
+    query_id: int
+    state: str
+    winner: int
+    latency: float
+    queue_wait: float
+    rounds: int
+
+
+@dataclass(frozen=True)
+class QueryShed(TraceEvent):
+    """Admission control rejected a query under overload.
+
+    Attributes:
+        query_id: the rejected query.
+        reason: human-readable overload description.
+    """
+
+    kind: ClassVar[str] = "QueryShed"
+    query_id: int
+    reason: str
 
 
 # ----------------------------------------------------------------------

@@ -214,6 +214,16 @@ STANDARD_METRICS = (
     ("counter", "rwl.questions_posted"),
     ("counter", "rwl.cycle_repairs"),
     ("counter", "rwl.majority_flips"),
+    ("counter", "service.queries_admitted"),
+    ("counter", "service.queries_completed"),
+    ("counter", "service.queries_degraded"),
+    ("counter", "service.queries_shed"),
+    ("counter", "service.rounds"),
+    ("counter", "service.questions_posted"),
+    ("counter", "service.plan_cache.hits"),
+    ("counter", "service.plan_cache.misses"),
+    ("histogram", "service.query_latency"),
+    ("histogram", "service.queue_wait"),
     ("counter", "platform.batches_posted"),
     ("counter", "platform.questions_posted"),
     ("counter", "platform.workers_serviced"),

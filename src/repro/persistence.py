@@ -13,10 +13,14 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
+import numpy as np
+
 from repro.core.allocation import Allocation
 from repro.engine.results import MaxRunResult, RoundRecord
+from repro.engine.session import MaxSession
 from repro.errors import InvalidParameterError
 from repro.graphs.answer_graph import AnswerGraph
+from repro.selection.registry import selector_by_name
 from repro.types import Answer
 
 _FORMAT_VERSION = 1
@@ -148,6 +152,71 @@ def run_result_from_dict(payload: Dict[str, Any]) -> MaxRunResult:
             if allocation_payload is not None
             else None
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# MaxSession checkpoints
+# ----------------------------------------------------------------------
+def session_to_dict(session: MaxSession) -> Dict[str, Any]:
+    """Checkpoint a :class:`MaxSession` between rounds.
+
+    Captures everything a resumed session needs to finish with the same
+    winner an uninterrupted run would declare: the allocation, selector
+    name, accumulated evidence, round/question counters and the exact RNG
+    state (so upcoming question selections replay bit-identically).
+
+    Raises:
+        InvalidParameterError: while a round is pending — the handed-out
+            questions exist only on the caller's side, so checkpoint after
+            :meth:`~repro.engine.session.MaxSession.submit` instead.
+    """
+    if session.awaiting_answers:
+        raise InvalidParameterError(
+            "cannot checkpoint a session that is awaiting answers; "
+            "submit the pending round first"
+        )
+    return {
+        "version": _FORMAT_VERSION,
+        "kind": "max_session",
+        "allocation": allocation_to_dict(session.allocation),
+        "selector": session.selector.name,
+        "n_elements": len(session.evidence.elements),
+        "round_index": session.round_index,
+        "questions_posted": session.questions_posted,
+        "rounds_executed": session.rounds_executed,
+        "evidence": answer_graph_to_dict(session.evidence),
+        "rng_state": session.rng.bit_generator.state,
+    }
+
+
+def session_from_dict(payload: Dict[str, Any]) -> MaxSession:
+    """Resume a :class:`MaxSession` from a checkpoint payload."""
+    rng_state = _require(payload, "rng_state", "max_session")
+    if not isinstance(rng_state, dict) or "bit_generator" not in rng_state:
+        raise InvalidParameterError(
+            "malformed max_session payload: rng_state must be a "
+            "bit-generator state dict"
+        )
+    bit_generator_cls = getattr(np.random, str(rng_state["bit_generator"]), None)
+    if bit_generator_cls is None:
+        raise InvalidParameterError(
+            f"unknown bit generator {rng_state['bit_generator']!r} "
+            f"in max_session payload"
+        )
+    bit_generator = bit_generator_cls()
+    bit_generator.state = rng_state
+    return MaxSession.restore(
+        allocation_from_dict(_require(payload, "allocation", "max_session")),
+        selector_by_name(_require(payload, "selector", "max_session")),
+        _require(payload, "n_elements", "max_session"),
+        np.random.Generator(bit_generator),
+        evidence=answer_graph_from_dict(
+            _require(payload, "evidence", "max_session")
+        ),
+        round_index=_require(payload, "round_index", "max_session"),
+        questions_posted=_require(payload, "questions_posted", "max_session"),
+        rounds_executed=_require(payload, "rounds_executed", "max_session"),
     )
 
 

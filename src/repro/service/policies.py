@@ -1,0 +1,102 @@
+"""Batching policies: the order in which queries share a round.
+
+Each scheduler tick packs whole per-query rounds into one shared platform
+batch until the in-flight cap is reached.  A :class:`BatchingPolicy` only
+decides the *order* in which runnable queries are offered a slot; the
+packing itself (and the cap) lives in the scheduler, so every policy
+automatically respects backpressure.
+
+Three deterministic policies ship:
+
+* ``fifo`` — strict admission order; earliest admitted query first.
+* ``priority`` — higher :attr:`~repro.service.query.QuerySpec.priority`
+  first, admission order as the tie-break.
+* ``fair`` — fair share: queries that have participated in the fewest
+  shared rounds go first, so one huge query cannot starve the rest.
+
+All orderings are total and stable, which the service's bit-identical
+replay guarantee depends on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+
+from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.scheduler import ActiveQuery
+
+
+class BatchingPolicy(ABC):
+    """Strategy ranking runnable queries for one shared round."""
+
+    #: Short name used by the registry, the CLI and reports.
+    name: str = "policy"
+
+    @abstractmethod
+    def order(self, queries: Sequence["ActiveQuery"]) -> List["ActiveQuery"]:
+        """Return *queries* in packing order (highest claim first)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FIFOPolicy(BatchingPolicy):
+    """Earliest-admitted query first."""
+
+    name = "fifo"
+
+    def order(self, queries: Sequence["ActiveQuery"]) -> List["ActiveQuery"]:
+        return sorted(queries, key=lambda q: q.seq)
+
+
+class PriorityPolicy(BatchingPolicy):
+    """Highest priority first; admission order breaks ties."""
+
+    name = "priority"
+
+    def order(self, queries: Sequence["ActiveQuery"]) -> List["ActiveQuery"]:
+        return sorted(queries, key=lambda q: (-q.spec.priority, q.seq))
+
+
+class FairSharePolicy(BatchingPolicy):
+    """Fewest shared rounds participated in first (round-robin-like).
+
+    A query that was left out of the last round (backpressure) has a lower
+    participation count and therefore outranks the queries that did run,
+    which is exactly the starvation-freedom property fair share wants.
+    """
+
+    name = "fair"
+
+    def order(self, queries: Sequence["ActiveQuery"]) -> List["ActiveQuery"]:
+        return sorted(queries, key=lambda q: (q.times_scheduled, q.seq))
+
+
+_FACTORIES: Dict[str, Callable[[], BatchingPolicy]] = {
+    "fifo": FIFOPolicy,
+    "priority": PriorityPolicy,
+    "fair": FairSharePolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Names of all registered batching policies."""
+    return sorted(_FACTORIES)
+
+
+def policy_by_name(name: str) -> BatchingPolicy:
+    """Instantiate the policy registered under *name* (case-insensitive).
+
+    Raises:
+        InvalidParameterError: for unknown names, listing the valid ones.
+    """
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise InvalidParameterError(
+            f"unknown batching policy {name!r}; available: "
+            f"{available_policies()}"
+        )
+    return factory()

@@ -1,0 +1,129 @@
+"""Value types of the multi-query MAX service.
+
+A :class:`QuerySpec` describes one MAX query a requester submits to the
+service: its own collection size ``c0``, question budget, priority and an
+optional latency SLO.  The scheduler turns every admitted spec into a
+:class:`repro.engine.session.MaxSession` and, once the query leaves the
+system, summarizes what happened in a :class:`QueryResult`.
+
+Element IDs inside a spec are *local* (``0 .. n_elements - 1``); the
+scheduler maps them onto a disjoint slice of the shared platform's global
+element space, so concurrent queries can coexist in one crowd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+from repro.types import Element
+
+
+class QueryState(str, Enum):
+    """Lifecycle of a query inside the service.
+
+    ``QUEUED -> RUNNING -> COMPLETED`` is the happy path; ``DEGRADED``
+    means the platform faulted past the scheduler's retry cap and the
+    winner was declared from partial evidence; ``SHED`` means admission
+    control rejected the query outright.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    DEGRADED = "degraded"
+    SHED = "shed"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One MAX query submitted to the service.
+
+    Attributes:
+        query_id: requester-chosen identifier, unique within a workload.
+        n_elements: ``c0``, the size of the query's collection.
+        budget: total distinct-question budget for this query.
+        priority: larger = more urgent (consumed by the ``priority``
+            batching policy; ties broken by admission order).
+        latency_slo: optional target for the query's end-to-end latency in
+            simulated seconds (arrival to completion).  Purely declarative:
+            the report scores attainment, the scheduler does not preempt.
+        arrival_time: simulated second at which the query reaches the
+            service.
+    """
+
+    query_id: int
+    n_elements: int
+    budget: int
+    priority: int = 0
+    latency_slo: Optional[float] = None
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_elements < 1:
+            raise InvalidParameterError(
+                f"query {self.query_id}: n_elements must be >= 1, "
+                f"got {self.n_elements}"
+            )
+        if self.budget < self.n_elements - 1:
+            raise InvalidParameterError(
+                f"query {self.query_id}: budget {self.budget} < c0 - 1 = "
+                f"{self.n_elements - 1} (Theorem 1: infeasible)"
+            )
+        if self.latency_slo is not None and self.latency_slo <= 0:
+            raise InvalidParameterError(
+                f"query {self.query_id}: latency_slo must be > 0, "
+                f"got {self.latency_slo}"
+            )
+        if self.arrival_time < 0:
+            raise InvalidParameterError(
+                f"query {self.query_id}: arrival_time must be >= 0, "
+                f"got {self.arrival_time}"
+            )
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything the service knows about one finished (or shed) query.
+
+    Attributes:
+        spec: the query as submitted.
+        state: terminal :class:`QueryState` (``COMPLETED``, ``DEGRADED``
+            or ``SHED``).
+        winner: declared MAX in the query's *local* element IDs
+            (``None`` for a shed query).
+        correct: whether the winner is the query's true MAX under the
+            shared platform's hidden order (``None`` for a shed query).
+        singleton: whether the query terminated with a single candidate.
+        latency: arrival-to-completion simulated seconds (0 when shed).
+        queue_wait: seconds between arrival and the first shared round
+            that carried the query's questions.
+        rounds: rounds of the query's allocation actually executed.
+        questions_posted: distinct questions the query contributed to
+            shared rounds (re-posts after faults counted once).
+        plan_cache_hit: whether the query's tDP allocation came from the
+            plan cache instead of a fresh solve.
+        slo_met: ``latency <= latency_slo`` (``None`` without an SLO or
+            for a shed query).
+        shed_reason: admission-control reason for a shed query.
+    """
+
+    spec: QuerySpec
+    state: QueryState
+    winner: Optional[Element]
+    correct: Optional[bool]
+    singleton: bool
+    latency: float
+    queue_wait: float
+    rounds: int
+    questions_posted: int
+    plan_cache_hit: bool
+    slo_met: Optional[bool] = None
+    shed_reason: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the query actually ran to a declared winner."""
+        return self.state in (QueryState.COMPLETED, QueryState.DEGRADED)

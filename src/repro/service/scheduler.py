@@ -1,0 +1,602 @@
+"""The concurrent multi-query MAX scheduler.
+
+The paper optimizes latency for *one* MAX query; a deployment runs many at
+once against the same crowd, where one query's batch sizes change every
+other query's latency.  :class:`MaxScheduler` is that missing layer: it
+admits :class:`~repro.service.query.QuerySpec` s (admission control with
+shed/defer overload behaviour), plans each one with tDP through a shared
+:class:`~repro.service.plan_cache.PlanCache`, drives one
+:class:`~repro.engine.session.MaxSession` per query, and each *tick*
+coalesces the pending rounds of all runnable queries — in the order a
+:class:`~repro.service.policies.BatchingPolicy` dictates, under a shared
+in-flight question cap — into one shared platform round posted through the
+Reliable Worker Layer.
+
+Concurrent queries coexist on one platform by element-space slicing: query
+``i``'s local elements ``0 .. n_i - 1`` map onto a disjoint range of the
+platform's global ground truth, so a single shared batch can carry
+questions from many queries and the answers route back unambiguously.
+
+Everything is deterministic given the seed: the ground truth, worker pool,
+fault stream, RWL tie-breaks and per-query selector randomness all derive
+from independent seeded streams, and every iteration order in the
+scheduler is total.  Two runs of the same workload under the same seed are
+bit-identical — including under a fault profile.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.latency import LatencyFunction
+from repro.core.registry import allocator_by_name
+from repro.crowd.error_models import ErrorModel
+from repro.crowd.faults import FaultProfile, FaultyPlatform, RetryPolicy
+from repro.crowd.ground_truth import GroundTruth
+from repro.crowd.platform import Platform, SimulatedPlatform
+from repro.crowd.rwl import ReliableWorkerLayer
+from repro.crowd.workers import WorkerPoolConfig
+from repro.engine.session import MaxSession, SessionStateError
+from repro.errors import InvalidParameterError, PlatformOutageError
+from repro.graphs.answer_graph import AnswerGraph
+from repro.obs.events import (
+    QueryAdmitted,
+    QueryCompleted,
+    QueryScheduled,
+    QueryShed,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import current_tracer
+from repro.selection.registry import selector_by_name
+from repro.selection.scoring import score_candidates
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.service.plan_cache import PlanCache, PlanKey
+from repro.service.policies import policy_by_name
+from repro.service.query import QueryResult, QuerySpec, QueryState
+from repro.service.report import ServiceReport
+from repro.types import Answer, Element, Question, normalize_question
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the multi-query scheduler.
+
+    Attributes:
+        policy: batching-policy name (``fair``/``fifo``/``priority``).
+        allocator: budget-allocator name used for planning (default tDP).
+        selector: question-selector name each session runs with.
+        repetition: RWL per-question repetition factor for posting.
+        max_inflight_questions: cap on distinct questions per shared round
+            (backpressure: whole per-query rounds that do not fit wait).
+        max_active_queries: concurrent running sessions (admission bound).
+        max_queue_depth: admitted-but-waiting queries (admission bound).
+        overload_policy: ``"shed"`` or ``"defer"`` on a full queue.
+        plan_cache_capacity: LRU entries of the shared tDP plan cache.
+        max_round_attempts: shared rounds a query's single allocation
+            round may span (fault re-posts) before the query degrades.
+    """
+
+    policy: str = "fair"
+    allocator: str = "tDP"
+    selector: str = "Tournament"
+    repetition: int = 1
+    max_inflight_questions: int = 2000
+    max_active_queries: int = 16
+    max_queue_depth: int = 64
+    overload_policy: str = "defer"
+    plan_cache_capacity: int = 128
+    max_round_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.repetition < 1:
+            raise InvalidParameterError(
+                f"repetition must be >= 1, got {self.repetition}"
+            )
+        if self.max_inflight_questions < 1:
+            raise InvalidParameterError(
+                f"max_inflight_questions must be >= 1, got "
+                f"{self.max_inflight_questions}"
+            )
+        if self.max_round_attempts < 1:
+            raise InvalidParameterError(
+                f"max_round_attempts must be >= 1, got {self.max_round_attempts}"
+            )
+        # Delegate the admission bounds to AdmissionConfig's validation.
+        self.admission_config()
+
+    def admission_config(self) -> AdmissionConfig:
+        """The admission-control slice of this configuration."""
+        return AdmissionConfig(
+            max_active_queries=self.max_active_queries,
+            max_queue_depth=self.max_queue_depth,
+            overload_policy=self.overload_policy,
+        )
+
+
+@dataclass
+class ActiveQuery:
+    """Scheduler-internal state of one admitted query."""
+
+    spec: QuerySpec
+    seq: int  # admission order, the universal deterministic tie-break
+    offset: int  # global element ID of the query's local element 0
+    session: MaxSession
+    plan_cache_hit: bool
+    state: QueryState = QueryState.QUEUED
+    admitted_time: float = 0.0
+    first_scheduled_time: Optional[float] = None
+    #: Global-ID questions of the current allocation round still unanswered.
+    outstanding: Dict[Question, Question] = field(default_factory=dict)
+    #: Local answers collected for the current round, keyed by local question.
+    collected: Dict[Question, Answer] = field(default_factory=dict)
+    times_scheduled: int = 0
+    round_attempts: int = 0
+    questions_posted: int = 0
+
+    def to_global(self, question: Question) -> Question:
+        a, b = question
+        return (a + self.offset, b + self.offset)
+
+    def to_local_answer(self, answer: Answer) -> Answer:
+        return Answer(
+            winner=answer.winner - self.offset, loser=answer.loser - self.offset
+        )
+
+
+class MaxScheduler:
+    """Run a workload of MAX queries on one shared simulated crowd.
+
+    Args:
+        specs: the workload; arrival times need not be sorted.
+        latency: the latency model used for *planning* (tDP input); the
+            executed latency is whatever the shared platform measures.
+        seed: master seed all randomness derives from.
+        config: scheduler tunables (see :class:`ServiceConfig`).
+        fault_profile: optional fault injection on the shared platform.
+        retry_policy: optional RWL re-post policy for unanswered questions.
+        error_model: optional worker error model for the shared platform.
+        worker_config: optional worker-pool dynamics.
+        plan_cache: share a cache across schedulers; a fresh one is
+            created from ``config.plan_cache_capacity`` when omitted.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[QuerySpec],
+        latency: LatencyFunction,
+        seed: int,
+        config: Optional[ServiceConfig] = None,
+        *,
+        fault_profile: Optional[FaultProfile] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        error_model: Optional[ErrorModel] = None,
+        worker_config: Optional[WorkerPoolConfig] = None,
+        plan_cache: Optional[PlanCache] = None,
+    ) -> None:
+        if not specs:
+            raise InvalidParameterError("the workload must contain >= 1 query")
+        ids = [spec.query_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise InvalidParameterError(
+                "query_ids must be unique within a workload"
+            )
+        self.config = config if config is not None else ServiceConfig()
+        self.latency = latency
+        self.seed = seed
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(self.config.plan_cache_capacity)
+        )
+        self._policy = policy_by_name(self.config.policy)
+        self._allocator = allocator_by_name(self.config.allocator)
+        self._admission = AdmissionController(self.config.admission_config())
+        # Arrival order (query_id as tie-break) is the admission offer order.
+        self._backlog: List[QuerySpec] = sorted(
+            specs, key=lambda s: (s.arrival_time, s.query_id)
+        )
+        # Element-space slicing: each query gets a disjoint global range,
+        # assigned in arrival order so offsets are workload-deterministic.
+        self._offsets: Dict[int, int] = {}
+        total = 0
+        for spec in self._backlog:
+            self._offsets[spec.query_id] = total
+            total += spec.n_elements
+        self._total_elements = total
+        # Independent seeded streams: truth, platform, RWL, faults, selectors.
+        self.truth = GroundTruth.random(total, np.random.default_rng((seed, 0)))
+        platform: Platform = SimulatedPlatform(
+            self.truth,
+            np.random.default_rng((seed, 1)),
+            error_model=error_model,
+            config=worker_config,
+        )
+        if fault_profile is not None:
+            platform = FaultyPlatform(
+                platform, fault_profile, np.random.default_rng((seed, 3))
+            )
+        self.platform = platform
+        self._rwl = ReliableWorkerLayer(
+            platform,
+            np.random.default_rng((seed, 2)),
+            repetition=self.config.repetition,
+            retry_policy=retry_policy,
+        )
+        self._active: List[ActiveQuery] = []
+        self._waiting: List[ActiveQuery] = []
+        self._results: List[QueryResult] = []
+        self._next_seq = 0
+        self._now = 0.0
+        self._ticks = 0
+        self._shared_rounds = 0
+        self._questions_posted = 0
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self) -> ServiceReport:
+        """Drain the workload and return the :class:`ServiceReport`."""
+        while self._backlog or self._active or self._waiting:
+            self._admit_due()
+            self._promote_waiting()
+            runnable = [q for q in self._active if self._refresh_round(q)]
+            if not runnable:
+                if self._backlog:
+                    # Idle: jump the clock to the next arrival.
+                    self._now = max(
+                        self._now, self._backlog[0].arrival_time
+                    )
+                    continue
+                break
+            self._run_tick(runnable)
+            self._ticks += 1
+        return self._build_report()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admit_due(self) -> None:
+        """Offer every arrival whose time has come to admission control."""
+        while self._backlog and self._backlog[0].arrival_time <= self._now:
+            decision = self._admission.decide(
+                n_active=len(self._active), n_waiting=len(self._waiting)
+            )
+            if decision is AdmissionDecision.DEFER:
+                return  # stays in the backlog; re-offered next tick
+            spec = self._backlog.pop(0)
+            if decision is AdmissionDecision.SHED:
+                self._shed(spec)
+            else:
+                self._admit(spec)
+
+    def _admit(self, spec: QuerySpec) -> None:
+        allocation, cache_hit = self._plan(spec)
+        session = MaxSession(
+            allocation,
+            selector_by_name(self.config.selector),
+            spec.n_elements,
+            np.random.default_rng((self.seed, 4, self._next_seq)),
+        )
+        query = ActiveQuery(
+            spec=spec,
+            seq=self._next_seq,
+            offset=self._offsets[spec.query_id],
+            session=session,
+            plan_cache_hit=cache_hit,
+            admitted_time=max(self._now, spec.arrival_time),
+        )
+        self._next_seq += 1
+        registry = get_registry()
+        registry.counter("service.queries_admitted").inc()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                QueryAdmitted(
+                    query_id=spec.query_id,
+                    n_elements=spec.n_elements,
+                    budget=spec.budget,
+                    priority=spec.priority,
+                    plan_cache_hit=cache_hit,
+                ),
+                sim_time=self._now,
+            )
+        logger.debug(
+            "admitted query %d (c0=%d, b=%d, priority=%d, cache %s) at t=%.1f",
+            spec.query_id,
+            spec.n_elements,
+            spec.budget,
+            spec.priority,
+            "hit" if cache_hit else "miss",
+            self._now,
+        )
+        if session.done:
+            # Trivial collection (c0 = 1): completed without any crowd work.
+            query.state = QueryState.RUNNING
+            self._finalize(query, QueryState.COMPLETED)
+            return
+        self._waiting.append(query)
+
+    def _promote_waiting(self) -> None:
+        """Move waiting queries into free active slots, admission order."""
+        while self._waiting and (
+            len(self._active) < self.config.max_active_queries
+        ):
+            query = self._waiting.pop(0)
+            query.state = QueryState.RUNNING
+            self._active.append(query)
+
+    def _shed(self, spec: QuerySpec) -> None:
+        reason = self._admission.describe_overload()
+        get_registry().counter("service.queries_shed").inc()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                QueryShed(query_id=spec.query_id, reason=reason),
+                sim_time=self._now,
+            )
+        logger.warning(
+            "shed query %d at t=%.1f: %s", spec.query_id, self._now, reason
+        )
+        self._results.append(
+            QueryResult(
+                spec=spec,
+                state=QueryState.SHED,
+                winner=None,
+                correct=None,
+                singleton=False,
+                latency=0.0,
+                queue_wait=0.0,
+                rounds=0,
+                questions_posted=0,
+                plan_cache_hit=False,
+                slo_met=None,
+                shed_reason=reason,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _plan(self, spec: QuerySpec) -> Tuple[Allocation, bool]:
+        """The query's allocation, served from the plan cache when possible."""
+        key = PlanKey.for_query(
+            spec.n_elements, spec.budget, self.latency, self.config.repetition
+        )
+        registry = get_registry()
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            registry.counter("service.plan_cache.hits").inc()
+            return cached, True
+        allocation = self._allocator.allocate(
+            spec.n_elements, spec.budget, self.latency
+        )
+        self.plan_cache.put(key, allocation)
+        registry.counter("service.plan_cache.misses").inc()
+        return allocation, False
+
+    # ------------------------------------------------------------------
+    # Tick execution
+    # ------------------------------------------------------------------
+    def _refresh_round(self, query: ActiveQuery) -> bool:
+        """Ensure *query* has outstanding questions; finalize when done.
+
+        Returns ``True`` when the query has questions to post this tick.
+        """
+        if query.outstanding:
+            return True
+        session = query.session
+        if session.done:
+            self._finalize(query, QueryState.COMPLETED)
+            return False
+        try:
+            pending = session.pending_questions()
+        except SessionStateError:
+            # Selecting emptied the remaining rounds; the session is done.
+            self._finalize(query, QueryState.COMPLETED)
+            return False
+        query.outstanding = {
+            query.to_global(q): normalize_question(*q) for q in pending
+        }
+        query.collected = {}
+        query.round_attempts = 0
+        query.questions_posted += len(pending)
+        return True
+
+    def _run_tick(self, runnable: List[ActiveQuery]) -> None:
+        """Pack, post and resolve one shared round."""
+        scheduled: List[ActiveQuery] = []
+        batch: List[Question] = []
+        for query in self._policy.order(runnable):
+            size = len(query.outstanding)
+            if batch and len(batch) + size > self.config.max_inflight_questions:
+                continue  # backpressure: whole rounds only; retry next tick
+            scheduled.append(query)
+            batch.extend(query.outstanding)
+        registry = get_registry()
+        tracer = current_tracer()
+        for query in scheduled:
+            if query.first_scheduled_time is None:
+                query.first_scheduled_time = self._now
+            query.times_scheduled += 1
+            if tracer.enabled:
+                tracer.emit(
+                    QueryScheduled(
+                        query_id=query.spec.query_id,
+                        tick=self._ticks,
+                        round_index=query.session.round_index,
+                        n_questions=len(query.outstanding),
+                    ),
+                    sim_time=self._now,
+                )
+        logger.debug(
+            "tick %d at t=%.1f: %d queries share a round of %d questions",
+            self._ticks,
+            self._now,
+            len(scheduled),
+            len(batch),
+        )
+        try:
+            result = self._rwl.ask(batch)
+        except PlatformOutageError as outage:
+            # No retry policy: the whole shared round was swallowed.  Every
+            # scheduled query keeps its outstanding questions for the next
+            # tick; the detection time is latency all of them paid.
+            self._now += outage.wasted_seconds
+            for query in scheduled:
+                self._bump_round_attempts(query)
+            return
+        self._shared_rounds += 1
+        self._questions_posted += len(batch)
+        registry.counter("service.rounds").inc()
+        registry.counter("service.questions_posted").inc(len(batch))
+        self._now += result.latency
+        by_question = {answer.question: answer for answer in result.answers}
+        for query in scheduled:
+            self._collect(query, by_question)
+
+    def _collect(
+        self, query: ActiveQuery, by_question: Dict[Question, Answer]
+    ) -> None:
+        """Route a shared round's answers back into *query*'s session."""
+        for global_q in list(query.outstanding):
+            answer = by_question.get(global_q)
+            if answer is None:
+                continue  # lost to a fault; re-posted next tick
+            local_q = query.outstanding.pop(global_q)
+            query.collected[local_q] = query.to_local_answer(answer)
+        if query.outstanding:
+            self._bump_round_attempts(query)
+            return
+        query.session.submit(query.collected.values())
+        query.collected = {}
+        query.round_attempts = 0
+        if query.session.done:
+            self._finalize(query, QueryState.COMPLETED)
+
+    def _bump_round_attempts(self, query: ActiveQuery) -> None:
+        query.round_attempts += 1
+        if query.round_attempts >= self.config.max_round_attempts:
+            logger.warning(
+                "query %d degraded: round %d unresolved after %d shared "
+                "rounds (%d questions lost)",
+                query.spec.query_id,
+                query.session.round_index,
+                query.round_attempts,
+                len(query.outstanding),
+            )
+            self._finalize(query, QueryState.DEGRADED)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _degraded_winner(self, query: ActiveQuery) -> Element:
+        """Best guess from all evidence, committed and collected."""
+        graph = AnswerGraph(range(query.spec.n_elements))
+        graph.record_all(query.session.evidence.iter_answers())
+        graph.record_all(query.collected.values())
+        scores = score_candidates(graph)
+        return max(scores, key=lambda element: (scores[element], -element))
+
+    def _finalize(self, query: ActiveQuery, state: QueryState) -> None:
+        if state is QueryState.COMPLETED:
+            winner = query.session.winner
+            singleton = query.session.singleton_termination
+        else:
+            winner = self._degraded_winner(query)
+            singleton = False
+        spec = query.spec
+        true_max = self._true_local_max(query)
+        latency = max(0.0, self._now - spec.arrival_time)
+        queue_wait = (
+            max(0.0, query.first_scheduled_time - spec.arrival_time)
+            if query.first_scheduled_time is not None
+            else 0.0
+        )
+        slo_met = (
+            latency <= spec.latency_slo
+            if spec.latency_slo is not None
+            else None
+        )
+        self._results.append(
+            QueryResult(
+                spec=spec,
+                state=state,
+                winner=winner,
+                correct=winner == true_max,
+                singleton=singleton,
+                latency=latency,
+                queue_wait=queue_wait,
+                rounds=query.session.rounds_executed,
+                questions_posted=query.questions_posted,
+                plan_cache_hit=query.plan_cache_hit,
+                slo_met=slo_met,
+            )
+        )
+        if query in self._active:
+            self._active.remove(query)
+        registry = get_registry()
+        if state is QueryState.COMPLETED:
+            registry.counter("service.queries_completed").inc()
+        else:
+            registry.counter("service.queries_degraded").inc()
+        registry.histogram("service.query_latency").observe(latency)
+        registry.histogram("service.queue_wait").observe(queue_wait)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                QueryCompleted(
+                    query_id=spec.query_id,
+                    state=state.value,
+                    winner=winner,
+                    latency=latency,
+                    queue_wait=queue_wait,
+                    rounds=query.session.rounds_executed,
+                ),
+                sim_time=self._now,
+            )
+        logger.debug(
+            "query %d %s at t=%.1f: winner %d, latency %.1f s, wait %.1f s",
+            spec.query_id,
+            state.value,
+            self._now,
+            winner,
+            latency,
+            queue_wait,
+        )
+
+    def _true_local_max(self, query: ActiveQuery) -> Element:
+        """The query's true MAX under the shared hidden order, local IDs."""
+        span = range(
+            query.offset, query.offset + query.spec.n_elements
+        )
+        best = min(span, key=self.truth.rank)
+        return best - query.offset
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _build_report(self) -> ServiceReport:
+        cache = self.plan_cache.snapshot()
+        return ServiceReport(
+            results=tuple(
+                sorted(self._results, key=lambda r: r.spec.query_id)
+            ),
+            makespan=self._now,
+            ticks=self._ticks,
+            shared_rounds=self._shared_rounds,
+            questions_posted=self._questions_posted,
+            cache_hits=cache["hits"],
+            cache_misses=cache["misses"],
+            cache_evictions=cache["evictions"],
+        )

@@ -1,0 +1,174 @@
+"""Synthetic multi-query workloads for the MAX service.
+
+A :class:`WorkloadConfig` describes an arrival process (exponential
+interarrival times), query-size and budget distributions, priorities and
+optional SLOs; :func:`generate_workload` samples a concrete list of
+:class:`~repro.service.query.QuerySpec` s from it, fully determined by the
+seed.  Named presets cover the scenarios the CLI and benchmarks exercise:
+
+* ``smoke`` — a handful of small queries; finishes in well under a second.
+* ``steady`` — a steady trickle of mixed sizes (the default).
+* ``burst`` — 60 queries arriving almost at once: the admission-control
+  and fair-share stress test (the ">= 50 concurrent queries" scenario).
+* ``repeated`` — many queries drawn from two shapes only, exercising the
+  plan cache (hit rate approaches 1).
+* ``sla`` — a priority mix where every query carries a latency SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.service.query import QuerySpec
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Distributions a synthetic workload is sampled from.
+
+    Attributes:
+        n_queries: how many queries to generate.
+        mean_interarrival: mean of the exponential gap between arrivals in
+            simulated seconds (0 = every query arrives at t = 0).
+        sizes: candidate collection sizes ``c0``, sampled uniformly.
+        budget_factors: the budget is ``round(factor * c0)`` for a factor
+            sampled uniformly from these (clamped up to the Theorem 1
+            minimum ``c0 - 1``).
+        priorities: priority classes, sampled uniformly.
+        slo_seconds: when set, every query carries this latency SLO.
+    """
+
+    n_queries: int
+    mean_interarrival: float
+    sizes: Tuple[int, ...]
+    budget_factors: Tuple[float, ...]
+    priorities: Tuple[int, ...] = (0,)
+    slo_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_queries < 1:
+            raise InvalidParameterError(
+                f"n_queries must be >= 1, got {self.n_queries}"
+            )
+        if self.mean_interarrival < 0:
+            raise InvalidParameterError(
+                f"mean_interarrival must be >= 0, got {self.mean_interarrival}"
+            )
+        if not self.sizes or any(size < 1 for size in self.sizes):
+            raise InvalidParameterError(
+                f"sizes must be non-empty with every entry >= 1, "
+                f"got {self.sizes}"
+            )
+        if not self.budget_factors or any(f <= 0 for f in self.budget_factors):
+            raise InvalidParameterError(
+                f"budget_factors must be non-empty and > 0, "
+                f"got {self.budget_factors}"
+            )
+        if not self.priorities:
+            raise InvalidParameterError("priorities must be non-empty")
+        if self.slo_seconds is not None and self.slo_seconds <= 0:
+            raise InvalidParameterError(
+                f"slo_seconds must be > 0, got {self.slo_seconds}"
+            )
+
+
+_PRESETS: Dict[str, WorkloadConfig] = {
+    "smoke": WorkloadConfig(
+        n_queries=6,
+        mean_interarrival=120.0,
+        sizes=(8, 12),
+        budget_factors=(4.0, 6.0),
+    ),
+    "steady": WorkloadConfig(
+        n_queries=40,
+        mean_interarrival=60.0,
+        sizes=(16, 24, 40),
+        budget_factors=(4.0, 5.0, 8.0),
+        priorities=(0, 1),
+    ),
+    "burst": WorkloadConfig(
+        n_queries=60,
+        mean_interarrival=0.0,
+        sizes=(12, 20, 32),
+        budget_factors=(4.0, 6.0),
+        priorities=(0, 1, 2),
+    ),
+    "repeated": WorkloadConfig(
+        n_queries=50,
+        mean_interarrival=30.0,
+        sizes=(16, 24),
+        budget_factors=(5.0,),
+    ),
+    "sla": WorkloadConfig(
+        n_queries=30,
+        mean_interarrival=45.0,
+        sizes=(12, 20, 28),
+        budget_factors=(4.0, 6.0),
+        priorities=(0, 1, 2),
+        slo_seconds=4000.0,
+    ),
+}
+
+
+def available_workloads() -> List[str]:
+    """Preset names accepted by :func:`workload_by_name` (CLI ``serve``)."""
+    return sorted(_PRESETS)
+
+
+def workload_by_name(name: str) -> WorkloadConfig:
+    """Look up a named workload preset.
+
+    Raises:
+        InvalidParameterError: for unknown names (the message lists the
+            available ones).
+    """
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(available_workloads())}"
+        ) from None
+
+
+def generate_workload(
+    config: WorkloadConfig, seed: int, n_queries: Optional[int] = None
+) -> List[QuerySpec]:
+    """Sample a concrete workload from *config*, determined by *seed*.
+
+    Args:
+        config: the distributions to draw from.
+        seed: randomness seed; the same seed reproduces the same specs.
+        n_queries: override ``config.n_queries`` (e.g. the CLI's
+            ``--queries`` flag or a benchmark's concurrency sweep).
+
+    Returns:
+        Specs ordered by arrival time, ``query_id`` = arrival rank.
+    """
+    count = n_queries if n_queries is not None else config.n_queries
+    if count < 1:
+        raise InvalidParameterError(f"n_queries must be >= 1, got {count}")
+    rng = np.random.default_rng((seed, 17))
+    specs: List[QuerySpec] = []
+    arrival = 0.0
+    for query_id in range(count):
+        if query_id > 0 and config.mean_interarrival > 0:
+            arrival += float(rng.exponential(config.mean_interarrival))
+        size = int(rng.choice(config.sizes))
+        factor = float(rng.choice(config.budget_factors))
+        budget = max(size - 1, round(factor * size))
+        specs.append(
+            QuerySpec(
+                query_id=query_id,
+                n_elements=size,
+                budget=budget,
+                priority=int(rng.choice(config.priorities)),
+                latency_slo=config.slo_seconds,
+                arrival_time=arrival,
+            )
+        )
+    return specs

@@ -102,7 +102,7 @@ class TestMisuse:
         session = self.make_session()
         truth = GroundTruth.identity(6)
         batch = session.pending_questions()
-        with pytest.raises(InvalidParameterError):
+        with pytest.raises(SessionStateError):
             session.submit([truth.answer(*batch[0])])
 
     def test_foreign_answers_rejected(self):
@@ -111,8 +111,16 @@ class TestMisuse:
         wrong = [Answer(winner=a, loser=b) for a, b in batch]
         wrong[0] = Answer(winner=0, loser=1)
         if (0, 1) not in set(batch):
-            with pytest.raises(InvalidParameterError):
+            with pytest.raises(SessionStateError):
                 session.submit(wrong)
+
+    def test_rejected_answers_leave_evidence_untouched(self):
+        session = self.make_session()
+        session.pending_questions()
+        with pytest.raises(SessionStateError):
+            session.submit([Answer(winner=0, loser=1), Answer(winner=2, loser=3)])
+        assert session.evidence.n_answers == 0
+        assert session.awaiting_answers
 
     def test_winner_before_done(self):
         session = self.make_session()
@@ -144,8 +152,7 @@ class TestNonSingletonFinish:
 
 class TestCheckpointing:
     def test_evidence_survives_a_round_trip(self):
-        """Persist mid-session evidence and verify it reloads identically
-        (a new session cannot resume, but the evidence for analysis can)."""
+        """Persist mid-session evidence and verify it reloads identically."""
         from repro.persistence import (
             answer_graph_from_dict,
             answer_graph_to_dict,
@@ -164,3 +171,95 @@ class TestCheckpointing:
             restored.remaining_candidates()
             == session.evidence.remaining_candidates()
         )
+
+    def test_checkpoint_resume_matches_uninterrupted_run(self, tmp_path):
+        """Checkpoint after round 1, persist to disk, resume, and finish
+        with exactly the winner/counters of an uninterrupted run."""
+        from repro.persistence import (
+            load_json,
+            save_json,
+            session_from_dict,
+            session_to_dict,
+        )
+
+        allocation = TDPAllocator().allocate(40, 200, LATENCY)
+
+        rng_full = np.random.default_rng(9)
+        truth_full = GroundTruth.random(40, rng_full)
+        uninterrupted = MaxSession(
+            allocation, TournamentFormation(), 40, rng_full
+        )
+        drive_to_completion(uninterrupted, truth_full)
+
+        rng_part = np.random.default_rng(9)
+        truth_part = GroundTruth.random(40, rng_part)
+        session = MaxSession(allocation, TournamentFormation(), 40, rng_part)
+        batch = session.pending_questions()
+        session.submit(truth_part.answer(a, b) for a, b in batch)
+        assert not session.done
+
+        path = tmp_path / "session.json"
+        save_json(session_to_dict(session), path)
+        del session  # the original process is gone
+
+        resumed = session_from_dict(load_json(path))
+        assert not resumed.done
+        assert resumed.rounds_executed == 1
+        drive_to_completion(resumed, truth_part)
+
+        assert resumed.winner == uninterrupted.winner
+        assert resumed.singleton_termination == (
+            uninterrupted.singleton_termination
+        )
+        assert resumed.questions_posted == uninterrupted.questions_posted
+        assert resumed.rounds_executed == uninterrupted.rounds_executed
+
+    def test_checkpoint_refused_while_awaiting_answers(self):
+        from repro.persistence import session_to_dict
+
+        rng = np.random.default_rng(10)
+        allocation = Allocation.from_element_sequence((12, 3, 1))
+        session = MaxSession(allocation, TournamentFormation(), 12, rng)
+        session.pending_questions()
+        with pytest.raises(InvalidParameterError):
+            session_to_dict(session)
+
+    def test_finished_session_round_trips(self):
+        from repro.persistence import session_from_dict, session_to_dict
+
+        rng = np.random.default_rng(11)
+        truth = GroundTruth.random(10, rng)
+        allocation = Allocation.from_element_sequence((10, 2, 1))
+        session = MaxSession(allocation, TournamentFormation(), 10, rng)
+        drive_to_completion(session, truth)
+        resumed = session_from_dict(session_to_dict(session))
+        assert resumed.done
+        assert resumed.winner == session.winner
+
+    def test_restore_rejects_inconsistent_state(self):
+        from repro.graphs.answer_graph import AnswerGraph
+
+        rng = np.random.default_rng(12)
+        allocation = Allocation.from_element_sequence((8, 2, 1))
+        with pytest.raises(InvalidParameterError):
+            MaxSession.restore(
+                allocation,
+                TournamentFormation(),
+                8,
+                rng,
+                evidence=AnswerGraph(range(5)),  # wrong element count
+                round_index=0,
+                questions_posted=0,
+                rounds_executed=0,
+            )
+        with pytest.raises(InvalidParameterError):
+            MaxSession.restore(
+                allocation,
+                TournamentFormation(),
+                8,
+                rng,
+                evidence=AnswerGraph(range(8)),
+                round_index=99,
+                questions_posted=0,
+                rounds_executed=0,
+            )

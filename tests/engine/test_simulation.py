@@ -112,3 +112,36 @@ class TestAggregateStats:
         stats = AggregateStats.from_results([result])
         assert stats.n_runs == 1
         assert stats.std_latency == 0.0
+
+    def test_single_run_confidence_interval_is_a_point(self):
+        """One run gives no spread estimate: the CI must collapse to the
+        mean, not divide by zero or propagate a NaN std."""
+        import math
+
+        result = run_once(
+            10,
+            30,
+            TDPAllocator(),
+            TournamentFormation(),
+            LATENCY,
+            rng=__import__("numpy").random.default_rng(1),
+        )
+        stats = AggregateStats.from_results([result])
+        assert stats.latency_confidence_interval() == (
+            stats.mean_latency,
+            stats.mean_latency,
+        )
+        # Directly constructed single-run stats may carry a NaN std
+        # (0/0 sample variance); the interval must still be the point.
+        nan_stats = AggregateStats(
+            n_runs=1,
+            mean_latency=stats.mean_latency,
+            std_latency=float("nan"),
+            singleton_rate=1.0,
+            accuracy=1.0,
+            mean_questions=stats.mean_questions,
+            mean_rounds=stats.mean_rounds,
+        )
+        low, high = nan_stats.latency_confidence_interval()
+        assert low == high == stats.mean_latency
+        assert not math.isnan(low)

@@ -1,0 +1,100 @@
+"""Tests for the LRU plan cache."""
+
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.latency import LinearLatency, PowerLawLatency
+from repro.errors import InvalidParameterError
+from repro.service import PlanCache, PlanKey
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+def key(n, b, latency=LATENCY, repetition=1):
+    return PlanKey.for_query(n, b, latency, repetition)
+
+
+def plan(*budgets):
+    return Allocation(round_budgets=budgets)
+
+
+class TestPlanKey:
+    def test_same_shape_same_key(self):
+        assert key(40, 200) == key(40, 200)
+
+    def test_latency_model_distinguishes_keys(self):
+        assert key(40, 200) != key(40, 200, latency=LinearLatency(239, 0.07))
+        assert key(40, 200) != key(
+            40, 200, latency=PowerLawLatency(239, 0.06, 1.5)
+        )
+
+    def test_repetition_distinguishes_keys(self):
+        assert key(40, 200) != key(40, 200, repetition=3)
+
+    def test_key_is_hashable(self):
+        assert len({key(40, 200), key(40, 200), key(41, 200)}) == 2
+
+
+class TestPlanCache:
+    def test_get_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get(key(10, 45)) is None
+        cache.put(key(10, 45), plan(25, 10, 1))
+        assert cache.get(key(10, 45)) == plan(25, 10, 1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(key(10, 45), plan(45))
+        cache.put(key(20, 95), plan(95))
+        cache.get(key(10, 45))  # refresh: 20/95 is now the LRU entry
+        cache.put(key(30, 145), plan(145))
+        assert cache.peek(key(20, 95)) is None
+        assert cache.peek(key(10, 45)) is not None
+        assert cache.stats.evictions == 1
+
+    def test_peek_does_not_touch_recency_or_stats(self):
+        cache = PlanCache(capacity=2)
+        cache.put(key(10, 45), plan(45))
+        cache.put(key(20, 95), plan(95))
+        cache.peek(key(10, 45))  # must NOT refresh
+        cache.put(key(30, 145), plan(145))
+        assert cache.peek(key(10, 45)) is None  # still evicted as LRU
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_put_refreshes_existing_key(self):
+        cache = PlanCache(capacity=2)
+        cache.put(key(10, 45), plan(45))
+        cache.put(key(20, 95), plan(95))
+        cache.put(key(10, 45), plan(44, 1))  # refresh + replace
+        cache.put(key(30, 145), plan(145))
+        assert cache.peek(key(10, 45)) == plan(44, 1)
+        assert cache.peek(key(20, 95)) is None
+        assert len(cache) == 2
+
+    def test_contains_and_clear(self):
+        cache = PlanCache(capacity=2)
+        cache.put(key(10, 45), plan(45))
+        assert key(10, 45) in cache
+        cache.clear()
+        assert key(10, 45) not in cache
+        assert len(cache) == 0
+
+    def test_snapshot(self):
+        cache = PlanCache(capacity=3)
+        cache.put(key(10, 45), plan(45))
+        cache.get(key(10, 45))
+        cache.get(key(99, 999))
+        snap = cache.snapshot()
+        assert snap["capacity"] == 3
+        assert snap["entries"] == 1
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+
+    def test_capacity_validated(self):
+        with pytest.raises(InvalidParameterError):
+            PlanCache(capacity=0)

@@ -1,0 +1,67 @@
+"""Tests for the batching policies (packing order only)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service import (
+    FIFOPolicy,
+    FairSharePolicy,
+    PriorityPolicy,
+    available_policies,
+    policy_by_name,
+)
+
+
+def query(seq, priority=0, times_scheduled=0):
+    """A minimal stand-in carrying the attributes policies consume."""
+    return SimpleNamespace(
+        seq=seq,
+        spec=SimpleNamespace(priority=priority),
+        times_scheduled=times_scheduled,
+    )
+
+
+class TestOrdering:
+    def test_fifo_is_admission_order(self):
+        queries = [query(2), query(0), query(1)]
+        assert [q.seq for q in FIFOPolicy().order(queries)] == [0, 1, 2]
+
+    def test_priority_ranks_urgent_first(self):
+        queries = [query(0, priority=0), query(1, priority=2), query(2, priority=1)]
+        assert [q.seq for q in PriorityPolicy().order(queries)] == [1, 2, 0]
+
+    def test_priority_ties_break_by_admission(self):
+        queries = [query(3, priority=1), query(1, priority=1), query(2, priority=1)]
+        assert [q.seq for q in PriorityPolicy().order(queries)] == [1, 2, 3]
+
+    def test_fair_share_prefers_least_scheduled(self):
+        queries = [
+            query(0, times_scheduled=5),
+            query(1, times_scheduled=0),
+            query(2, times_scheduled=2),
+        ]
+        assert [q.seq for q in FairSharePolicy().order(queries)] == [1, 2, 0]
+
+    def test_fair_share_ties_break_by_admission(self):
+        queries = [query(2, times_scheduled=1), query(0, times_scheduled=1)]
+        assert [q.seq for q in FairSharePolicy().order(queries)] == [0, 2]
+
+    def test_order_does_not_mutate_input(self):
+        queries = [query(1), query(0)]
+        FIFOPolicy().order(queries)
+        assert [q.seq for q in queries] == [1, 0]
+
+
+class TestRegistry:
+    def test_available_policies(self):
+        assert available_policies() == ["fair", "fifo", "priority"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(policy_by_name("FIFO"), FIFOPolicy)
+        assert isinstance(policy_by_name("Fair"), FairSharePolicy)
+
+    def test_unknown_policy_lists_available(self):
+        with pytest.raises(InvalidParameterError, match="fair"):
+            policy_by_name("round-robin")

@@ -1,0 +1,248 @@
+"""End-to-end tests of the multi-query MAX scheduler."""
+
+import pytest
+
+from repro.core.latency import LinearLatency
+from repro.crowd.faults import FaultProfile, RetryPolicy
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import RecordingTracer, use_tracer
+from repro.service import (
+    MaxScheduler,
+    PlanCache,
+    QuerySpec,
+    QueryState,
+    ServiceConfig,
+    generate_workload,
+    workload_by_name,
+)
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+def spec(query_id, n=10, budget=50, **kwargs):
+    return QuerySpec(query_id=query_id, n_elements=n, budget=budget, **kwargs)
+
+
+def run_workload(specs, config=None, seed=0, **kwargs):
+    return MaxScheduler(specs, LATENCY, seed=seed, config=config, **kwargs).run()
+
+
+class TestHappyPath:
+    def test_single_query_finds_its_max(self):
+        report = run_workload([spec(0, n=20, budget=100)])
+        assert report.n_queries == 1
+        result = report.results[0]
+        assert result.state is QueryState.COMPLETED
+        assert result.correct
+        assert 0 <= result.winner < 20
+
+    def test_concurrent_queries_all_find_their_max(self):
+        """Queries sharing one platform stay isolated: every winner is
+        the true MAX of the query's own slice of the element space."""
+        specs = [spec(i, n=12, budget=70) for i in range(8)]
+        report = run_workload(specs)
+        assert len(report.completed) == 8
+        assert report.accuracy == 1.0
+
+    def test_results_are_in_query_id_order(self):
+        specs = [
+            spec(2, arrival_time=0.0),
+            spec(0, arrival_time=50.0),
+            spec(1, arrival_time=25.0),
+        ]
+        report = run_workload(specs)
+        assert [r.spec.query_id for r in report.results] == [0, 1, 2]
+
+    def test_staggered_arrivals_wait_for_their_time(self):
+        specs = [spec(0, arrival_time=0.0), spec(1, arrival_time=5000.0)]
+        report = run_workload(specs)
+        late = report.results[1]
+        assert late.state is QueryState.COMPLETED
+        # Latency is measured from arrival, not from service start.
+        assert late.latency < report.makespan
+
+    def test_trivial_single_element_query(self):
+        report = run_workload([spec(0, n=1, budget=0)])
+        result = report.results[0]
+        assert result.state is QueryState.COMPLETED
+        assert result.winner == 0
+        assert result.correct
+        assert result.questions_posted == 0
+
+    def test_queries_share_rounds(self):
+        """Simultaneous same-shape queries ride the same shared rounds."""
+        specs = [spec(i, n=10, budget=50) for i in range(6)]
+        report = run_workload(specs)
+        assert report.shared_rounds < sum(r.rounds for r in report.results)
+
+
+class TestValidation:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MaxScheduler([], LATENCY, seed=0)
+
+    def test_duplicate_query_ids_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MaxScheduler([spec(0), spec(0)], LATENCY, seed=0)
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(max_inflight_questions=0)
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(repetition=0)
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(overload_policy="panic")
+
+
+class TestAdmissionControl:
+    def burst(self, n=6):
+        return [spec(i) for i in range(n)]
+
+    def test_shed_policy_drops_overflow(self):
+        config = ServiceConfig(
+            max_active_queries=1, max_queue_depth=1, overload_policy="shed"
+        )
+        report = run_workload(self.burst(), config=config)
+        assert len(report.shed) > 0
+        assert len(report.finished) + len(report.shed) == 6
+        for result in report.shed:
+            assert result.state is QueryState.SHED
+            assert result.winner is None
+            assert "queue full" in result.shed_reason
+
+    def test_defer_policy_finishes_everything(self):
+        config = ServiceConfig(
+            max_active_queries=1, max_queue_depth=1, overload_policy="defer"
+        )
+        report = run_workload(self.burst(), config=config)
+        assert len(report.shed) == 0
+        assert len(report.finished) == 6
+
+    def test_narrow_active_window_serializes(self):
+        wide = run_workload(self.burst(), config=ServiceConfig())
+        narrow = run_workload(
+            self.burst(), config=ServiceConfig(max_active_queries=1)
+        )
+        assert len(narrow.finished) == len(wide.finished) == 6
+        assert narrow.shared_rounds > wide.shared_rounds
+
+
+class TestBackpressure:
+    def test_small_inflight_cap_spreads_rounds(self):
+        specs = [spec(i, n=10, budget=50) for i in range(5)]
+        unlimited = run_workload(specs, config=ServiceConfig())
+        squeezed = run_workload(
+            specs, config=ServiceConfig(max_inflight_questions=30)
+        )
+        assert len(squeezed.finished) == 5
+        assert squeezed.accuracy == 1.0
+        assert squeezed.shared_rounds > unlimited.shared_rounds
+
+    def test_oversized_round_still_runs_alone(self):
+        """A single round larger than the cap must not starve forever."""
+        report = run_workload(
+            [spec(0, n=20, budget=100)],
+            config=ServiceConfig(max_inflight_questions=5),
+        )
+        assert report.results[0].state is QueryState.COMPLETED
+
+
+class TestSLO:
+    def test_slo_flags_follow_latency(self):
+        specs = [
+            spec(0, latency_slo=1e9),  # impossible to miss
+            spec(1, latency_slo=1e-3),  # impossible to meet
+            spec(2),  # no SLO
+        ]
+        report = run_workload(specs)
+        by_id = {r.spec.query_id: r for r in report.results}
+        assert by_id[0].slo_met is True
+        assert by_id[1].slo_met is False
+        assert by_id[2].slo_met is None
+        assert report.slo_attainment == 0.5
+
+
+class TestFaults:
+    def test_faulty_run_with_retries_completes(self):
+        specs = [spec(i, n=12, budget=70) for i in range(4)]
+        report = run_workload(
+            specs,
+            fault_profile=FaultProfile(abandon_prob=0.05, drop_prob=0.15),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        assert len(report.finished) == 4
+
+    def test_pathological_loss_degrades_not_hangs(self):
+        """With almost every answer lost and a tight attempt cap, queries
+        must degrade gracefully instead of looping forever."""
+        specs = [spec(i, n=10, budget=50) for i in range(3)]
+        report = run_workload(
+            specs,
+            config=ServiceConfig(max_round_attempts=2),
+            fault_profile=FaultProfile(drop_prob=0.95, abandon_prob=0.9),
+        )
+        assert len(report.finished) == 3
+        assert len(report.degraded) > 0
+        for result in report.degraded:
+            assert result.winner is not None
+            assert result.state is QueryState.DEGRADED
+
+
+class TestPlanCacheIntegration:
+    def test_same_shape_queries_hit_the_cache(self):
+        specs = [spec(i, n=10, budget=50) for i in range(5)]
+        report = run_workload(specs)
+        assert report.cache_misses == 1
+        assert report.cache_hits == 4
+        hits = [r.plan_cache_hit for r in report.results]
+        assert hits.count(False) == 1
+
+    def test_cache_can_be_shared_across_schedulers(self):
+        cache = PlanCache(capacity=16)
+        run_workload([spec(0)], plan_cache=cache)
+        report = run_workload([spec(1)], plan_cache=cache)
+        assert report.cache_hits >= 1
+
+
+class TestObservability:
+    def test_trace_events_cover_the_lifecycle(self):
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            run_workload([spec(i) for i in range(3)])
+        assert len(tracer.events("QueryAdmitted")) == 3
+        assert len(tracer.events("QueryScheduled")) >= 3
+        assert len(tracer.events("QueryCompleted")) == 3
+        completed = tracer.events("QueryCompleted")[0]
+        assert completed.state == "completed"
+
+    def test_shed_event_carries_the_reason(self):
+        tracer = RecordingTracer()
+        config = ServiceConfig(
+            max_active_queries=1, max_queue_depth=0, overload_policy="shed"
+        )
+        with use_tracer(tracer):
+            run_workload([spec(i) for i in range(4)], config=config)
+        shed = tracer.events("QueryShed")
+        assert shed
+        assert "queue full" in shed[0].reason
+
+    def test_service_metrics_accumulate(self):
+        registry = get_registry()
+        registry.reset()
+        report = run_workload([spec(i) for i in range(3)])
+        assert registry.counter("service.queries_admitted").value == 3
+        assert registry.counter("service.queries_completed").value == 3
+        assert registry.counter("service.rounds").value == report.shared_rounds
+        assert registry.histogram("service.query_latency").count == 3
+
+
+class TestPresetWorkloads:
+    @pytest.mark.parametrize("preset", ["smoke", "steady", "sla"])
+    def test_presets_run_clean(self, preset):
+        specs = generate_workload(workload_by_name(preset), seed=3)
+        report = run_workload(specs, seed=3)
+        assert len(report.finished) == len(specs)
+        assert report.makespan > 0
+        rendered = report.render(per_query=True)
+        assert f"queries:          {len(specs)}" in rendered

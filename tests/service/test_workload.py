@@ -1,0 +1,109 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service import (
+    WorkloadConfig,
+    available_workloads,
+    generate_workload,
+    workload_by_name,
+)
+
+
+class TestPresets:
+    def test_all_presets_listed(self):
+        assert available_workloads() == [
+            "burst",
+            "repeated",
+            "sla",
+            "smoke",
+            "steady",
+        ]
+
+    def test_every_preset_generates(self):
+        for name in available_workloads():
+            specs = generate_workload(workload_by_name(name), seed=0)
+            assert len(specs) == workload_by_name(name).n_queries
+
+    def test_unknown_preset(self):
+        with pytest.raises(InvalidParameterError, match="steady"):
+            workload_by_name("tsunami")
+
+    def test_burst_arrives_at_once(self):
+        """The burst preset is the >= 50 concurrent-queries scenario."""
+        specs = generate_workload(workload_by_name("burst"), seed=0)
+        assert len(specs) >= 50
+        assert all(spec.arrival_time == 0.0 for spec in specs)
+
+    def test_sla_preset_carries_slos(self):
+        specs = generate_workload(workload_by_name("sla"), seed=0)
+        assert all(spec.latency_slo == 4000.0 for spec in specs)
+
+
+class TestGeneration:
+    CONFIG = WorkloadConfig(
+        n_queries=25,
+        mean_interarrival=30.0,
+        sizes=(8, 16),
+        budget_factors=(2.0, 4.0),
+        priorities=(0, 1, 2),
+    )
+
+    def test_same_seed_same_workload(self):
+        assert generate_workload(self.CONFIG, seed=5) == generate_workload(
+            self.CONFIG, seed=5
+        )
+
+    def test_different_seed_different_workload(self):
+        assert generate_workload(self.CONFIG, seed=5) != generate_workload(
+            self.CONFIG, seed=6
+        )
+
+    def test_specs_are_feasible_and_sorted(self):
+        specs = generate_workload(self.CONFIG, seed=1)
+        arrivals = [spec.arrival_time for spec in specs]
+        assert arrivals == sorted(arrivals)
+        for spec in specs:
+            assert spec.budget >= spec.n_elements - 1  # Theorem 1
+            assert spec.n_elements in self.CONFIG.sizes
+            assert spec.priority in self.CONFIG.priorities
+
+    def test_query_ids_are_arrival_ranks(self):
+        specs = generate_workload(self.CONFIG, seed=2)
+        assert [spec.query_id for spec in specs] == list(range(25))
+
+    def test_n_queries_override(self):
+        assert len(generate_workload(self.CONFIG, seed=0, n_queries=3)) == 3
+        with pytest.raises(InvalidParameterError):
+            generate_workload(self.CONFIG, seed=0, n_queries=0)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(
+                n_queries=0, mean_interarrival=1.0, sizes=(4,), budget_factors=(2.0,)
+            )
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(
+                n_queries=1, mean_interarrival=1.0, sizes=(), budget_factors=(2.0,)
+            )
+
+    def test_rejects_nonpositive_budget_factor(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(
+                n_queries=1, mean_interarrival=1.0, sizes=(4,), budget_factors=(0.0,)
+            )
+
+    def test_rejects_nonpositive_slo(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(
+                n_queries=1,
+                mean_interarrival=1.0,
+                sizes=(4,),
+                budget_factors=(2.0,),
+                slo_seconds=0.0,
+            )

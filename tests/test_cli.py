@@ -130,6 +130,73 @@ class TestSimulate:
         assert "mean latency" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_smoke_workload(self, capsys):
+        assert main(["serve", "--workload", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "workload smoke (6 queries)" in out
+        assert "plan cache:" in out
+        assert "latency p50/p95:" in out
+
+    def test_per_query_listing(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--per-query"]
+        ) == 0
+        assert "query 0:" in capsys.readouterr().out
+
+    def test_queries_override_and_policy(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--workload",
+                "steady",
+                "--queries",
+                "5",
+                "--scheduling",
+                "priority",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(5 queries)" in out
+        assert "policy priority" in out
+
+    def test_faulted_serve_defaults_to_retries(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--faults", "lossy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults=lossy" in out
+        assert "retry x3" in out
+
+    def test_serve_runs_are_reproducible(self, capsys):
+        assert main(["serve", "--workload", "smoke", "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--workload", "smoke", "--seed", "9"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_workload(self, capsys):
+        assert main(["serve", "--workload", "tsunami"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_shed_overload(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--workload",
+                "burst",
+                "--queries",
+                "10",
+                "--max-active",
+                "1",
+                "--queue-depth",
+                "1",
+                "--overload",
+                "shed",
+            ]
+        ) == 0
+        assert "8 shed" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_small_fig15(self, capsys):
         assert main(["experiment", "fig15", "--scale", "small"]) == 0
