@@ -1,0 +1,34 @@
+"""repro.chaos — crash-injection harness for the journaled scheduler.
+
+Runs a workload, kills the scheduler at chosen tick boundaries, recovers
+from the write-ahead journal and asserts the recovered report is
+bit-identical to an uninterrupted run.  Exposed on the CLI as
+``tdp-repro chaos``; the exhaustive every-boundary sweep backs the
+``slow``-marked acceptance test.
+"""
+
+from repro.chaos.harness import (
+    ChaosReport,
+    ChaosScenario,
+    CrashOutcome,
+    build_scheduler,
+    describe_mismatch,
+    run_chaos,
+    run_with_crash,
+    seeded_crash_points,
+    total_steps,
+    uninterrupted_report,
+)
+
+__all__ = [
+    "ChaosScenario",
+    "CrashOutcome",
+    "ChaosReport",
+    "build_scheduler",
+    "uninterrupted_report",
+    "total_steps",
+    "describe_mismatch",
+    "run_with_crash",
+    "seeded_crash_points",
+    "run_chaos",
+]

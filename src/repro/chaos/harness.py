@@ -1,0 +1,328 @@
+"""Crash-injection harness: make the recovery guarantee executable.
+
+The journal's contract — *a run killed at any tick boundary and recovered
+produces a bit-identical report* — is exactly the kind of claim that rots
+as a comment.  This harness turns it into a property that runs in CI:
+
+1. run the scenario once, uninterrupted and unjournaled → baseline report;
+2. for each crash point ``k``: run a journaled scheduler for ``k`` steps,
+   abandon it (the "kill"), :func:`~repro.service.journal.recover_scheduler`
+   from the journal, drive the recovered scheduler to completion;
+3. assert the recovered report ``==`` the baseline (dataclass equality —
+   every field of every per-query result).
+
+Crash points can be explicit (``crash_points``), seeded-random
+(``n_crashes``) or exhaustive (``sweep=True``, one kill per step boundary
+— the ``slow``-marked acceptance test).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.latency import LatencyFunction, mturk_car_latency
+from repro.crowd.breaker import CircuitBreakerConfig
+from repro.crowd.faults import RetryPolicy, fault_profile_by_name
+from repro.errors import InvalidParameterError
+from repro.service.journal import SchedulerJournal, recover_scheduler
+from repro.service.report import ServiceReport
+from repro.service.scheduler import MaxScheduler, ServiceConfig
+from repro.service.workload import generate_workload, workload_by_name
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One reproducible workload-under-faults setup to crash-test.
+
+    Attributes:
+        workload: named workload preset (see :mod:`repro.service.workload`).
+        seed: master seed for workload generation and the scheduler.
+        faults: named fault profile, or ``None`` for a clean platform.
+        retry_policy: RWL retry policy (``None`` disables retries).
+        n_queries: override the preset's query count (small = fast CI).
+        config: scheduler tunables (``None`` = defaults).
+        breaker: circuit-breaker configuration, if any.
+        latency: planning latency model (``None`` = the paper's MTurk fit).
+        snapshot_interval: journal snapshot cadence in ticks.
+    """
+
+    workload: str = "smoke"
+    seed: int = 0
+    faults: Optional[str] = None
+    retry_policy: Optional[RetryPolicy] = None
+    n_queries: Optional[int] = None
+    config: Optional[ServiceConfig] = None
+    breaker: Optional[CircuitBreakerConfig] = None
+    latency: Optional[LatencyFunction] = None
+    snapshot_interval: int = 1
+
+
+@dataclass(frozen=True)
+class CrashOutcome:
+    """Result of one kill/recover/compare cycle.
+
+    Attributes:
+        crash_after: scheduler steps executed before the kill.
+        crashed_at_tick: the victim's tick counter at the kill.
+        recovered_at_tick: the tick the journal restored the state to.
+        equivalent: recovered report == uninterrupted baseline.
+        mismatch: human-readable first difference (``None`` when equal).
+    """
+
+    crash_after: int
+    crashed_at_tick: int
+    recovered_at_tick: int
+    equivalent: bool
+    mismatch: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Aggregated outcome of a chaos run against one scenario."""
+
+    scenario: ChaosScenario
+    baseline: ServiceReport
+    outcomes: Tuple[CrashOutcome, ...] = field(default_factory=tuple)
+
+    @property
+    def all_equivalent(self) -> bool:
+        """Whether every crash point recovered to a bit-identical report."""
+        return all(outcome.equivalent for outcome in self.outcomes)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.equivalent)
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"chaos: workload={self.scenario.workload} "
+            f"seed={self.scenario.seed} "
+            f"faults={self.scenario.faults or 'none'} "
+            f"snapshot_interval={self.scenario.snapshot_interval}",
+            f"baseline: {self.baseline.ticks} ticks, "
+            f"makespan {self.baseline.makespan:.1f} s, "
+            f"{len(self.baseline.results)} queries",
+            f"crash points: {len(self.outcomes)}",
+        ]
+        for outcome in self.outcomes:
+            status = "OK " if outcome.equivalent else "FAIL"
+            line = (
+                f"  [{status}] kill after step {outcome.crash_after:>4} "
+                f"(tick {outcome.crashed_at_tick}) -> recovered at tick "
+                f"{outcome.recovered_at_tick}"
+            )
+            if outcome.mismatch:
+                line += f": {outcome.mismatch}"
+            lines.append(line)
+        verdict = (
+            "all recoveries bit-identical"
+            if self.all_equivalent
+            else f"{self.n_failures} of {len(self.outcomes)} recoveries diverged"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Scenario plumbing
+# ----------------------------------------------------------------------
+def build_scheduler(
+    scenario: ChaosScenario, journal: Optional[SchedulerJournal] = None
+) -> MaxScheduler:
+    """Construct the scenario's scheduler (optionally journaled)."""
+    specs = generate_workload(
+        workload_by_name(scenario.workload),
+        seed=scenario.seed,
+        n_queries=scenario.n_queries,
+    )
+    latency = (
+        scenario.latency if scenario.latency is not None else mturk_car_latency()
+    )
+    return MaxScheduler(
+        specs,
+        latency,
+        seed=scenario.seed,
+        config=scenario.config,
+        fault_profile=(
+            fault_profile_by_name(scenario.faults)
+            if scenario.faults is not None
+            else None
+        ),
+        retry_policy=scenario.retry_policy,
+        breaker_config=scenario.breaker,
+        journal=journal,
+    )
+
+
+def uninterrupted_report(scenario: ChaosScenario) -> ServiceReport:
+    """The baseline: the scenario run to completion without a journal."""
+    return build_scheduler(scenario).run()
+
+
+def total_steps(scenario: ChaosScenario) -> int:
+    """How many scheduler steps the scenario takes to drain."""
+    scheduler = build_scheduler(scenario)
+    steps = 0
+    while scheduler.step():
+        steps += 1
+    return steps
+
+
+def describe_mismatch(
+    recovered: ServiceReport, baseline: ServiceReport
+) -> Optional[str]:
+    """First human-readable difference between two reports, or ``None``."""
+    if recovered == baseline:
+        return None
+    for name in ("makespan", "ticks", "shared_rounds", "questions_posted",
+                 "cache_hits", "cache_misses", "cache_evictions"):
+        a, b = getattr(recovered, name), getattr(baseline, name)
+        if a != b:
+            return f"{name}: {a!r} != baseline {b!r}"
+    if len(recovered.results) != len(baseline.results):
+        return (
+            f"result count: {len(recovered.results)} != baseline "
+            f"{len(baseline.results)}"
+        )
+    for got, want in zip(recovered.results, baseline.results):
+        if got != want:
+            for fld in (
+                "state", "winner", "correct", "singleton", "latency",
+                "queue_wait", "rounds", "questions_posted",
+                "plan_cache_hit", "slo_met", "shed_reason",
+            ):
+                a, b = getattr(got, fld), getattr(want, fld)
+                if a != b:
+                    return (
+                        f"query {got.spec.query_id} {fld}: "
+                        f"{a!r} != baseline {b!r}"
+                    )
+            return f"query {got.spec.query_id} differs"
+    return "reports differ"
+
+
+# ----------------------------------------------------------------------
+# Killing and recovering
+# ----------------------------------------------------------------------
+def run_with_crash(
+    scenario: ChaosScenario,
+    crash_after: int,
+    journal_path: Union[str, Path],
+    baseline: Optional[ServiceReport] = None,
+) -> CrashOutcome:
+    """Kill a journaled run after *crash_after* steps, recover, compare.
+
+    The kill is simulated by abandoning the scheduler object between
+    steps — exactly a process death at a tick boundary, since the journal
+    flushes every record before :meth:`~MaxScheduler.step` returns.
+    """
+    if crash_after < 0:
+        raise InvalidParameterError(
+            f"crash_after must be >= 0, got {crash_after}"
+        )
+    if baseline is None:
+        baseline = uninterrupted_report(scenario)
+    journal = SchedulerJournal.create(
+        journal_path, snapshot_interval=scenario.snapshot_interval
+    )
+    victim = build_scheduler(scenario, journal=journal)
+    steps = 0
+    while steps < crash_after and victim.step():
+        steps += 1
+    crashed_at_tick = victim.ticks
+    # The kill: drop the object; close the handle so the sweep does not
+    # leak file descriptors (every record is already flushed, so closing
+    # changes nothing the recovery can observe).
+    journal.close()
+    del victim
+
+    recovered = recover_scheduler(journal_path)
+    recovered_at_tick = recovered.ticks
+    report = recovered.run()
+    if recovered.journal is not None:
+        recovered.journal.close()
+    mismatch = describe_mismatch(report, baseline)
+    return CrashOutcome(
+        crash_after=steps,
+        crashed_at_tick=crashed_at_tick,
+        recovered_at_tick=recovered_at_tick,
+        equivalent=mismatch is None,
+        mismatch=mismatch,
+    )
+
+
+def seeded_crash_points(
+    scenario: ChaosScenario, n_crashes: int, n_steps: Optional[int] = None
+) -> List[int]:
+    """*n_crashes* deterministic pseudo-random crash points for a scenario.
+
+    Drawn from a dedicated stream ``(seed, 99)`` over ``[0, total_steps]``
+    (inclusive on both ends: killing before the first step and after the
+    last are both legal), deduplicated and sorted.
+    """
+    if n_crashes < 1:
+        raise InvalidParameterError(f"n_crashes must be >= 1, got {n_crashes}")
+    if n_steps is None:
+        n_steps = total_steps(scenario)
+    rng = np.random.default_rng((scenario.seed, 99))
+    points = sorted(
+        {int(p) for p in rng.integers(0, n_steps + 1, size=n_crashes)}
+    )
+    return points
+
+
+def run_chaos(
+    scenario: ChaosScenario,
+    *,
+    crash_points: Optional[Sequence[int]] = None,
+    n_crashes: Optional[int] = None,
+    sweep: bool = False,
+    journal_dir: Optional[Union[str, Path]] = None,
+) -> ChaosReport:
+    """Run the full kill/recover/compare protocol against a scenario.
+
+    Exactly one of *crash_points*, *n_crashes* or *sweep* selects the
+    crash schedule:
+
+    * ``crash_points`` — explicit step indices;
+    * ``n_crashes`` — seeded-random points via :func:`seeded_crash_points`;
+    * ``sweep=True`` — every step boundary from 0 to the total step
+      count (the exhaustive acceptance property; mark tests ``slow``).
+    """
+    chosen = sum(
+        1 for flag in (crash_points is not None, n_crashes is not None, sweep)
+        if flag
+    )
+    if chosen != 1:
+        raise InvalidParameterError(
+            "pass exactly one of crash_points, n_crashes or sweep=True"
+        )
+    baseline = uninterrupted_report(scenario)
+    if sweep:
+        points: Sequence[int] = range(total_steps(scenario) + 1)
+    elif n_crashes is not None:
+        points = seeded_crash_points(scenario, n_crashes)
+    else:
+        points = list(crash_points)
+    if journal_dir is None:
+        journal_dir = tempfile.mkdtemp(prefix="tdp-chaos-")
+    journal_dir = Path(journal_dir)
+    journal_dir.mkdir(parents=True, exist_ok=True)
+    outcomes = []
+    for point in points:
+        outcome = run_with_crash(
+            scenario,
+            crash_after=point,
+            journal_path=journal_dir / f"crash-{point}.jsonl",
+            baseline=baseline,
+        )
+        outcomes.append(outcome)
+    return ChaosReport(
+        scenario=scenario, baseline=baseline, outcomes=tuple(outcomes)
+    )

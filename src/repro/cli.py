@@ -6,6 +6,8 @@ Subcommands:
 * ``solve`` — run the crowdsourced MAX end to end on a synthetic collection.
 * ``serve`` — run a concurrent multi-query workload on one shared platform
   and print the service report (scheduler, plan cache, admission control).
+* ``chaos`` — kill a journaled ``serve`` run at chosen tick boundaries,
+  recover each time and verify the reports are bit-identical.
 * ``experiment`` — reproduce a paper figure (``fig11a`` .. ``fig15``).
 * ``list`` — show the available allocators, selectors and experiments.
 
@@ -20,6 +22,13 @@ Robustness (see ``docs/robustness.md``): ``solve`` and ``simulate`` accept
 ``--faults PROFILE`` (inject seeded platform faults), ``--retry ATTEMPTS``
 and ``--retry-deadline SECONDS`` (re-post unanswered questions with
 exponential backoff) and ``--repetition N`` (RWL voting factor).
+
+Crash tolerance: ``serve`` accepts ``--journal PATH`` (write-ahead journal
+with ``--snapshot-interval`` ticks between snapshots), ``--resume``
+(recover a killed run from its journal and finish it) and ``--breaker``
+(circuit breaker around the platform, tuned by ``--breaker-threshold``
+and ``--breaker-cooldown``).  ``tdp-repro chaos`` runs the
+kill/recover/verify protocol and exits nonzero on any divergence.
 """
 
 from __future__ import annotations
@@ -203,7 +212,94 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-round retry deadline in simulated seconds",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write a crash-recovery write-ahead journal (JSONL) to PATH",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover the scheduler from --journal PATH and finish the run "
+        "(workload/fault flags are taken from the journal header)",
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=5,
+        metavar="TICKS",
+        help="ticks between full journal snapshots (larger = smaller "
+        "journal and less overhead, more replay on recovery; 1 = "
+        "snapshot every tick)",
+    )
+    _add_breaker_args(serve)
     _add_obs_args(serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="crash-test the journaled scheduler: kill at tick boundaries, "
+        "recover, verify the reports are bit-identical",
+    )
+    chaos.add_argument(
+        "--workload",
+        default="smoke",
+        help=f"named workload preset: one of {available_workloads()}",
+    )
+    chaos.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="override the preset's query count",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--faults",
+        default=None,
+        metavar="PROFILE",
+        help=f"inject platform faults: one of {available_fault_profiles()}",
+    )
+    chaos.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="ATTEMPTS",
+        help="RWL re-post attempts per shared round (default: 3 when "
+        "--faults is given, otherwise no retries)",
+    )
+    chaos.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=1,
+        metavar="TICKS",
+        help="ticks between full journal snapshots",
+    )
+    crash_sched = chaos.add_mutually_exclusive_group()
+    crash_sched.add_argument(
+        "--crash-points",
+        default=None,
+        metavar="A,B,C",
+        help="explicit comma-separated step indices to kill at",
+    )
+    crash_sched.add_argument(
+        "--crashes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="N seeded-random crash points (default: 3)",
+    )
+    crash_sched.add_argument(
+        "--sweep",
+        action="store_true",
+        help="kill at every tick boundary (exhaustive, slow)",
+    )
+    chaos.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="keep the per-crash journals here (default: a temp directory)",
+    )
+    _add_breaker_args(chaos)
 
     experiment = sub.add_parser(
         "experiment", help="reproduce a figure from the paper's evaluation"
@@ -276,6 +372,42 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="per-round deadline in simulated seconds; a retry that cannot "
         "start before it is abandoned and the round degrades gracefully",
+    )
+
+
+def _add_breaker_args(parser: argparse.ArgumentParser) -> None:
+    """Circuit-breaker flags (see docs/robustness.md)."""
+    parser.add_argument(
+        "--breaker",
+        action="store_true",
+        help="wrap the platform in a circuit breaker: defer rounds while "
+        "the platform looks dead instead of burning retries",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive outages that open the circuit",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1800.0,
+        metavar="SECONDS",
+        help="simulated seconds to wait while open before probing",
+    )
+
+
+def _breaker_config(args: argparse.Namespace):
+    """Resolve an optional CircuitBreakerConfig from the flags."""
+    if not getattr(args, "breaker", False):
+        return None
+    from repro.crowd.breaker import CircuitBreakerConfig
+
+    return CircuitBreakerConfig(
+        failure_threshold=args.breaker_threshold,
+        cooldown_seconds=args.breaker_cooldown,
     )
 
 
@@ -488,6 +620,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workload_by_name,
     )
 
+    if args.resume:
+        from repro.service import recover_scheduler
+
+        if args.journal is None:
+            raise InvalidParameterError("--resume requires --journal PATH")
+        scheduler = recover_scheduler(args.journal)
+        resumed_at = scheduler.ticks
+        report = scheduler.run()
+        if scheduler.journal is not None:
+            scheduler.journal.close()
+        print(f"resumed {args.journal} from tick {resumed_at}")
+        print(report.render(per_query=args.per_query))
+        return 0
+
     latency = _latency_from_args(args)
     fault_profile = (
         fault_profile_by_name(args.faults) if args.faults is not None else None
@@ -515,6 +661,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_depth,
         overload_policy=args.overload,
     )
+    journal = None
+    if args.journal is not None:
+        from repro.service import SchedulerJournal
+
+        journal = SchedulerJournal.create(
+            args.journal, snapshot_interval=args.snapshot_interval
+        )
     scheduler = MaxScheduler(
         specs,
         latency,
@@ -522,8 +675,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config=config,
         fault_profile=fault_profile,
         retry_policy=retry_policy,
+        breaker_config=_breaker_config(args),
+        journal=journal,
     )
     report = scheduler.run()
+    if journal is not None:
+        journal.close()
     profile_name = args.faults if args.faults is not None else "none"
     retries = (
         f"retry x{retry_policy.max_attempts}" if retry_policy else "no retries"
@@ -532,8 +689,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"workload {args.workload} ({len(specs)} queries), "
         f"policy {args.scheduling}, faults={profile_name}, {retries}"
     )
+    if args.journal is not None:
+        print(f"journal: {args.journal} (snapshot every "
+              f"{args.snapshot_interval} tick(s))")
     print(report.render(per_query=args.per_query))
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosScenario, run_chaos
+
+    attempts = args.retry
+    if attempts is not None and attempts < 1:
+        raise InvalidParameterError(
+            f"--retry must be >= 1 attempt, got {attempts}"
+        )
+    if attempts is None and args.faults is not None:
+        attempts = 3
+    retry_policy = (
+        RetryPolicy(max_attempts=attempts)
+        if attempts is not None and attempts > 1
+        else None
+    )
+    scenario = ChaosScenario(
+        workload=args.workload,
+        seed=args.seed,
+        faults=args.faults,
+        retry_policy=retry_policy,
+        n_queries=args.queries,
+        breaker=_breaker_config(args),
+        snapshot_interval=args.snapshot_interval,
+    )
+    crash_points = None
+    if args.crash_points is not None:
+        try:
+            crash_points = [
+                int(token) for token in args.crash_points.split(",") if token
+            ]
+        except ValueError as error:
+            raise InvalidParameterError(
+                f"--crash-points must be comma-separated integers, got "
+                f"{args.crash_points!r}"
+            ) from error
+    if args.sweep:
+        report = run_chaos(scenario, sweep=True, journal_dir=args.journal_dir)
+    elif crash_points is not None:
+        report = run_chaos(
+            scenario, crash_points=crash_points, journal_dir=args.journal_dir
+        )
+    else:
+        report = run_chaos(
+            scenario,
+            n_crashes=args.crashes if args.crashes is not None else 3,
+            journal_dir=args.journal_dir,
+        )
+    print(report.render())
+    return 0 if report.all_equivalent else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -642,6 +853,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "solve": _cmd_solve,
         "simulate": _cmd_simulate,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "experiment": _cmd_experiment,
         "list": _cmd_list,
     }

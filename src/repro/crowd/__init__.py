@@ -1,5 +1,11 @@
 """Simulated crowdsourcing substrate: ground truth, workers, platform, RWL."""
 
+from repro.crowd.breaker import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    RoundDecision,
+)
 from repro.crowd.diurnal import DayNightCycle, DiurnalPlatform
 from repro.crowd.error_models import (
     DistanceSensitiveError,
@@ -46,4 +52,8 @@ __all__ = [
     "fault_profile_by_name",
     "ReliableWorkerLayer",
     "RWLResult",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "RoundDecision",
 ]

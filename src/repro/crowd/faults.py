@@ -81,6 +81,13 @@ class FaultProfile:
         outage_prob: per-batch probability the platform swallows the batch.
         outage_detection_time: simulated seconds the poster waits before
             concluding a swallowed batch is lost.
+        outage_window: optional ``(start, end)`` simulated-time interval
+            during which the platform is *deterministically* down: every
+            batch posted while the platform clock is in ``[start, end)``
+            is swallowed, with no fault-RNG draw.  Models a sustained
+            outage (maintenance window, payment freeze) rather than
+            transient flakiness; the circuit breaker exists for exactly
+            this shape.
     """
 
     abandon_prob: float = 0.0
@@ -91,6 +98,7 @@ class FaultProfile:
     duplicate_delay: float = 60.0
     outage_prob: float = 0.0
     outage_detection_time: float = 600.0
+    outage_window: Optional[Tuple[float, float]] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -119,6 +127,22 @@ class FaultProfile:
                 f"outage_detection_time must be >= 0, got "
                 f"{self.outage_detection_time}"
             )
+        if self.outage_window is not None:
+            window = tuple(self.outage_window)
+            if len(window) != 2:
+                raise InvalidParameterError(
+                    f"outage_window must be a (start, end) pair, got "
+                    f"{self.outage_window!r}"
+                )
+            start, end = window
+            if not 0 <= start < end:
+                raise InvalidParameterError(
+                    f"outage_window must satisfy 0 <= start < end, got "
+                    f"({start}, {end})"
+                )
+            object.__setattr__(
+                self, "outage_window", (float(start), float(end))
+            )
 
     @property
     def is_zero(self) -> bool:
@@ -129,6 +153,7 @@ class FaultProfile:
             and self.straggler_prob == 0.0
             and self.duplicate_prob == 0.0
             and self.outage_prob == 0.0
+            and self.outage_window is None
         )
 
     @classmethod
@@ -154,6 +179,10 @@ _PROFILES: Dict[str, FaultProfile] = {
     "outages": FaultProfile(
         outage_prob=0.15,
         drop_prob=0.02,
+        outage_detection_time=600.0,
+    ),
+    "sustained": FaultProfile(
+        outage_window=(0.0, 3600.0),
         outage_detection_time=600.0,
     ),
     "severe": FaultProfile(
@@ -247,6 +276,14 @@ class FaultyPlatform(Platform):
         self._fault_rng = fault_rng
         self._tracer = tracer
         self.fault_stats = FaultStats()
+        #: Simulated "now" used to evaluate ``profile.outage_window``.
+        #: The poster (e.g. the service scheduler) advances it; direct
+        #: users of the platform can leave it at 0.
+        self.clock: float = 0.0
+
+    def set_clock(self, now: float) -> None:
+        """Advance the simulated clock gating ``outage_window`` checks."""
+        self.clock = float(now)
 
     @property
     def stats(self) -> PlatformStats:
@@ -265,6 +302,24 @@ class FaultyPlatform(Platform):
         rng = self._fault_rng
         batch_index = self.fault_stats.batches_seen
         self.fault_stats.batches_seen += 1
+        window = profile.outage_window
+        if questions and window is not None and (
+            window[0] <= self.clock < window[1]
+        ):
+            # Deterministic sustained outage: no fault-RNG draw, so the
+            # random fault stream stays aligned with a window-free run.
+            self.fault_stats.outages += 1
+            self._record_fault("outage", len(questions), batch_index)
+            logger.debug(
+                "batch %d: sustained outage window swallowed %d question(s)",
+                batch_index,
+                len(questions),
+            )
+            raise PlatformOutageError(
+                f"platform down for maintenance until t={window[1]:g}s; "
+                f"batch of {len(questions)} question(s) swallowed",
+                wasted_seconds=profile.outage_detection_time,
+            )
         if questions and profile.outage_prob > 0 and (
             rng.random() < profile.outage_prob
         ):
@@ -430,4 +485,7 @@ class RetryPolicy:
         )
         if self.jitter == 0 or raw == 0:
             return raw
-        return raw * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+        # Clamp *after* jittering: max_backoff documents a hard ceiling,
+        # so upward jitter must never push a wait past it.
+        jittered = raw * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+        return min(self.max_backoff, jittered)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.crowd.breaker import BreakerState, CircuitBreaker
 from repro.crowd.faults import RetryPolicy
 from repro.crowd.platform import Platform
 from repro.errors import (
@@ -91,12 +92,14 @@ class ReliableWorkerLayer:
         repetition: int = 1,
         tracer: Optional[Tracer] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if repetition < 1:
             raise InvalidParameterError(f"repetition must be >= 1: {repetition}")
         self.platform = platform
         self.repetition = repetition
         self.retry_policy = retry_policy
+        self.breaker = breaker
         self._rng = rng
         self._tracer = tracer
 
@@ -192,17 +195,28 @@ class ReliableWorkerLayer:
         questions_posted = 0
         attempt = 0
         registry = get_registry()
+        breaker = self.breaker
         while pending:
+            if breaker is not None and not breaker.allow_post():
+                logger.info(
+                    "circuit open: %d question(s) left unposted",
+                    len(pending),
+                )
+                break
             attempt += 1
             posted = [pair for pair in pending for _ in range(self.repetition)]
             try:
                 batch = self.platform.post_batch(posted)
             except PlatformOutageError as outage:
+                if breaker is not None:
+                    breaker.record_outage()
                 if policy is None:
                     raise
                 total_latency += outage.wasted_seconds
                 reason = "outage"
             else:
+                if breaker is not None:
+                    breaker.record_success()
                 questions_posted += len(posted)
                 total_latency += batch.completion_time
                 raw_answers.extend(wa.answer for wa in batch.worker_answers)
@@ -217,6 +231,15 @@ class ReliableWorkerLayer:
                     "after %d attempts",
                     len(pending),
                     attempt,
+                )
+                break
+            if breaker is not None and breaker.state is BreakerState.OPEN:
+                # The circuit just tripped; stop burning retry attempts
+                # (and backoff latency) against a dead platform.
+                logger.debug(
+                    "circuit opened mid-round; abandoning retries for "
+                    "%d question(s)",
+                    len(pending),
                 )
                 break
             backoff = policy.backoff_seconds(attempt, self._rng)

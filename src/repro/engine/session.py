@@ -141,6 +141,17 @@ class MaxSession:
         """The selector randomness source (exposed for checkpointing)."""
         return self._rng
 
+    @property
+    def pending(self) -> Optional[List[Question]]:
+        """The handed-out round's questions, or ``None`` between rounds.
+
+        Exposed so mid-round checkpoints (the service journal snapshots
+        between scheduler ticks, which can land inside a round) can
+        persist the exact selected questions without re-running the
+        selector.  Unlike :meth:`pending_questions` this never selects.
+        """
+        return list(self._pending) if self._pending is not None else None
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
@@ -156,13 +167,19 @@ class MaxSession:
         round_index: int,
         questions_posted: int,
         rounds_executed: int,
+        pending: Optional[Iterable[Question]] = None,
     ) -> "MaxSession":
-        """Rebuild a session from checkpointed state (between rounds).
+        """Rebuild a session from checkpointed state.
 
         The counterpart of :func:`repro.persistence.session_to_dict`; the
         evidence graph is adopted as-is, the candidate set is re-derived
         from it, and empty upcoming rounds are skipped exactly as a live
         session would have.
+
+        With *pending* the session resumes *mid-round*: the given
+        questions are adopted as the already-handed-out round (in order,
+        no re-selection), and the next :meth:`submit` resolves them.  The
+        RNG must then carry the post-selection state the checkpoint saved.
 
         Raises:
             InvalidParameterError: if the checkpointed state is internally
@@ -190,6 +207,33 @@ class MaxSession:
         session._rounds_executed = rounds_executed
         session._pending = None
         session._advance_past_empty_rounds()
+        if pending is not None:
+            pending_list = [(int(a), int(b)) for a, b in pending]
+            if not pending_list:
+                raise InvalidParameterError(
+                    "a mid-round checkpoint must carry at least one "
+                    "pending question"
+                )
+            if round_index >= allocation.rounds:
+                raise InvalidParameterError(
+                    f"pending questions recorded for round {round_index}, "
+                    f"but the allocation has only {allocation.rounds} rounds"
+                )
+            if session._round_index != round_index:
+                # _advance_past_empty_rounds moved on, yet the checkpoint
+                # says questions were handed out in round_index — a round
+                # with pending questions has budget >= 1, contradiction.
+                raise InvalidParameterError(
+                    f"pending questions recorded for round {round_index}, "
+                    f"but that round has zero budget"
+                )
+            if len(pending_list) > allocation.round_budgets[round_index]:
+                raise InvalidParameterError(
+                    f"{len(pending_list)} pending questions exceed round "
+                    f"{round_index}'s budget of "
+                    f"{allocation.round_budgets[round_index]}"
+                )
+            session._pending = pending_list
         return session
 
     # ------------------------------------------------------------------

@@ -60,5 +60,16 @@ class PlatformOutageError(PlatformError):
         super().__init__(message)
 
 
+class JournalCorruptError(ReproError):
+    """A scheduler write-ahead journal cannot be recovered from.
+
+    Raised by :mod:`repro.service.journal` when a journal file is missing,
+    empty, has no parseable header, or contains no usable snapshot.  A
+    merely *truncated tail* (the classic crash-mid-write shape) does not
+    raise: recovery falls back to the last valid snapshot and replays
+    deterministically from there.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment configuration is invalid or an experiment run failed."""

@@ -14,6 +14,8 @@ The taxonomy follows the layers of the system:
   :class:`RunFinished`;
 * multi-query service — :class:`QueryAdmitted`, :class:`QueryScheduled`,
   :class:`QueryCompleted`, :class:`QueryShed`;
+* durability — :class:`CheckpointWritten`, :class:`RecoveryCompleted`,
+  :class:`CircuitOpened`, :class:`CircuitClosed`;
 * reliable worker layer — :class:`RWLRetry`, :class:`BatchRetried`;
 * simulated platform — :class:`WorkerServiced`, :class:`FaultInjected`;
 * allocators — :class:`DPTableBuilt`;
@@ -204,6 +206,67 @@ class QueryShed(TraceEvent):
     kind: ClassVar[str] = "QueryShed"
     query_id: int
     reason: str
+
+
+# ----------------------------------------------------------------------
+# Durability events (journal / recovery / circuit breaker)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CheckpointWritten(TraceEvent):
+    """The scheduler journal wrote a full state snapshot.
+
+    Attributes:
+        tick: scheduler tick the snapshot captures.
+        n_active: queries running sessions at snapshot time.
+        n_waiting: admitted queries waiting for a slot.
+        n_results: queries already finished.
+    """
+
+    kind: ClassVar[str] = "CheckpointWritten"
+    tick: int
+    n_active: int
+    n_waiting: int
+    n_results: int
+
+
+@dataclass(frozen=True)
+class RecoveryCompleted(TraceEvent):
+    """A scheduler was rebuilt from a write-ahead journal.
+
+    Attributes:
+        snapshot_tick: tick of the snapshot recovery restored to.
+        records_read: journal records parsed (header included).
+        tail_corrupt: whether a truncated/garbage tail was discarded.
+    """
+
+    kind: ClassVar[str] = "RecoveryCompleted"
+    snapshot_tick: int
+    records_read: int
+    tail_corrupt: bool
+
+
+@dataclass(frozen=True)
+class CircuitOpened(TraceEvent):
+    """The platform circuit breaker tripped open.
+
+    Attributes:
+        consecutive_outages: outages observed since the last success.
+    """
+
+    kind: ClassVar[str] = "CircuitOpened"
+    consecutive_outages: int
+
+
+@dataclass(frozen=True)
+class CircuitClosed(TraceEvent):
+    """The circuit breaker closed again after successful probes.
+
+    Attributes:
+        probe_successes: successful half-open probes that closed it.
+    """
+
+    kind: ClassVar[str] = "CircuitClosed"
+    probe_successes: int
 
 
 # ----------------------------------------------------------------------

@@ -224,6 +224,13 @@ STANDARD_METRICS = (
     ("counter", "service.plan_cache.misses"),
     ("histogram", "service.query_latency"),
     ("histogram", "service.queue_wait"),
+    ("counter", "service.checkpoints"),
+    ("counter", "service.recoveries"),
+    ("counter", "circuit.opened"),
+    ("counter", "circuit.closed"),
+    ("counter", "circuit.deferred_rounds"),
+    ("counter", "circuit.blocked_posts"),
+    ("counter", "circuit.probes"),
     ("counter", "platform.batches_posted"),
     ("counter", "platform.questions_posted"),
     ("counter", "platform.workers_serviced"),

@@ -9,13 +9,31 @@ dictionaries, with strict validation on the way back in.
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.core.latency import (
+    LatencyFunction,
+    LinearLatency,
+    PiecewiseLinearLatency,
+    PowerLawLatency,
+    TabulatedLatency,
+)
+from repro.crowd.error_models import (
+    DistanceSensitiveError,
+    ErrorModel,
+    PerfectWorkers,
+    UniformError,
+)
+from repro.crowd.workers import WorkerPoolConfig
 from repro.engine.results import MaxRunResult, RoundRecord
 from repro.engine.session import MaxSession
 from repro.errors import InvalidParameterError
@@ -158,24 +176,33 @@ def run_result_from_dict(payload: Dict[str, Any]) -> MaxRunResult:
 # ----------------------------------------------------------------------
 # MaxSession checkpoints
 # ----------------------------------------------------------------------
-def session_to_dict(session: MaxSession) -> Dict[str, Any]:
-    """Checkpoint a :class:`MaxSession` between rounds.
+def session_to_dict(
+    session: MaxSession, allow_pending: bool = False
+) -> Dict[str, Any]:
+    """Checkpoint a :class:`MaxSession`.
 
     Captures everything a resumed session needs to finish with the same
     winner an uninterrupted run would declare: the allocation, selector
     name, accumulated evidence, round/question counters and the exact RNG
     state (so upcoming question selections replay bit-identically).
 
+    With ``allow_pending`` a session that is awaiting answers can also be
+    checkpointed: the handed-out questions are persisted verbatim (the
+    service journal snapshots between scheduler ticks, which can land
+    inside a round).  The saved RNG state is then the *post-selection*
+    state, so the resumed session's next round selects identically.
+
     Raises:
-        InvalidParameterError: while a round is pending — the handed-out
-            questions exist only on the caller's side, so checkpoint after
+        InvalidParameterError: while a round is pending and
+            ``allow_pending`` is false — checkpoint after
             :meth:`~repro.engine.session.MaxSession.submit` instead.
     """
-    if session.awaiting_answers:
+    if session.awaiting_answers and not allow_pending:
         raise InvalidParameterError(
             "cannot checkpoint a session that is awaiting answers; "
             "submit the pending round first"
         )
+    pending = session.pending
     return {
         "version": _FORMAT_VERSION,
         "kind": "max_session",
@@ -187,6 +214,11 @@ def session_to_dict(session: MaxSession) -> Dict[str, Any]:
         "rounds_executed": session.rounds_executed,
         "evidence": answer_graph_to_dict(session.evidence),
         "rng_state": session.rng.bit_generator.state,
+        "pending": (
+            [[int(a), int(b)] for a, b in pending]
+            if pending is not None
+            else None
+        ),
     }
 
 
@@ -206,6 +238,7 @@ def session_from_dict(payload: Dict[str, Any]) -> MaxSession:
         )
     bit_generator = bit_generator_cls()
     bit_generator.state = rng_state
+    pending = payload.get("pending")
     return MaxSession.restore(
         allocation_from_dict(_require(payload, "allocation", "max_session")),
         selector_by_name(_require(payload, "selector", "max_session")),
@@ -217,15 +250,177 @@ def session_from_dict(payload: Dict[str, Any]) -> MaxSession:
         round_index=_require(payload, "round_index", "max_session"),
         questions_posted=_require(payload, "questions_posted", "max_session"),
         rounds_executed=_require(payload, "rounds_executed", "max_session"),
+        pending=(
+            [(pair[0], pair[1]) for pair in pending]
+            if pending is not None
+            else None
+        ),
     )
+
+
+# ----------------------------------------------------------------------
+# Latency functions
+# ----------------------------------------------------------------------
+def latency_to_dict(latency: LatencyFunction) -> Dict[str, Any]:
+    """Serialize one of the built-in latency models.
+
+    Raises:
+        InvalidParameterError: for latency classes this module does not
+            know how to rebuild (e.g. ad-hoc subclasses in tests).
+    """
+    if isinstance(latency, LinearLatency):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "latency",
+            "model": "linear",
+            "delta": latency.delta,
+            "alpha": latency.alpha,
+        }
+    if isinstance(latency, PowerLawLatency):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "latency",
+            "model": "power_law",
+            "delta": latency.delta,
+            "alpha": latency.alpha,
+            "p": latency.p,
+        }
+    if isinstance(latency, TabulatedLatency):
+        # Serialize the *cleaned* knots; the isotonic clean-up is
+        # idempotent, so the round trip reproduces the same function
+        # (and the same repr, which keys the service plan cache).
+        inner = latency._inner
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "latency",
+            "model": "tabulated",
+            "knots": [[q, t] for q, t in zip(inner._qs, inner._ts)],
+        }
+    if isinstance(latency, PiecewiseLinearLatency):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "latency",
+            "model": "piecewise",
+            "knots": [[q, t] for q, t in zip(latency._qs, latency._ts)],
+        }
+    raise InvalidParameterError(
+        f"cannot serialize latency model {type(latency).__name__}; "
+        f"supported: LinearLatency, PowerLawLatency, "
+        f"PiecewiseLinearLatency, TabulatedLatency"
+    )
+
+
+def latency_from_dict(payload: Dict[str, Any]) -> LatencyFunction:
+    """Rebuild a latency model serialized by :func:`latency_to_dict`."""
+    model = _require(payload, "model", "latency")
+    if model == "linear":
+        return LinearLatency(
+            delta=_require(payload, "delta", "latency"),
+            alpha=_require(payload, "alpha", "latency"),
+        )
+    if model == "power_law":
+        return PowerLawLatency(
+            delta=_require(payload, "delta", "latency"),
+            alpha=_require(payload, "alpha", "latency"),
+            p=_require(payload, "p", "latency"),
+        )
+    if model == "tabulated":
+        return TabulatedLatency(
+            [(q, t) for q, t in _require(payload, "knots", "latency")]
+        )
+    if model == "piecewise":
+        return PiecewiseLinearLatency(
+            [(q, t) for q, t in _require(payload, "knots", "latency")]
+        )
+    raise InvalidParameterError(f"unknown latency model {model!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker error models / worker pool configuration
+# ----------------------------------------------------------------------
+def error_model_to_dict(model: Optional[ErrorModel]) -> Optional[Dict[str, Any]]:
+    """Serialize a worker error model (``None`` passes through)."""
+    if model is None:
+        return None
+    if isinstance(model, PerfectWorkers):
+        return {"kind": "error_model", "model": "perfect"}
+    if isinstance(model, UniformError):
+        return {"kind": "error_model", "model": "uniform", "rate": model.rate}
+    if isinstance(model, DistanceSensitiveError):
+        return {
+            "kind": "error_model",
+            "model": "distance",
+            "base": model.base,
+            "scale": model.scale,
+        }
+    raise InvalidParameterError(
+        f"cannot serialize error model {type(model).__name__}"
+    )
+
+
+def error_model_from_dict(
+    payload: Optional[Dict[str, Any]],
+) -> Optional[ErrorModel]:
+    """Rebuild the counterpart of :func:`error_model_to_dict`."""
+    if payload is None:
+        return None
+    model = _require(payload, "model", "error_model")
+    if model == "perfect":
+        return PerfectWorkers()
+    if model == "uniform":
+        return UniformError(rate=_require(payload, "rate", "error_model"))
+    if model == "distance":
+        return DistanceSensitiveError(
+            base=_require(payload, "base", "error_model"),
+            scale=_require(payload, "scale", "error_model"),
+        )
+    raise InvalidParameterError(f"unknown error model {model!r}")
+
+
+def worker_config_to_dict(
+    config: Optional[WorkerPoolConfig],
+) -> Optional[Dict[str, Any]]:
+    """Serialize a worker pool configuration (``None`` passes through)."""
+    if config is None:
+        return None
+    return dataclasses.asdict(config)
+
+
+def worker_config_from_dict(
+    payload: Optional[Dict[str, Any]],
+) -> Optional[WorkerPoolConfig]:
+    """Rebuild the counterpart of :func:`worker_config_to_dict`."""
+    if payload is None:
+        return None
+    return WorkerPoolConfig(**payload)
 
 
 # ----------------------------------------------------------------------
 # File helpers
 # ----------------------------------------------------------------------
 def save_json(payload: Dict[str, Any], path: Union[str, Path]) -> None:
-    """Write a serialized payload to *path* as JSON."""
-    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    """Atomically write a serialized payload to *path* as JSON.
+
+    The payload is serialized first (so an unserializable payload leaves
+    an existing file untouched), written to a temp file in the target
+    directory, fsync'd and renamed into place — a crash mid-write can
+    leave a stale checkpoint behind, never a corrupt one.
+    """
+    path = Path(path)
+    text = json.dumps(payload, indent=2)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
 
 
 def load_json(path: Union[str, Path]) -> Dict[str, Any]:

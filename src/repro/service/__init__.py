@@ -30,6 +30,16 @@ from repro.service.admission import (
     AdmissionController,
     AdmissionDecision,
 )
+from repro.service.journal import (
+    JOURNAL_VERSION,
+    JournalContents,
+    SchedulerJournal,
+    read_journal,
+    recover_scheduler,
+    restore_scheduler_state,
+    scheduler_from_header,
+    snapshot_scheduler,
+)
 from repro.service.plan_cache import PlanCache, PlanCacheStats, PlanKey
 from repro.service.policies import (
     BatchingPolicy,
@@ -82,4 +92,13 @@ __all__ = [
     # report
     "ServiceReport",
     "nearest_rank_percentile",
+    # journal / recovery
+    "SchedulerJournal",
+    "JournalContents",
+    "JOURNAL_VERSION",
+    "read_journal",
+    "recover_scheduler",
+    "restore_scheduler_state",
+    "scheduler_from_header",
+    "snapshot_scheduler",
 ]

@@ -1,0 +1,757 @@
+"""Write-ahead journal and deterministic crash recovery for the scheduler.
+
+A crowdsourced workload is hours of paid real time; a requester process
+that dies mid-workload must not forfeit it.  :class:`SchedulerJournal`
+gives :class:`~repro.service.scheduler.MaxScheduler` durability in the
+classic database shape:
+
+* an **append-only JSONL log** — one record per state change (admit,
+  plan, round posted, answers collected, finalize, shed, deferred) so the
+  run is auditable line by line;
+* **periodic full snapshots** — every ``snapshot_interval`` ticks the
+  complete scheduler state is serialized into the log, building on the
+  :mod:`repro.persistence` serializers: allocations, evidence graphs and
+  per-session RNG bit-generator state, plus the scheduler's own queues,
+  plan-cache contents, platform counters, fault statistics and circuit
+  breaker.
+
+Because the scheduler is deterministic given its seed, recovery is exact:
+:func:`recover_scheduler` rebuilds the scheduler from the journal header
+(same constructor arguments, hence the same ground truth and RNG streams),
+restores the last snapshot, and re-runs.  Ticks that ran after the last
+snapshot but before the crash replay *identically* — same RNG states, same
+iteration orders — so the final :class:`~repro.service.report.ServiceReport`
+is bit-identical to the uninterrupted run's, no matter where the kill
+landed.  :mod:`repro.chaos` asserts exactly that property.
+
+Corruption policy (the crash-mid-write shapes):
+
+* missing file, empty file, unparseable header — raise
+  :class:`~repro.errors.JournalCorruptError`;
+* truncated last record or garbage tail — drop the tail, recover from the
+  last valid snapshot (every journal starts with one, so this always
+  works once the header is intact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import weakref
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.crowd.breaker import CircuitBreakerConfig
+from repro.crowd.faults import FaultProfile, FaultStats, FaultyPlatform, RetryPolicy
+from repro.crowd.platform import PlatformStats, SimulatedPlatform
+from repro.errors import InvalidParameterError, JournalCorruptError
+from repro.obs.events import CheckpointWritten, RecoveryCompleted
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import current_tracer
+from repro.persistence import (
+    allocation_from_dict,
+    allocation_to_dict,
+    error_model_from_dict,
+    error_model_to_dict,
+    latency_from_dict,
+    latency_to_dict,
+    session_from_dict,
+    session_to_dict,
+    worker_config_from_dict,
+    worker_config_to_dict,
+)
+from repro.service.plan_cache import PlanCacheStats, PlanKey
+from repro.service.query import QueryResult, QuerySpec, QueryState
+from repro.service.scheduler import ActiveQuery, MaxScheduler, ServiceConfig
+from repro.types import Answer
+
+logger = logging.getLogger(__name__)
+
+#: Bumped on incompatible journal layout changes.
+JOURNAL_VERSION = 1
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars leaking into payloads (e.g. latencies)."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+class SchedulerJournal:
+    """Append-only JSONL write-ahead journal for one scheduler run.
+
+    Args:
+        path: journal file; :meth:`create` truncates, :meth:`resume`
+            appends (recovery continues the same file).
+        snapshot_interval: full snapshot every N ticks (>= 1; default 5).
+            Larger intervals write less but replay more ticks on
+            recovery; recovery is exact either way.  Use 1 for a
+            snapshot at every tick boundary; the default keeps steady
+            journaling overhead under a tenth of the run.
+        fsync: fsync after every record — durable against power loss, at
+            a heavy simulation-throughput cost (default: flush only).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        snapshot_interval: int = 5,
+        fsync: bool = False,
+        _append: bool = False,
+    ) -> None:
+        if snapshot_interval < 1:
+            raise InvalidParameterError(
+                f"snapshot_interval must be >= 1, got {snapshot_interval}"
+            )
+        self.path = Path(path)
+        self.snapshot_interval = snapshot_interval
+        self.fsync = fsync
+        self._handle = open(self.path, "a" if _append else "w", encoding="utf-8")
+        self._seq = 0
+        self._header_written = _append
+        self._closed = False
+
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, Path],
+        *,
+        snapshot_interval: int = 5,
+        fsync: bool = False,
+    ) -> "SchedulerJournal":
+        """Start a fresh journal (truncating any existing file)."""
+        return cls(path, snapshot_interval=snapshot_interval, fsync=fsync)
+
+    @classmethod
+    def resume(
+        cls,
+        path: Union[str, Path],
+        *,
+        snapshot_interval: int = 5,
+        fsync: bool = False,
+    ) -> "SchedulerJournal":
+        """Continue appending to an existing journal (after recovery)."""
+        if not Path(path).exists():
+            raise JournalCorruptError(f"no such journal to resume: {path}")
+        return cls(
+            path, snapshot_interval=snapshot_interval, fsync=fsync, _append=True
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduler hooks
+    # ------------------------------------------------------------------
+    def begin(self, scheduler: MaxScheduler) -> None:
+        """Write the header + initial snapshot (no-op on a resumed journal)."""
+        if self._header_written:
+            return
+        self._header_written = True
+        self._write("header", self._header_payload(scheduler))
+        self.write_snapshot(scheduler)
+
+    def record(self, record_type: str, payload: Dict[str, Any]) -> None:
+        """Append one write-ahead record."""
+        self._write(record_type, payload)
+
+    def maybe_snapshot(self, scheduler: MaxScheduler) -> None:
+        """Snapshot if the tick counter crossed the snapshot interval."""
+        if scheduler.ticks % self.snapshot_interval == 0:
+            self.write_snapshot(scheduler)
+
+    def write_snapshot(self, scheduler: MaxScheduler) -> None:
+        """Serialize the scheduler's full state into the journal."""
+        payload = snapshot_scheduler(scheduler)
+        self._write("snapshot", payload, flush=True)
+        get_registry().counter("service.checkpoints").inc()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                CheckpointWritten(
+                    tick=payload["ticks"],
+                    n_active=len(payload["active"]),
+                    n_waiting=len(payload["waiting"]),
+                    n_results=len(payload["results"]),
+                ),
+                sim_time=payload["now"],
+            )
+
+    def complete(self, scheduler: MaxScheduler) -> None:
+        """Mark the run drained: final snapshot + completion record."""
+        self.write_snapshot(scheduler)
+        self._write(
+            "complete",
+            {"ticks": scheduler.ticks, "makespan": scheduler.now},
+            flush=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _header_payload(self, scheduler: MaxScheduler) -> Dict[str, Any]:
+        return {
+            "version": JOURNAL_VERSION,
+            "kind": "scheduler_journal",
+            "seed": scheduler.seed,
+            "snapshot_interval": self.snapshot_interval,
+            "specs": [_spec_to_dict(s) for s in scheduler._specs],
+            "latency": latency_to_dict(scheduler.latency),
+            "config": dataclasses.asdict(scheduler.config),
+            "fault_profile": (
+                dataclasses.asdict(scheduler._fault_profile)
+                if scheduler._fault_profile is not None
+                else None
+            ),
+            "retry_policy": (
+                dataclasses.asdict(scheduler._retry_policy)
+                if scheduler._retry_policy is not None
+                else None
+            ),
+            "error_model": error_model_to_dict(scheduler._error_model),
+            "worker_config": worker_config_to_dict(scheduler._worker_config),
+            "breaker_config": (
+                dataclasses.asdict(scheduler._breaker_config)
+                if scheduler._breaker_config is not None
+                else None
+            ),
+        }
+
+    def _write(
+        self, record_type: str, payload: Dict[str, Any], flush: bool = False
+    ) -> None:
+        # Delta records are buffered: recovery resumes from the newest
+        # intact *snapshot* and re-derives lost ticks deterministically,
+        # so the snapshot is the durability boundary.  Flushing (and
+        # optionally fsyncing) only there keeps the per-record overhead
+        # off the hot path without weakening the recovery guarantee.
+        if self._closed:
+            raise InvalidParameterError(
+                f"journal {self.path} is closed; no further records accepted"
+            )
+        line = json.dumps(
+            {"record": record_type, "seq": self._seq, "payload": payload},
+            separators=(",", ":"),
+            default=_json_default,
+        )
+        self._handle.write(line + "\n")
+        if flush:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        self._seq += 1
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "SchedulerJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Snapshot / restore of the full scheduler state
+# ----------------------------------------------------------------------
+
+#: Finished results, backlog specs and cached allocations are immutable
+#: once created, yet a full snapshot re-serializes all of them every
+#: ``snapshot_interval`` ticks.  Memoizing their payloads keeps the
+#: dict-building cost of a snapshot proportional to the state that
+#: actually changed since the last one.  Weak keys: the memo never
+#: extends an object's lifetime.  Entries must be treated as frozen —
+#: the same dict is embedded in every later snapshot.
+_frozen_payloads: "weakref.WeakKeyDictionary[Any, Dict[str, Any]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _memoized_payload(
+    obj: Any, build: Callable[[Any], Dict[str, Any]]
+) -> Dict[str, Any]:
+    try:
+        return _frozen_payloads[obj]
+    except (KeyError, TypeError):  # TypeError: unhashable/unweakrefable
+        payload = build(obj)
+        try:
+            _frozen_payloads[obj] = payload
+        except TypeError:
+            pass
+        return payload
+
+
+def snapshot_scheduler(scheduler: MaxScheduler) -> Dict[str, Any]:
+    """Serialize every piece of mutable scheduler state.
+
+    The immutable construction arguments (specs, latency, config, seed)
+    live in the journal header; this captures what evolves: the clock and
+    counters, the backlog/waiting/active/results queues, every session
+    (mid-round included), the RNG bit-generator states of the platform,
+    RWL and fault streams, platform/fault statistics, plan-cache contents
+    and the circuit breaker.
+    """
+    platform = scheduler.platform
+    faulty = platform if isinstance(platform, FaultyPlatform) else None
+    inner: SimulatedPlatform = faulty.inner if faulty is not None else platform
+    return {
+        "now": float(scheduler._now),
+        "ticks": scheduler._ticks,
+        "shared_rounds": scheduler._shared_rounds,
+        "questions_posted": scheduler._questions_posted,
+        "next_seq": scheduler._next_seq,
+        "backlog": [
+            _memoized_payload(s, _spec_to_dict) for s in scheduler._backlog
+        ],
+        "waiting": [_waiting_query_payload(q) for q in scheduler._waiting],
+        "active": [_active_query_to_dict(q) for q in scheduler._active],
+        "results": [
+            _memoized_payload(r, _result_to_dict) for r in scheduler._results
+        ],
+        "rng": {
+            "platform": inner._rng.bit_generator.state,
+            "rwl": scheduler._rwl._rng.bit_generator.state,
+            "fault": (
+                faulty._fault_rng.bit_generator.state
+                if faulty is not None
+                else None
+            ),
+        },
+        "platform": {
+            "next_worker_id": inner._next_worker_id,
+            "stats": dataclasses.asdict(inner.stats),
+        },
+        "fault": (
+            {"stats": faulty.fault_stats.as_dict(), "clock": float(faulty.clock)}
+            if faulty is not None
+            else None
+        ),
+        "plan_cache": {
+            "entries": [
+                [
+                    _memoized_payload(key, dataclasses.asdict),
+                    _memoized_payload(allocation, allocation_to_dict),
+                ]
+                for key, allocation in scheduler.plan_cache.items()
+            ],
+            "stats": dataclasses.asdict(scheduler.plan_cache.stats),
+        },
+        "breaker": (
+            scheduler.breaker.state_dict()
+            if scheduler.breaker is not None
+            else None
+        ),
+    }
+
+
+def restore_scheduler_state(
+    scheduler: MaxScheduler, snapshot: Dict[str, Any]
+) -> None:
+    """Overwrite *scheduler*'s mutable state with a snapshot's.
+
+    The scheduler must have been constructed from the matching journal
+    header (same seed/specs/config), so its immutable pieces — ground
+    truth, element offsets, policy, allocator — are already identical.
+    """
+    scheduler._now = float(snapshot["now"])
+    scheduler._ticks = int(snapshot["ticks"])
+    scheduler._shared_rounds = int(snapshot["shared_rounds"])
+    scheduler._questions_posted = int(snapshot["questions_posted"])
+    scheduler._next_seq = int(snapshot["next_seq"])
+    scheduler._backlog = [_spec_from_dict(d) for d in snapshot["backlog"]]
+    scheduler._waiting = [_active_query_from_dict(d) for d in snapshot["waiting"]]
+    scheduler._active = [_active_query_from_dict(d) for d in snapshot["active"]]
+    scheduler._results = [_result_from_dict(d) for d in snapshot["results"]]
+
+    platform = scheduler.platform
+    faulty = platform if isinstance(platform, FaultyPlatform) else None
+    inner: SimulatedPlatform = faulty.inner if faulty is not None else platform
+    rng_states = snapshot["rng"]
+    inner._rng = _generator_from_state(rng_states["platform"])
+    scheduler._rwl._rng = _generator_from_state(rng_states["rwl"])
+    if faulty is not None:
+        if rng_states["fault"] is None:
+            raise JournalCorruptError(
+                "snapshot lacks the fault RNG state of a faulty platform"
+            )
+        faulty._fault_rng = _generator_from_state(rng_states["fault"])
+        fault = snapshot["fault"]
+        faulty.fault_stats = FaultStats(**fault["stats"])
+        faulty.clock = float(fault["clock"])
+    inner._next_worker_id = int(snapshot["platform"]["next_worker_id"])
+    inner.stats = PlatformStats(**snapshot["platform"]["stats"])
+
+    cache = snapshot["plan_cache"]
+    scheduler.plan_cache.clear()
+    for key_payload, allocation_payload in cache["entries"]:
+        scheduler.plan_cache.put(
+            PlanKey(**key_payload), allocation_from_dict(allocation_payload)
+        )
+    # After the puts, so re-inserting does not perturb the counters.
+    scheduler.plan_cache.stats = PlanCacheStats(**cache["stats"])
+
+    breaker_state = snapshot["breaker"]
+    if scheduler.breaker is not None and breaker_state is not None:
+        scheduler.breaker.load_state_dict(breaker_state)
+
+
+def _spec_to_dict(spec: QuerySpec) -> Dict[str, Any]:
+    return {
+        "query_id": spec.query_id,
+        "n_elements": spec.n_elements,
+        "budget": spec.budget,
+        "priority": spec.priority,
+        "latency_slo": spec.latency_slo,
+        "arrival_time": float(spec.arrival_time),
+    }
+
+
+def _spec_from_dict(payload: Dict[str, Any]) -> QuerySpec:
+    return QuerySpec(
+        query_id=int(payload["query_id"]),
+        n_elements=int(payload["n_elements"]),
+        budget=int(payload["budget"]),
+        priority=int(payload["priority"]),
+        latency_slo=(
+            float(payload["latency_slo"])
+            if payload["latency_slo"] is not None
+            else None
+        ),
+        arrival_time=float(payload["arrival_time"]),
+    )
+
+
+def _waiting_query_payload(query: ActiveQuery) -> Dict[str, Any]:
+    """Serialize a *waiting* query, reusing the payload across snapshots.
+
+    A waiting query is frozen from admission to promotion: its session
+    (allocation, empty evidence, per-query RNG) is created in ``_admit``
+    and first touched only after the query's state flips to ``RUNNING``
+    and it joins a shared round.  Re-serializing it every snapshot is
+    therefore pure waste — under deep admission queues the waiting list
+    dominates snapshot cost.  The cache rides on the query object itself
+    so it dies with it, and the ``QUEUED`` check makes staleness
+    impossible: any promoted query is rebuilt fresh.
+    """
+    if query.state is not QueryState.QUEUED:
+        return _active_query_to_dict(query)
+    cached = query.__dict__.get("_waiting_payload")
+    if cached is None:
+        cached = _active_query_to_dict(query)
+        query.__dict__["_waiting_payload"] = cached
+    return cached
+
+
+def _active_query_to_dict(query: ActiveQuery) -> Dict[str, Any]:
+    return {
+        "spec": _spec_to_dict(query.spec),
+        "seq": query.seq,
+        "offset": query.offset,
+        "session": session_to_dict(query.session, allow_pending=True),
+        "plan_cache_hit": query.plan_cache_hit,
+        "state": query.state.value,
+        "admitted_time": float(query.admitted_time),
+        "first_scheduled_time": (
+            float(query.first_scheduled_time)
+            if query.first_scheduled_time is not None
+            else None
+        ),
+        # Insertion order is iteration order, which the round packer
+        # depends on — keep both dicts as ordered pair lists.
+        "outstanding": [
+            [list(global_q), list(local_q)]
+            for global_q, local_q in query.outstanding.items()
+        ],
+        "collected": [
+            [answer.winner, answer.loser]
+            for answer in query.collected.values()
+        ],
+        "times_scheduled": query.times_scheduled,
+        "round_attempts": query.round_attempts,
+        "questions_posted": query.questions_posted,
+    }
+
+
+def _active_query_from_dict(payload: Dict[str, Any]) -> ActiveQuery:
+    query = ActiveQuery(
+        spec=_spec_from_dict(payload["spec"]),
+        seq=int(payload["seq"]),
+        offset=int(payload["offset"]),
+        session=session_from_dict(payload["session"]),
+        plan_cache_hit=bool(payload["plan_cache_hit"]),
+        state=QueryState(payload["state"]),
+        admitted_time=float(payload["admitted_time"]),
+        first_scheduled_time=(
+            float(payload["first_scheduled_time"])
+            if payload["first_scheduled_time"] is not None
+            else None
+        ),
+        times_scheduled=int(payload["times_scheduled"]),
+        round_attempts=int(payload["round_attempts"]),
+        questions_posted=int(payload["questions_posted"]),
+    )
+    query.outstanding = {
+        (int(g[0]), int(g[1])): (int(local[0]), int(local[1]))
+        for g, local in payload["outstanding"]
+    }
+    for winner, loser in payload["collected"]:
+        answer = Answer(winner=int(winner), loser=int(loser))
+        query.collected[answer.question] = answer
+    return query
+
+
+def _result_to_dict(result: QueryResult) -> Dict[str, Any]:
+    return {
+        "spec": _spec_to_dict(result.spec),
+        "state": result.state.value,
+        "winner": result.winner,
+        "correct": result.correct,
+        "singleton": result.singleton,
+        "latency": float(result.latency),
+        "queue_wait": float(result.queue_wait),
+        "rounds": result.rounds,
+        "questions_posted": result.questions_posted,
+        "plan_cache_hit": result.plan_cache_hit,
+        "slo_met": result.slo_met,
+        "shed_reason": result.shed_reason,
+    }
+
+
+def _result_from_dict(payload: Dict[str, Any]) -> QueryResult:
+    return QueryResult(
+        spec=_spec_from_dict(payload["spec"]),
+        state=QueryState(payload["state"]),
+        winner=(
+            int(payload["winner"]) if payload["winner"] is not None else None
+        ),
+        correct=payload["correct"],
+        singleton=bool(payload["singleton"]),
+        latency=float(payload["latency"]),
+        queue_wait=float(payload["queue_wait"]),
+        rounds=int(payload["rounds"]),
+        questions_posted=int(payload["questions_posted"]),
+        plan_cache_hit=bool(payload["plan_cache_hit"]),
+        slo_met=payload["slo_met"],
+        shed_reason=payload["shed_reason"],
+    )
+
+
+def _generator_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    if not isinstance(state, dict) or "bit_generator" not in state:
+        raise JournalCorruptError(
+            "snapshot RNG state is not a bit-generator state dict"
+        )
+    bit_generator_cls = getattr(np.random, str(state["bit_generator"]), None)
+    if bit_generator_cls is None:
+        raise JournalCorruptError(
+            f"unknown bit generator {state['bit_generator']!r} in snapshot"
+        )
+    bit_generator = bit_generator_cls()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+# ----------------------------------------------------------------------
+# Reading journals back
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class JournalContents:
+    """Parsed view of a journal file.
+
+    Attributes:
+        header: the header record's payload.
+        records: every parsed record (header included, corrupt tail
+            excluded), in file order.
+        last_snapshot: payload of the newest intact snapshot.
+        tail_corrupt: whether a truncated/garbage tail was discarded.
+    """
+
+    header: Dict[str, Any]
+    records: Tuple[Dict[str, Any], ...]
+    last_snapshot: Dict[str, Any]
+    tail_corrupt: bool
+
+
+def read_journal(path: Union[str, Path]) -> JournalContents:
+    """Parse a journal, tolerating a corrupt tail.
+
+    Raises:
+        JournalCorruptError: missing/empty file, unparseable header, or
+            no intact snapshot to recover from.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise JournalCorruptError(f"no such journal: {path}") from None
+    raw_lines = text.split("\n")
+    # A journal's every line ends with "\n"; a non-empty final fragment
+    # is a record that was being written when the process died.
+    dangling_tail = raw_lines[-1] != ""
+    lines = [line for line in raw_lines[:-1] if line] + (
+        [raw_lines[-1]] if dangling_tail else []
+    )
+    if not lines:
+        raise JournalCorruptError(f"journal {path} is empty")
+
+    records: List[Dict[str, Any]] = []
+    tail_corrupt = False
+    for index, line in enumerate(lines):
+        truncated = dangling_tail and index == len(lines) - 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            tail_corrupt = True
+            break
+        if not isinstance(record, dict) or "record" not in record:
+            tail_corrupt = True
+            break
+        if truncated:
+            # Parsed, but the trailing newline never made it to disk —
+            # treat the record as incomplete rather than trusting it.
+            tail_corrupt = True
+            break
+        records.append(record)
+    if tail_corrupt:
+        dropped = len(lines) - len(records)
+        logger.warning(
+            "journal %s has a corrupt tail: dropping %d trailing line(s)",
+            path,
+            dropped,
+        )
+
+    if not records or records[0].get("record") != "header":
+        raise JournalCorruptError(
+            f"journal {path} has no parseable header record"
+        )
+    header = records[0].get("payload")
+    if not isinstance(header, dict) or header.get("kind") != "scheduler_journal":
+        raise JournalCorruptError(
+            f"journal {path} header is not a scheduler_journal payload"
+        )
+    version = header.get("version")
+    if version != JOURNAL_VERSION:
+        raise JournalCorruptError(
+            f"journal {path} has version {version!r}; this build reads "
+            f"version {JOURNAL_VERSION}"
+        )
+    last_snapshot: Optional[Dict[str, Any]] = None
+    for record in records:
+        if record.get("record") == "snapshot":
+            payload = record.get("payload")
+            if isinstance(payload, dict):
+                last_snapshot = payload
+    if last_snapshot is None:
+        raise JournalCorruptError(
+            f"journal {path} contains no intact snapshot to recover from"
+        )
+    return JournalContents(
+        header=header,
+        records=tuple(records),
+        last_snapshot=last_snapshot,
+        tail_corrupt=tail_corrupt,
+    )
+
+
+def scheduler_from_header(header: Dict[str, Any]) -> MaxScheduler:
+    """Reconstruct a pristine scheduler from a journal header.
+
+    The constructor re-derives everything seeded — ground truth, element
+    offsets, RNG streams — identically to the original run.
+    """
+    try:
+        specs = [_spec_from_dict(d) for d in header["specs"]]
+        latency = latency_from_dict(header["latency"])
+        config = ServiceConfig(**header["config"])
+        fault_payload = header["fault_profile"]
+        fault_profile = (
+            FaultProfile(**fault_payload) if fault_payload is not None else None
+        )
+        retry_payload = header["retry_policy"]
+        retry_policy = (
+            RetryPolicy(**retry_payload) if retry_payload is not None else None
+        )
+        error_model = error_model_from_dict(header["error_model"])
+        worker_config = worker_config_from_dict(header["worker_config"])
+        breaker_payload = header["breaker_config"]
+        breaker_config = (
+            CircuitBreakerConfig(**breaker_payload)
+            if breaker_payload is not None
+            else None
+        )
+        seed = header["seed"]
+    except (KeyError, TypeError) as error:
+        raise JournalCorruptError(
+            f"journal header is missing or malformed: {error}"
+        ) from None
+    return MaxScheduler(
+        specs,
+        latency,
+        seed=seed,
+        config=config,
+        fault_profile=fault_profile,
+        retry_policy=retry_policy,
+        error_model=error_model,
+        worker_config=worker_config,
+        breaker_config=breaker_config,
+    )
+
+
+def recover_scheduler(
+    journal_path: Union[str, Path],
+    *,
+    resume_journal: bool = True,
+    fsync: bool = False,
+) -> MaxScheduler:
+    """Rebuild a crashed scheduler from its write-ahead journal.
+
+    Restores the newest intact snapshot and relies on determinism for the
+    rest: ticks lost after that snapshot re-execute identically when the
+    caller drives the returned scheduler (``scheduler.run()`` completes
+    the workload with a report bit-identical to an uninterrupted run).
+
+    Args:
+        journal_path: the journal the crashed run was writing.
+        resume_journal: keep journaling into the same file (default), so
+            the recovered run is itself recoverable.
+        fsync: fsync policy for the resumed journal.
+
+    Raises:
+        JournalCorruptError: when the journal is missing, empty, or has
+            no intact header/snapshot.
+    """
+    contents = read_journal(journal_path)
+    scheduler = scheduler_from_header(contents.header)
+    restore_scheduler_state(scheduler, contents.last_snapshot)
+    get_registry().counter("service.recoveries").inc()
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            RecoveryCompleted(
+                snapshot_tick=int(contents.last_snapshot["ticks"]),
+                records_read=len(contents.records),
+                tail_corrupt=contents.tail_corrupt,
+            ),
+            sim_time=scheduler.now,
+        )
+    logger.info(
+        "recovered scheduler from %s at tick %d (%d records%s)",
+        journal_path,
+        scheduler.ticks,
+        len(contents.records),
+        ", corrupt tail dropped" if contents.tail_corrupt else "",
+    )
+    if resume_journal:
+        snapshot_interval = int(contents.header.get("snapshot_interval", 1))
+        journal = SchedulerJournal.resume(
+            journal_path, snapshot_interval=snapshot_interval, fsync=fsync
+        )
+        scheduler.attach_journal(journal)
+    return scheduler

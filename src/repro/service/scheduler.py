@@ -28,13 +28,18 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.latency import LatencyFunction
 from repro.core.registry import allocator_by_name
+from repro.crowd.breaker import (
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    RoundDecision,
+)
 from repro.crowd.error_models import ErrorModel
 from repro.crowd.faults import FaultProfile, FaultyPlatform, RetryPolicy
 from repro.crowd.ground_truth import GroundTruth
@@ -169,6 +174,12 @@ class MaxScheduler:
         worker_config: optional worker-pool dynamics.
         plan_cache: share a cache across schedulers; a fresh one is
             created from ``config.plan_cache_capacity`` when omitted.
+        breaker_config: enable the platform circuit breaker — rounds are
+            deferred while the circuit is open instead of burning retry
+            attempts against a platform in a sustained outage.
+        journal: a :class:`~repro.service.journal.SchedulerJournal` to
+            write-ahead-log every state change into (crash recovery via
+            :func:`~repro.service.journal.recover_scheduler`).
     """
 
     def __init__(
@@ -183,6 +194,8 @@ class MaxScheduler:
         error_model: Optional[ErrorModel] = None,
         worker_config: Optional[WorkerPoolConfig] = None,
         plan_cache: Optional[PlanCache] = None,
+        breaker_config: Optional[CircuitBreakerConfig] = None,
+        journal: Optional[Any] = None,
     ) -> None:
         if not specs:
             raise InvalidParameterError("the workload must contain >= 1 query")
@@ -194,6 +207,14 @@ class MaxScheduler:
         self.config = config if config is not None else ServiceConfig()
         self.latency = latency
         self.seed = seed
+        # Kept verbatim for the journal header, so a recovered scheduler
+        # can be constructed with the exact same arguments.
+        self._specs: List[QuerySpec] = list(specs)
+        self._fault_profile = fault_profile
+        self._retry_policy = retry_policy
+        self._error_model = error_model
+        self._worker_config = worker_config
+        self._breaker_config = breaker_config
         self.plan_cache = (
             plan_cache
             if plan_cache is not None
@@ -227,11 +248,15 @@ class MaxScheduler:
                 platform, fault_profile, np.random.default_rng((seed, 3))
             )
         self.platform = platform
+        self.breaker = (
+            CircuitBreaker(breaker_config) if breaker_config is not None else None
+        )
         self._rwl = ReliableWorkerLayer(
             platform,
             np.random.default_rng((seed, 2)),
             repetition=self.config.repetition,
             retry_policy=retry_policy,
+            breaker=self.breaker,
         )
         self._active: List[ActiveQuery] = []
         self._waiting: List[ActiveQuery] = []
@@ -241,27 +266,106 @@ class MaxScheduler:
         self._ticks = 0
         self._shared_rounds = 0
         self._questions_posted = 0
+        self._journal: Optional[Any] = None
+        if journal is not None:
+            self.attach_journal(journal)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ticks(self) -> int:
+        """Scheduler ticks executed so far (shared rounds + deferrals)."""
+        return self._ticks
+
+    @property
+    def now(self) -> float:
+        """The simulated clock, in seconds."""
+        return self._now
+
+    @property
+    def drained(self) -> bool:
+        """True once every query has left the scheduler."""
+        return not (self._backlog or self._active or self._waiting)
+
+    @property
+    def journal(self) -> Optional[Any]:
+        """The attached write-ahead journal, if any."""
+        return self._journal
 
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
+    def attach_journal(self, journal: Any) -> None:
+        """Attach a write-ahead journal.
+
+        A fresh journal writes its header and an initial snapshot; a
+        journal resumed from disk (recovery) continues appending.
+        """
+        self._journal = journal
+        journal.begin(self)
+
     def run(self) -> ServiceReport:
         """Drain the workload and return the :class:`ServiceReport`."""
-        while self._backlog or self._active or self._waiting:
-            self._admit_due()
-            self._promote_waiting()
-            runnable = [q for q in self._active if self._refresh_round(q)]
-            if not runnable:
-                if self._backlog:
-                    # Idle: jump the clock to the next arrival.
-                    self._now = max(
-                        self._now, self._backlog[0].arrival_time
-                    )
-                    continue
-                break
-            self._run_tick(runnable)
-            self._ticks += 1
+        while self.step():
+            pass
+        if self._journal is not None:
+            self._journal.complete(self)
         return self._build_report()
+
+    def step(self) -> bool:
+        """Execute one scheduler iteration; ``False`` once drained.
+
+        One step is either an idle clock jump to the next arrival, a
+        breaker-deferred tick, or a real tick (one shared platform
+        round).  The crash-injection harness drives this directly so
+        kills land exactly on tick boundaries; :meth:`run` is just
+        ``while self.step(): pass``.
+        """
+        if self.drained:
+            return False
+        self._admit_due()
+        self._promote_waiting()
+        runnable = [q for q in self._active if self._refresh_round(q)]
+        if not runnable:
+            if self._backlog:
+                # Idle: jump the clock to the next arrival.
+                self._now = max(self._now, self._backlog[0].arrival_time)
+                return True
+            return False
+        probe_only = False
+        if self.breaker is not None:
+            decision = self.breaker.before_round(self._now)
+            if decision is RoundDecision.DEFER:
+                self._defer_round()
+                self._ticks += 1
+                if self._journal is not None:
+                    self._journal.maybe_snapshot(self)
+                return True
+            probe_only = decision is RoundDecision.PROBE
+        self._run_tick(runnable, probe_only=probe_only)
+        self._ticks += 1
+        if self._journal is not None:
+            self._journal.maybe_snapshot(self)
+        return True
+
+    def _defer_round(self) -> None:
+        """Skip the shared round while the circuit is open."""
+        target = self.breaker.defer_target(self._now)
+        get_registry().counter("circuit.deferred_rounds").inc()
+        self._journal_record(
+            "deferred", tick=self._ticks, now=self._now, resume_at=target
+        )
+        logger.info(
+            "circuit open: deferring shared round from t=%.1f to t=%.1f",
+            self._now,
+            target,
+        )
+        self._now = max(self._now, target)
+
+    def _journal_record(self, record_type: str, **payload: Any) -> None:
+        if self._journal is not None:
+            self._journal.record(record_type, payload)
 
     # ------------------------------------------------------------------
     # Admission
@@ -297,6 +401,13 @@ class MaxScheduler:
             admitted_time=max(self._now, spec.arrival_time),
         )
         self._next_seq += 1
+        self._journal_record(
+            "admit",
+            query_id=spec.query_id,
+            seq=query.seq,
+            plan_cache_hit=cache_hit,
+            now=self._now,
+        )
         registry = get_registry()
         registry.counter("service.queries_admitted").inc()
         tracer = current_tracer()
@@ -338,6 +449,9 @@ class MaxScheduler:
 
     def _shed(self, spec: QuerySpec) -> None:
         reason = self._admission.describe_overload()
+        self._journal_record(
+            "shed", query_id=spec.query_id, reason=reason, now=self._now
+        )
         get_registry().counter("service.queries_shed").inc()
         tracer = current_tracer()
         if tracer.enabled:
@@ -377,12 +491,26 @@ class MaxScheduler:
         cached = self.plan_cache.get(key)
         if cached is not None:
             registry.counter("service.plan_cache.hits").inc()
+            self._journal_record(
+                "plan",
+                query_id=spec.query_id,
+                n_elements=spec.n_elements,
+                budget=spec.budget,
+                cache_hit=True,
+            )
             return cached, True
         allocation = self._allocator.allocate(
             spec.n_elements, spec.budget, self.latency
         )
         self.plan_cache.put(key, allocation)
         registry.counter("service.plan_cache.misses").inc()
+        self._journal_record(
+            "plan",
+            query_id=spec.query_id,
+            n_elements=spec.n_elements,
+            budget=spec.budget,
+            cache_hit=False,
+        )
         return allocation, False
 
     # ------------------------------------------------------------------
@@ -413,11 +541,21 @@ class MaxScheduler:
         query.questions_posted += len(pending)
         return True
 
-    def _run_tick(self, runnable: List[ActiveQuery]) -> None:
-        """Pack, post and resolve one shared round."""
+    def _run_tick(
+        self, runnable: List[ActiveQuery], probe_only: bool = False
+    ) -> None:
+        """Pack, post and resolve one shared round.
+
+        With ``probe_only`` (circuit half-open) only the first query in
+        policy order is packed: a single probe round tests the platform
+        without exposing the whole runnable set to another outage.
+        """
         scheduled: List[ActiveQuery] = []
         batch: List[Question] = []
-        for query in self._policy.order(runnable):
+        ordered = self._policy.order(runnable)
+        if probe_only:
+            ordered = ordered[:1]
+        for query in ordered:
             size = len(query.outstanding)
             if batch and len(batch) + size > self.config.max_inflight_questions:
                 continue  # backpressure: whole rounds only; retry next tick
@@ -440,12 +578,24 @@ class MaxScheduler:
                     sim_time=self._now,
                 )
         logger.debug(
-            "tick %d at t=%.1f: %d queries share a round of %d questions",
+            "tick %d at t=%.1f: %d queries share a round of %d questions%s",
             self._ticks,
             self._now,
             len(scheduled),
             len(batch),
+            " (probe)" if probe_only else "",
         )
+        self._journal_record(
+            "round_posted",
+            tick=self._ticks,
+            now=self._now,
+            queries=[q.spec.query_id for q in scheduled],
+            n_questions=len(batch),
+            probe=probe_only,
+        )
+        if isinstance(self.platform, FaultyPlatform):
+            # The sustained-outage window is gated on simulated time.
+            self.platform.set_clock(self._now)
         try:
             result = self._rwl.ask(batch)
         except PlatformOutageError as outage:
@@ -453,6 +603,14 @@ class MaxScheduler:
             # scheduled query keeps its outstanding questions for the next
             # tick; the detection time is latency all of them paid.
             self._now += outage.wasted_seconds
+            if self.breaker is not None:
+                self.breaker.note_time(self._now)
+            self._journal_record(
+                "answers_collected",
+                tick=self._ticks,
+                outage=True,
+                latency=outage.wasted_seconds,
+            )
             for query in scheduled:
                 self._bump_round_attempts(query)
             return
@@ -461,6 +619,17 @@ class MaxScheduler:
         registry.counter("service.rounds").inc()
         registry.counter("service.questions_posted").inc(len(batch))
         self._now += result.latency
+        if self.breaker is not None:
+            # The RWL trips the breaker clock-lessly; stamp opened_at now
+            # that the round's cost is on the clock.
+            self.breaker.note_time(self._now)
+        self._journal_record(
+            "answers_collected",
+            tick=self._ticks,
+            outage=False,
+            n_answers=len(result.answers),
+            latency=result.latency,
+        )
         by_question = {answer.question: answer for answer in result.answers}
         for query in scheduled:
             self._collect(query, by_question)
@@ -545,6 +714,13 @@ class MaxScheduler:
         )
         if query in self._active:
             self._active.remove(query)
+        self._journal_record(
+            "finalize",
+            query_id=spec.query_id,
+            state=state.value,
+            winner=winner,
+            now=self._now,
+        )
         registry = get_registry()
         if state is QueryState.COMPLETED:
             registry.counter("service.queries_completed").inc()

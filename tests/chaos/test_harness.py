@@ -1,0 +1,109 @@
+"""Chaos harness: kill/recover/verify at tick boundaries."""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import (
+    ChaosScenario,
+    describe_mismatch,
+    run_chaos,
+    run_with_crash,
+    seeded_crash_points,
+    total_steps,
+    uninterrupted_report,
+)
+from repro.crowd.faults import RetryPolicy
+from repro.errors import InvalidParameterError
+
+FAULTY = ChaosScenario(
+    workload="steady",
+    seed=3,
+    faults="outages",
+    retry_policy=RetryPolicy(),
+)
+
+
+class TestHarnessApi:
+    def test_requires_exactly_one_crash_schedule(self):
+        scenario = ChaosScenario()
+        with pytest.raises(InvalidParameterError):
+            run_chaos(scenario)
+        with pytest.raises(InvalidParameterError):
+            run_chaos(scenario, crash_points=[1], sweep=True)
+
+    def test_rejects_negative_crash_point(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            run_with_crash(
+                ChaosScenario(), -1, journal_path=tmp_path / "j.jsonl"
+            )
+
+    def test_seeded_crash_points_are_deterministic(self):
+        first = seeded_crash_points(FAULTY, 4)
+        second = seeded_crash_points(FAULTY, 4)
+        assert first == second
+        assert first == sorted(first)
+        assert all(0 <= p <= total_steps(FAULTY) for p in first)
+
+    def test_describe_mismatch_pinpoints_the_field(self):
+        baseline = uninterrupted_report(ChaosScenario())
+        assert describe_mismatch(baseline, baseline) is None
+        tweaked = dataclasses.replace(baseline, makespan=baseline.makespan + 1)
+        assert "makespan" in describe_mismatch(tweaked, baseline)
+
+    def test_crash_beyond_the_last_step_recovers_a_finished_run(self, tmp_path):
+        scenario = ChaosScenario()
+        outcome = run_with_crash(
+            scenario,
+            crash_after=total_steps(scenario) + 10,
+            journal_path=tmp_path / "late.jsonl",
+        )
+        assert outcome.equivalent
+        assert outcome.crash_after == total_steps(scenario)
+
+
+class TestRecoveryEquivalence:
+    def test_three_seeded_crash_points_under_outages(self, tmp_path):
+        """The tier-1 version of the acceptance sweep: three seeded kills
+        of a faulty workload must all recover bit-identically."""
+        report = run_chaos(FAULTY, n_crashes=3, journal_dir=tmp_path)
+        assert len(report.outcomes) >= 1
+        assert report.all_equivalent, report.render()
+
+    def test_sparse_snapshots_still_recover_exactly(self, tmp_path):
+        scenario = dataclasses.replace(FAULTY, snapshot_interval=4)
+        report = run_chaos(scenario, n_crashes=3, journal_dir=tmp_path)
+        assert report.all_equivalent, report.render()
+
+    def test_render_mentions_every_crash_point(self, tmp_path):
+        report = run_chaos(
+            ChaosScenario(), crash_points=[0, 1], journal_dir=tmp_path
+        )
+        rendered = report.render()
+        assert "kill after step    0" in rendered
+        assert "kill after step    1" in rendered
+        assert "all recoveries bit-identical" in rendered
+
+    @pytest.mark.slow
+    def test_every_tick_boundary_under_outages(self, tmp_path):
+        """The full acceptance property: kill at EVERY tick boundary of a
+        faulty workload; every recovery must be bit-identical."""
+        report = run_chaos(FAULTY, sweep=True, journal_dir=tmp_path)
+        assert len(report.outcomes) == total_steps(FAULTY) + 1
+        assert report.all_equivalent, report.render()
+
+    @pytest.mark.slow
+    def test_every_tick_boundary_with_breaker_and_sustained_outage(
+        self, tmp_path
+    ):
+        from repro.crowd.breaker import CircuitBreakerConfig
+
+        scenario = ChaosScenario(
+            workload="smoke",
+            seed=11,
+            faults="sustained",
+            retry_policy=RetryPolicy(),
+            breaker=CircuitBreakerConfig(failure_threshold=2),
+        )
+        report = run_chaos(scenario, sweep=True, journal_dir=tmp_path)
+        assert report.all_equivalent, report.render()

@@ -162,3 +162,60 @@ class TestFitLinearLatency:
         fitted = fit_linear_latency(samples)
         assert fitted.delta >= 0
         assert fitted.alpha >= 0
+
+
+class TestReprRendersFullParameterization:
+    """Regression: the repr keys the service plan cache and the journal
+    header, so every model must render ALL of its constructor parameters —
+    two differently-parameterized instances must never share a repr."""
+
+    CASES = [
+        (
+            LinearLatency(delta=239.0, alpha=0.06),
+            LinearLatency(delta=239.0, alpha=0.07),
+        ),
+        (
+            PowerLawLatency(delta=10.0, alpha=2.0, p=0.5),
+            PowerLawLatency(delta=10.0, alpha=2.0, p=0.6),
+        ),
+        (
+            PiecewiseLinearLatency([(1, 10.0), (5, 20.0)]),
+            PiecewiseLinearLatency([(1, 10.0), (5, 21.0)]),
+        ),
+        (
+            TabulatedLatency([(1, 10.0), (5, 20.0)]),
+            TabulatedLatency([(1, 10.0), (5, 21.0)]),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "model, tweaked", CASES, ids=[type(m).__name__ for m, _ in CASES]
+    )
+    def test_distinct_parameters_give_distinct_reprs(self, model, tweaked):
+        assert repr(model) != repr(tweaked)
+        assert type(model).__name__ in repr(model)
+
+    def test_every_concrete_model_has_a_parameterized_repr(self):
+        """Each model's repr must differ from the inherited object repr
+        and round-trip through eval to an equal-behaving function."""
+        models = [
+            LinearLatency(delta=239.0, alpha=0.06),
+            PowerLawLatency(delta=10.0, alpha=2.0, p=0.5),
+            PiecewiseLinearLatency([(1, 10.0), (5, 20.0)]),
+            TabulatedLatency([(1, 10.0), (5, 20.0)]),
+        ]
+        namespace = {
+            cls.__name__: cls
+            for cls in (
+                LinearLatency,
+                PowerLawLatency,
+                PiecewiseLinearLatency,
+                TabulatedLatency,
+            )
+        }
+        for model in models:
+            rendered = repr(model)
+            assert "object at 0x" not in rendered
+            rebuilt = eval(rendered, namespace)  # noqa: S307 - own reprs
+            for q in (1, 3, 5):
+                assert rebuilt(q) == model(q)

@@ -297,3 +297,87 @@ class TestRetryPolicy:
             FaultProfile().drop_prob = 0.5
         with pytest.raises(dataclasses.FrozenInstanceError):
             RetryPolicy().max_attempts = 5
+
+
+class TestBackoffCapIsHard:
+    """Regression: jitter used to be applied *after* the min() with
+    max_backoff, so a positive jitter draw could exceed the documented
+    hard ceiling.  The cap must now clamp the jittered value."""
+
+    def test_jitter_never_exceeds_max_backoff(self, rng):
+        policy = RetryPolicy(
+            base_backoff=100.0,
+            backoff_multiplier=10.0,
+            max_backoff=100.0,
+            jitter=0.5,
+        )
+        # retry_index 3 puts the raw backoff far above the cap, so any
+        # upward jitter that survives the clamp would be visible.
+        waits = [policy.backoff_seconds(3, rng) for _ in range(200)]
+        assert all(wait <= 100.0 for wait in waits)
+
+    def test_jitter_still_varies_below_the_cap(self, rng):
+        policy = RetryPolicy(
+            base_backoff=10.0, max_backoff=1000.0, jitter=0.5
+        )
+        waits = {policy.backoff_seconds(1, rng) for _ in range(20)}
+        assert len(waits) > 1
+        assert all(5.0 <= wait <= 15.0 for wait in waits)
+
+    def test_downward_jitter_survives_at_the_cap(self, rng):
+        # Clamping after jittering keeps the downward half of the band.
+        policy = RetryPolicy(
+            base_backoff=100.0, max_backoff=100.0, jitter=0.5
+        )
+        waits = [policy.backoff_seconds(1, rng) for _ in range(200)]
+        assert min(waits) < 100.0
+
+
+class TestOutageWindow:
+    """The deterministic maintenance window behind the sustained profile."""
+
+    @pytest.mark.parametrize(
+        "window", [(5.0,), (3.0, 2.0), (-1.0, 10.0), (4.0, 4.0)]
+    )
+    def test_rejects_malformed_windows(self, window):
+        with pytest.raises(InvalidParameterError):
+            FaultProfile(outage_window=window)
+
+    def test_window_makes_profile_nonzero(self):
+        assert not FaultProfile(outage_window=(0.0, 10.0)).is_zero
+
+    def test_outage_raised_only_inside_the_window(self):
+        profile = FaultProfile(
+            outage_window=(100.0, 200.0), outage_detection_time=30.0
+        )
+        platform = _wrapped(profile)
+        platform.set_clock(50.0)
+        assert platform.post_batch(_chain(5)).n_answers == 5
+        platform.set_clock(150.0)
+        with pytest.raises(PlatformOutageError) as excinfo:
+            platform.post_batch(_chain(5))
+        assert excinfo.value.wasted_seconds == 30.0
+        assert platform.fault_stats.outages == 1
+        platform.set_clock(200.0)  # window end is exclusive
+        assert platform.post_batch(_chain(5)).n_answers == 5
+
+    def test_window_outage_consumes_no_fault_randomness(self):
+        """A deterministic outage must not desynchronise the seeded fault
+        stream: the draws after the window match a run without one."""
+        windowed = _wrapped(
+            FaultProfile(drop_prob=0.3, outage_window=(0.0, 10.0))
+        )
+        plain = _wrapped(FaultProfile(drop_prob=0.3))
+        windowed.set_clock(5.0)
+        with pytest.raises(PlatformOutageError):
+            windowed.post_batch(_chain(20))
+        windowed.set_clock(20.0)
+        expected = plain.post_batch(_chain(20))
+        actual = windowed.post_batch(_chain(20))
+        assert actual.n_answers == expected.n_answers
+
+    def test_sustained_profile_has_a_window(self):
+        profile = fault_profile_by_name("sustained")
+        assert profile.outage_window is not None
+        start, end = profile.outage_window
+        assert start < end

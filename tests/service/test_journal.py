@@ -1,0 +1,323 @@
+"""Write-ahead journal and deterministic recovery."""
+
+import json
+
+import pytest
+
+from repro.core.latency import mturk_car_latency
+from repro.crowd.breaker import CircuitBreakerConfig
+from repro.crowd.faults import RetryPolicy, fault_profile_by_name
+from repro.errors import JournalCorruptError
+from repro.obs import get_registry
+from repro.service import (
+    JOURNAL_VERSION,
+    MaxScheduler,
+    SchedulerJournal,
+    generate_workload,
+    read_journal,
+    recover_scheduler,
+    scheduler_from_header,
+    workload_by_name,
+)
+
+
+def _specs(workload="smoke", seed=7, n_queries=None):
+    return generate_workload(
+        workload_by_name(workload), seed=seed, n_queries=n_queries
+    )
+
+
+def _scheduler(journal=None, workload="smoke", seed=7, **kwargs):
+    return MaxScheduler(
+        _specs(workload=workload, seed=seed),
+        mturk_car_latency(),
+        seed=seed,
+        journal=journal,
+        **kwargs,
+    )
+
+
+def _faulty_kwargs():
+    return {
+        "fault_profile": fault_profile_by_name("outages"),
+        "retry_policy": RetryPolicy(),
+    }
+
+
+class TestJournalWriting:
+    def test_journaled_run_matches_unjournaled(self, tmp_path):
+        baseline = _scheduler().run()
+        with SchedulerJournal.create(tmp_path / "run.jsonl") as journal:
+            report = _scheduler(journal=journal).run()
+        assert report == baseline
+
+    def test_journal_is_line_delimited_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with SchedulerJournal.create(path) as journal:
+            _scheduler(journal=journal).run()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["record"] == "header"
+        assert records[0]["payload"]["version"] == JOURNAL_VERSION
+        assert records[-1]["record"] == "complete"
+        assert [rec["seq"] for rec in records] == list(range(len(records)))
+        kinds = {rec["record"] for rec in records}
+        assert {"admit", "plan", "round_posted", "answers_collected",
+                "finalize", "snapshot"} <= kinds
+
+    def test_snapshot_interval_thins_snapshots(self, tmp_path):
+        dense = tmp_path / "dense.jsonl"
+        sparse = tmp_path / "sparse.jsonl"
+        with SchedulerJournal.create(dense, snapshot_interval=1) as journal:
+            _scheduler(journal=journal, workload="steady", seed=3).run()
+        with SchedulerJournal.create(sparse, snapshot_interval=5) as journal:
+            _scheduler(journal=journal, workload="steady", seed=3).run()
+
+        def n_snapshots(path):
+            return sum(
+                1
+                for line in path.read_text(encoding="utf-8").splitlines()
+                if json.loads(line)["record"] == "snapshot"
+            )
+
+        assert n_snapshots(sparse) < n_snapshots(dense)
+
+    def test_rejects_writes_after_close(self, tmp_path):
+        journal = SchedulerJournal.create(tmp_path / "run.jsonl")
+        journal.close()
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            journal.record("admit", {})
+        journal.close()  # idempotent
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("crash_after", [0, 1, 3])
+    def test_recovery_is_bit_identical_under_faults(self, tmp_path, crash_after):
+        baseline = _scheduler(**_faulty_kwargs()).run()
+        path = tmp_path / "crash.jsonl"
+        journal = SchedulerJournal.create(path)
+        victim = _scheduler(journal=journal, **_faulty_kwargs())
+        steps = 0
+        while steps < crash_after and victim.step():
+            steps += 1
+        journal.close()
+        recovered = recover_scheduler(path)
+        report = recovered.run()
+        recovered.journal.close()
+        assert report == baseline
+
+    def test_recovery_with_sparse_snapshots_replays_lost_ticks(self, tmp_path):
+        baseline = _scheduler(workload="steady", seed=3).run()
+        path = tmp_path / "sparse.jsonl"
+        journal = SchedulerJournal.create(path, snapshot_interval=5)
+        victim = _scheduler(journal=journal, workload="steady", seed=3)
+        steps = 0
+        while steps < 3 and victim.step():
+            steps += 1
+        journal.close()
+        recovered = recover_scheduler(path)
+        # The last snapshot is older than the crash point; the lost ticks
+        # must be replayed deterministically.
+        assert recovered.ticks < steps
+        report = recovered.run()
+        recovered.journal.close()
+        assert report == baseline
+
+    def test_recovered_run_is_itself_recoverable(self, tmp_path):
+        """The resumed journal must support a second crash/recover cycle."""
+        baseline = _scheduler().run()
+        path = tmp_path / "twice.jsonl"
+        journal = SchedulerJournal.create(path)
+        first = _scheduler(journal=journal)
+        first.step()
+        journal.close()
+        second = recover_scheduler(path)
+        second.step()
+        second.journal.close()
+        third = recover_scheduler(path)
+        report = third.run()
+        third.journal.close()
+        assert report == baseline
+
+    def test_recover_without_resume_leaves_journal_untouched(self, tmp_path):
+        path = tmp_path / "frozen.jsonl"
+        journal = SchedulerJournal.create(path)
+        victim = _scheduler(journal=journal)
+        victim.step()
+        journal.close()
+        before = path.read_bytes()
+        recovered = recover_scheduler(path, resume_journal=False)
+        assert recovered.journal is None
+        recovered.run()
+        assert path.read_bytes() == before
+
+    def test_recovery_preserves_breaker_and_fault_config(self, tmp_path):
+        kwargs = dict(
+            _faulty_kwargs(),
+            breaker_config=CircuitBreakerConfig(failure_threshold=2),
+        )
+        baseline = _scheduler(seed=11, **kwargs).run()
+        path = tmp_path / "breaker.jsonl"
+        journal = SchedulerJournal.create(path)
+        victim = _scheduler(journal=journal, seed=11, **kwargs)
+        for _ in range(2):
+            victim.step()
+        journal.close()
+        recovered = recover_scheduler(path)
+        assert recovered.breaker is not None
+        report = recovered.run()
+        recovered.journal.close()
+        assert report == baseline
+
+    def test_recovery_counts_metric(self, tmp_path):
+        path = tmp_path / "metric.jsonl"
+        journal = SchedulerJournal.create(path)
+        _scheduler(journal=journal).run()
+        journal.close()
+        counter = get_registry().counter("service.recoveries")
+        before = counter.value
+        recover_scheduler(path, resume_journal=False)
+        assert counter.value == before + 1
+
+
+class TestCorruption:
+    def _journal_after_steps(self, tmp_path, steps=2):
+        path = tmp_path / "base.jsonl"
+        journal = SchedulerJournal.create(path)
+        victim = _scheduler(journal=journal)
+        for _ in range(steps):
+            victim.step()
+        journal.close()
+        return path
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(JournalCorruptError):
+            recover_scheduler(tmp_path / "nope.jsonl")
+
+    def test_empty_file_raises_typed_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(JournalCorruptError):
+            recover_scheduler(path)
+
+    def test_garbage_header_raises_typed_error(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text('{"record": "not-a-header", "seq": 0}\n')
+        with pytest.raises(JournalCorruptError):
+            recover_scheduler(path)
+
+    def test_truncated_last_record_recovers_from_last_snapshot(self, tmp_path):
+        baseline = _scheduler().run()
+        path = self._journal_after_steps(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        # Chop the last record mid-line, as a crash during a write would.
+        path.write_text(text[: len(text) - 17], encoding="utf-8")
+        contents = read_journal(path)
+        assert contents.tail_corrupt
+        recovered = recover_scheduler(path, resume_journal=False)
+        assert recovered.run() == baseline
+
+    def test_garbage_tail_recovers_from_last_snapshot(self, tmp_path):
+        baseline = _scheduler().run()
+        path = self._journal_after_steps(tmp_path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("\x00\x00 not json at all\n")
+        contents = read_journal(path)
+        assert contents.tail_corrupt
+        recovered = recover_scheduler(path, resume_journal=False)
+        assert recovered.run() == baseline
+
+    def test_unterminated_final_line_is_treated_as_truncated(self, tmp_path):
+        path = self._journal_after_steps(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        path.write_text(text.rstrip("\n"), encoding="utf-8")
+        # The final record parses as JSON, but without its newline it may
+        # be a partial write — the reader must not trust it.
+        assert read_journal(path).tail_corrupt
+
+    def test_no_intact_snapshot_raises_typed_error(self, tmp_path):
+        path = self._journal_after_steps(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        kept = [
+            line
+            for line in lines
+            if json.loads(line)["record"] != "snapshot"
+        ]
+        path.write_text("\n".join(kept) + "\n", encoding="utf-8")
+        with pytest.raises(JournalCorruptError, match="snapshot"):
+            recover_scheduler(path)
+
+    def test_corruption_errors_never_leak_json_tracebacks(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("{not json\n", encoding="utf-8")
+        try:
+            recover_scheduler(path)
+        except JournalCorruptError:
+            pass
+        else:  # pragma: no cover - defensive
+            pytest.fail("expected JournalCorruptError")
+
+    def test_resume_requires_existing_file(self, tmp_path):
+        with pytest.raises(JournalCorruptError):
+            SchedulerJournal.resume(tmp_path / "absent.jsonl")
+
+
+class TestHeaderRoundTrip:
+    def test_header_rebuilds_equivalent_scheduler(self, tmp_path):
+        path = tmp_path / "header.jsonl"
+        journal = SchedulerJournal.create(path)
+        kwargs = dict(
+            _faulty_kwargs(),
+            breaker_config=CircuitBreakerConfig(
+                failure_threshold=2, cooldown_seconds=900.0
+            ),
+        )
+        original = _scheduler(journal=journal, **kwargs)
+        journal.close()
+        header = read_journal(path).header
+        rebuilt = scheduler_from_header(header)
+        assert rebuilt.seed == original.seed
+        assert rebuilt.config == original.config
+        assert rebuilt.breaker.config == original.breaker.config
+        # Both untouched schedulers must then run identically.
+        assert rebuilt.run() == _scheduler(**kwargs).run()
+
+    def test_header_with_missing_keys_raises_typed_error(self, tmp_path):
+        with pytest.raises(JournalCorruptError):
+            scheduler_from_header({"version": JOURNAL_VERSION})
+
+
+class TestMidRoundCheckpoint:
+    def test_snapshot_captures_pending_questions(self, tmp_path):
+        """Sessions awaiting answers serialize their pending pairs."""
+        path = tmp_path / "pending.jsonl"
+        journal = SchedulerJournal.create(path, snapshot_interval=1)
+        victim = _scheduler(journal=journal, **_faulty_kwargs())
+        # After two ticks of the outages profile some sessions are
+        # mid-round (questions swallowed by a fault, answers outstanding);
+        # the snapshot must reproduce the exact pending state.
+        victim.step()
+        victim.step()
+        journal.close()
+        contents = read_journal(path)
+        active = contents.last_snapshot["active"]
+        assert any(
+            entry["session"]["pending"] for entry in active
+        ), "expected a mid-round session after two faulty ticks"
+        recovered = recover_scheduler(path, resume_journal=False)
+        for entry in active:
+            query = next(
+                q
+                for q in recovered._active
+                if q.spec.query_id == entry["spec"]["query_id"]
+            )
+            got = (
+                [list(pair) for pair in query.session.pending]
+                if query.session.pending is not None
+                else None
+            )
+            want = entry["session"]["pending"]
+            assert got == want

@@ -260,3 +260,93 @@ class TestArgparse:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServeJournal:
+    def test_journaled_serve_writes_a_journal(self, capsys, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        assert main(
+            ["serve", "--workload", "smoke", "--journal", str(journal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "journal:" in out
+        assert journal.exists()
+        assert journal.stat().st_size > 0
+
+    def test_resume_finishes_and_matches_the_original(self, capsys, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        assert main(
+            ["serve", "--workload", "smoke", "--seed", "4", "--journal",
+             str(journal)]
+        ) == 0
+        original = capsys.readouterr().out
+        assert main(["serve", "--journal", str(journal), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed" in resumed
+        # The report block (everything from "queries:") must be identical.
+        tail = original[original.index("queries:"):]
+        assert tail in resumed
+
+    def test_resume_requires_journal_path(self, capsys):
+        assert main(["serve", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_resume_of_missing_journal_is_a_clean_error(self, capsys, tmp_path):
+        assert main(
+            ["serve", "--resume", "--journal", str(tmp_path / "absent.jsonl")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_breaker_flag_accepted(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--workload",
+                "smoke",
+                "--seed",
+                "11",
+                "--faults",
+                "sustained",
+                "--breaker",
+                "--breaker-threshold",
+                "2",
+            ]
+        ) == 0
+        assert "6 completed" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_explicit_crash_points(self, capsys):
+        assert main(
+            ["chaos", "--workload", "smoke", "--seed", "7",
+             "--crash-points", "0,1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kill after step" in out
+        assert "all recoveries bit-identical" in out
+
+    def test_seeded_crashes_under_faults(self, capsys):
+        assert main(
+            ["chaos", "--workload", "smoke", "--seed", "7", "--faults",
+             "outages", "--crashes", "2"]
+        ) == 0
+        assert "all recoveries bit-identical" in capsys.readouterr().out
+
+    def test_journal_dir_keeps_the_journals(self, capsys, tmp_path):
+        assert main(
+            ["chaos", "--workload", "smoke", "--crash-points", "1",
+             "--journal-dir", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "crash-1.jsonl").exists()
+
+    def test_malformed_crash_points_rejected(self, capsys):
+        assert main(["chaos", "--crash-points", "1,x"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_sweep_flag(self, capsys):
+        assert main(
+            ["chaos", "--workload", "smoke", "--seed", "7", "--sweep"]
+        ) == 0
+        assert "all recoveries bit-identical" in capsys.readouterr().out

@@ -4,7 +4,18 @@ import numpy as np
 import pytest
 
 from repro.core.allocation import Allocation
-from repro.core.latency import LinearLatency
+from repro.core.latency import (
+    LinearLatency,
+    PiecewiseLinearLatency,
+    PowerLawLatency,
+    TabulatedLatency,
+)
+from repro.crowd.error_models import (
+    DistanceSensitiveError,
+    PerfectWorkers,
+    UniformError,
+)
+from repro.crowd.workers import WorkerPoolConfig
 from repro.core.tdp import TDPAllocator
 from repro.crowd.ground_truth import GroundTruth
 from repro.engine.max_engine import MaxEngine, OracleAnswerSource
@@ -15,10 +26,16 @@ from repro.persistence import (
     allocation_to_dict,
     answer_graph_from_dict,
     answer_graph_to_dict,
+    error_model_from_dict,
+    error_model_to_dict,
+    latency_from_dict,
+    latency_to_dict,
     load_json,
     run_result_from_dict,
     run_result_to_dict,
     save_json,
+    worker_config_from_dict,
+    worker_config_to_dict,
 )
 from repro.types import Answer
 
@@ -132,3 +149,99 @@ class TestFileHelpers:
         path.write_text("[1, 2, 3]", encoding="utf-8")
         with pytest.raises(InvalidParameterError):
             load_json(path)
+
+
+class TestLatencyRoundTrip:
+    @pytest.mark.parametrize(
+        "latency",
+        [
+            LinearLatency(delta=239.0, alpha=0.06),
+            PowerLawLatency(delta=100.0, alpha=2.0, p=0.7),
+            PiecewiseLinearLatency([(1, 240.0), (50, 300.0), (200, 480.0)]),
+            TabulatedLatency([(1, 250.0), (10, 260.0), (100, 400.0)]),
+        ],
+        ids=["linear", "power_law", "piecewise", "tabulated"],
+    )
+    def test_round_trip_preserves_the_function(self, latency):
+        restored = latency_from_dict(latency_to_dict(latency))
+        assert type(restored) is type(latency)
+        for q in (1, 7, 42, 150):
+            assert restored(q) == latency(q)
+        # repr keys the service plan cache, so it must survive too.
+        assert repr(restored) == repr(latency)
+
+    def test_unknown_latency_class_rejected(self):
+        # A class outside the known hierarchy must be refused loudly.
+        class Alien:
+            pass
+
+        with pytest.raises(InvalidParameterError):
+            latency_to_dict(Alien())
+
+
+class TestErrorModelRoundTrip:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            None,
+            PerfectWorkers(),
+            UniformError(rate=0.15),
+            DistanceSensitiveError(base=0.3, scale=5.0),
+        ],
+        ids=["none", "perfect", "uniform", "distance"],
+    )
+    def test_round_trip(self, model):
+        restored = error_model_from_dict(error_model_to_dict(model))
+        if model is None:
+            assert restored is None
+            return
+        assert type(restored) is type(model)
+        truth = GroundTruth.random(10, np.random.default_rng(0))
+        for a, b in ((0, 1), (2, 9), (4, 5)):
+            assert restored.error_probability(
+                truth, a, b
+            ) == model.error_probability(truth, a, b)
+
+
+class TestWorkerConfigRoundTrip:
+    def test_round_trip(self):
+        config = WorkerPoolConfig(mean_service_time=5.0, base_workers=3)
+        restored = worker_config_from_dict(worker_config_to_dict(config))
+        assert restored == config
+
+    def test_none_passes_through(self):
+        assert worker_config_to_dict(None) is None
+        assert worker_config_from_dict(None) is None
+
+
+class TestAtomicSaveJson:
+    def test_failed_replace_preserves_the_old_file(self, tmp_path, monkeypatch):
+        """A crash mid-save must never leave a truncated checkpoint: the
+        write goes to a temp file and only an atomic rename publishes it."""
+        path = tmp_path / "checkpoint.json"
+        save_json({"kind": "test", "generation": 1}, path)
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.persistence.os.replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_json({"kind": "test", "generation": 2}, path)
+        monkeypatch.undo()
+        assert load_json(path) == {"kind": "test", "generation": 1}
+        # The failed attempt cleans up its temp file.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_unserializable_payload_leaves_no_file(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        with pytest.raises(TypeError):
+            save_json({"bad": object()}, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_overwrites_in_place(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        save_json({"kind": "test", "generation": 1}, path)
+        save_json({"kind": "test", "generation": 2}, path)
+        assert load_json(path) == {"kind": "test", "generation": 2}
+        assert list(tmp_path.iterdir()) == [path]
