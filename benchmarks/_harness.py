@@ -4,19 +4,51 @@ Each ``bench_fig*.py`` file regenerates one figure of the paper's evaluation
 (Section 6): the benchmark measures how long the experiment takes, and the
 resulting table — the same rows/series the paper plots — is printed so the
 run doubles as a reproduction report.
+
+Every bench additionally emits one ``BENCH_<name>.json`` regression
+artifact (wall time, scale preset, compacted metrics snapshot, git sha)
+into :data:`ARTIFACT_DIR` — the autouse fixture in ``conftest.py`` times
+the test and calls :func:`emit_artifact`.  ``tdp-repro bench-check``
+compares a directory of these artifacts against a committed baseline.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, List
+import re
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.bench import current_git_sha, make_artifact, write_artifact
 from repro.experiments.config import scale_by_name
 from repro.experiments.tables import ExperimentResult
 
 #: Benchmarks default to the fast preset; set REPRO_BENCH_SCALE=full to
 #: regenerate the figures at the paper's own workload sizes.
 SCALE = scale_by_name(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+#: Where ``BENCH_<name>.json`` artifacts land; override with
+#: REPRO_BENCH_ARTIFACTS (CI points it at an upload directory).
+ARTIFACT_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_ARTIFACTS", str(Path(__file__).parent / "artifacts")
+    )
+)
+
+
+def emit_artifact(
+    name: str, seconds: float, metrics: Optional[Dict[str, Any]] = None
+) -> Path:
+    """Write one bench's regression artifact; returns its path."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+    artifact = make_artifact(
+        safe,
+        seconds,
+        SCALE.name,
+        metrics=metrics,
+        git_sha=current_git_sha(Path(__file__).parent.parent),
+    )
+    return write_artifact(artifact, ARTIFACT_DIR)
 
 
 def run_and_report(benchmark, runner: Callable[[], List[ExperimentResult]]):

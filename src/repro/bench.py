@@ -1,0 +1,273 @@
+"""Benchmark regression artifacts and baseline comparison.
+
+Every benchmark run (``pytest benchmarks/``) emits one
+``BENCH_<name>.json`` artifact per bench — wall time, scale preset, a
+compacted metrics snapshot and the git revision — written atomically so a
+crashed run never leaves a torn artifact.  ``tdp-repro bench-check
+BASELINE CURRENT`` then compares two sets of artifacts and fails on
+wall-clock regressions beyond a threshold; CI runs it warn-only against
+the committed ``benchmarks/baseline.json`` so drift is visible in every
+run without flaking the build on shared-runner noise.
+
+Both sides of a comparison accept either shape:
+
+* a *combined* baseline file ``{"schema": 1, "benches": {name:
+  {"wall_seconds": ...}}}`` (what gets committed);
+* a directory of per-bench ``BENCH_*.json`` artifacts (what a run
+  emits).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import InvalidParameterError
+
+#: Bumped on incompatible artifact layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default relative regression threshold (current > baseline * (1 + t)).
+DEFAULT_THRESHOLD = 0.25
+
+
+def current_git_sha(repo_root: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current git revision, or ``None`` outside a repo / without git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root) if repo_root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def compact_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Shrink a metrics snapshot for embedding in an artifact.
+
+    Histogram sample lists (up to thousands of floats each) are replaced
+    by their summary statistics and percentiles; counters and gauges pass
+    through unchanged.
+    """
+    from repro.obs.metrics import snapshot_percentile
+
+    compact: Dict[str, Any] = {}
+    for name, state in snapshot.items():
+        if state.get("type") != "histogram":
+            compact[name] = dict(state)
+            continue
+        compact[name] = {
+            "type": "histogram",
+            "count": state["count"],
+            "total": state["total"],
+            "min": state["min"],
+            "max": state["max"],
+            "truncated": state.get("truncated", False),
+            "p50": (
+                snapshot_percentile(state, 50) if state["count"] else None
+            ),
+            "p95": (
+                snapshot_percentile(state, 95) if state["count"] else None
+            ),
+        }
+    return compact
+
+
+def make_artifact(
+    name: str,
+    wall_seconds: float,
+    scale: str,
+    metrics: Optional[Dict[str, Any]] = None,
+    git_sha: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build one bench artifact payload (the ``BENCH_<name>.json`` body)."""
+    if wall_seconds < 0:
+        raise InvalidParameterError(
+            f"wall_seconds must be >= 0, got {wall_seconds}"
+        )
+    return {
+        "kind": "bench_artifact",
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        "wall_seconds": float(wall_seconds),
+        "scale": scale,
+        "git_sha": git_sha,
+        "metrics": compact_snapshot(metrics) if metrics is not None else None,
+    }
+
+
+def write_artifact(artifact: Dict[str, Any], directory: Union[str, Path]) -> Path:
+    """Atomically write *artifact* as ``BENCH_<bench>.json`` in *directory*."""
+    from repro.persistence import save_text
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{artifact['bench']}.json"
+    save_text(json.dumps(artifact, indent=2), path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Loading either shape
+# ----------------------------------------------------------------------
+def _load_json(path: Path) -> Dict[str, Any]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise InvalidParameterError(f"no such bench file: {path}") from None
+    except json.JSONDecodeError as error:
+        raise InvalidParameterError(f"invalid JSON in {path}: {error}") from None
+    if not isinstance(payload, dict):
+        raise InvalidParameterError(f"{path} is not a JSON object")
+    return payload
+
+
+def load_bench_times(source: Union[str, Path]) -> Dict[str, float]:
+    """Bench name → wall seconds from any accepted source shape.
+
+    Raises:
+        InvalidParameterError: missing/invalid file, a directory with no
+            ``BENCH_*.json`` artifacts, or an unrecognized payload.
+    """
+    source = Path(source)
+    if source.is_dir():
+        times: Dict[str, float] = {}
+        for path in sorted(source.glob("BENCH_*.json")):
+            artifact = _load_json(path)
+            times[str(artifact.get("bench", path.stem))] = float(
+                artifact["wall_seconds"]
+            )
+        if not times:
+            raise InvalidParameterError(
+                f"{source} contains no BENCH_*.json artifacts"
+            )
+        return times
+    payload = _load_json(source)
+    if payload.get("kind") == "bench_artifact":
+        return {str(payload["bench"]): float(payload["wall_seconds"])}
+    benches = payload.get("benches")
+    if isinstance(benches, dict):
+        return {
+            str(name): float(entry["wall_seconds"])
+            for name, entry in benches.items()
+        }
+    raise InvalidParameterError(
+        f"{source} is neither a bench artifact nor a combined baseline"
+    )
+
+
+def combine_times(times: Dict[str, float]) -> Dict[str, Any]:
+    """The combined-baseline payload for a name → seconds mapping."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "benches": {
+            name: {"wall_seconds": float(seconds)}
+            for name, seconds in sorted(times.items())
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class BenchDelta:
+    """One bench's baseline-vs-current verdict."""
+
+    name: str
+    baseline_seconds: Optional[float]
+    current_seconds: Optional[float]
+    #: "ok" | "regression" | "new" (no baseline) | "missing" (not rerun)
+    status: str
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.baseline_seconds or self.current_seconds is None:
+            return None
+        return self.current_seconds / self.baseline_seconds
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of comparing a current run against a baseline."""
+
+    deltas: tuple
+    threshold: float
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"{'bench':<40} {'baseline':>10} {'current':>10} "
+            f"{'ratio':>7}  status"
+        ]
+        for d in self.deltas:
+            base = "-" if d.baseline_seconds is None else f"{d.baseline_seconds:.3f}s"
+            cur = "-" if d.current_seconds is None else f"{d.current_seconds:.3f}s"
+            ratio = "-" if d.ratio is None else f"{d.ratio:.2f}x"
+            lines.append(
+                f"{d.name:<40} {base:>10} {cur:>10} {ratio:>7}  {d.status}"
+            )
+        verdict = (
+            "OK: no regressions beyond "
+            if self.ok
+            else f"FAIL: {len(self.regressions)} regression(s) beyond "
+        )
+        lines.append(
+            f"{verdict}{100 * self.threshold:.0f}% of baseline"
+        )
+        return "\n".join(lines)
+
+
+def compare_times(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Flag benches whose wall time grew past ``baseline * (1 + threshold)``.
+
+    Benches present on only one side are reported (``new`` / ``missing``)
+    but never count as regressions — adding a bench must not break the
+    gate, and a bench that did not run cannot be judged.
+    """
+    if threshold < 0:
+        raise InvalidParameterError(
+            f"threshold must be >= 0, got {threshold}"
+        )
+    deltas = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            status = "new"
+        elif cur is None:
+            status = "missing"
+        elif base > 0 and cur > base * (1 + threshold):
+            status = "regression"
+        else:
+            status = "ok"
+        deltas.append(
+            BenchDelta(
+                name=name,
+                baseline_seconds=base,
+                current_seconds=cur,
+                status=status,
+            )
+        )
+    return BenchComparison(deltas=tuple(deltas), threshold=threshold)

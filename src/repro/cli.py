@@ -8,14 +8,25 @@ Subcommands:
   and print the service report (scheduler, plan cache, admission control).
 * ``chaos`` — kill a journaled ``serve`` run at chosen tick boundaries,
   recover each time and verify the reports are bit-identical.
+* ``top`` — dashboard view of a journaled ``serve`` run: replay a
+  finished journal, or ``--follow`` one that is still being written.
+* ``metrics-export`` — render a saved metrics snapshot (from
+  ``--metrics-json``) in the OpenMetrics/Prometheus text format.
+* ``bench-check`` — compare benchmark ``BENCH_*.json`` artifacts against
+  a baseline and flag wall-clock regressions.
 * ``experiment`` — reproduce a paper figure (``fig11a`` .. ``fig15``).
 * ``list`` — show the available allocators, selectors and experiments.
 
 Observability (see ``docs/observability.md``): ``--verbose`` turns on
-round-by-round ``repro`` logging; the ``solve``, ``simulate`` and
-``experiment`` subcommands accept ``--trace PATH`` (write a JSONL
-structured-event trace) and ``--metrics`` (print a metrics-registry
-snapshot after the run).
+round-by-round ``repro`` logging; the ``solve``, ``simulate``, ``serve``
+and ``experiment`` subcommands accept ``--trace PATH`` (write a JSONL
+structured-event trace; add ``--stream-trace`` to write it incrementally
+so a killed run keeps a readable prefix), ``--metrics`` (print a
+metrics-registry snapshot after the run) and ``--metrics-json PATH``
+(save that snapshot as JSON for ``metrics-export``).  ``serve`` further
+accepts ``--dashboard`` (live terminal dashboard) and ``--metrics-out
+PATH`` (atomically rewrite an OpenMetrics exposition every tick, the
+Prometheus textfile-collector shape).
 
 Robustness (see ``docs/robustness.md``): ``solve`` and ``simulate`` accept
 ``--platform`` (measure latency on the simulated crowd platform),
@@ -233,8 +244,89 @@ def _build_parser() -> argparse.ArgumentParser:
         "journal and less overhead, more replay on recovery; 1 = "
         "snapshot every tick)",
     )
+    serve.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="render a terminal dashboard of per-tick scheduler state "
+        "(redrawn in place on a TTY; final frame only when piped)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="atomically rewrite PATH with an OpenMetrics exposition of "
+        "the metrics registry after every tick",
+    )
     _add_breaker_args(serve)
     _add_obs_args(serve)
+
+    top = sub.add_parser(
+        "top",
+        help="dashboard view of a journaled serve run: replay a finished "
+        "journal or --follow a live one",
+    )
+    top.add_argument(
+        "journal", help="scheduler journal (JSONL) written by serve --journal"
+    )
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll the journal for new ticks until the run completes",
+    )
+    top.add_argument(
+        "--poll",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="polling interval while following",
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop following after this long without a completion record",
+    )
+
+    metrics_export = sub.add_parser(
+        "metrics-export",
+        help="render a saved metrics snapshot (--metrics-json) as "
+        "OpenMetrics text",
+    )
+    metrics_export.add_argument(
+        "snapshot", help="snapshot JSON written by --metrics-json"
+    )
+    metrics_export.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the exposition to PATH (atomically) instead of stdout",
+    )
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="compare benchmark artifacts against a baseline and flag "
+        "wall-clock regressions",
+    )
+    bench_check.add_argument(
+        "baseline",
+        help="combined baseline JSON or a directory of BENCH_*.json artifacts",
+    )
+    bench_check.add_argument(
+        "current", help="same accepted shapes as the baseline"
+    )
+    bench_check.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown tolerated before a bench counts as "
+        "regressed (0.25 = 25%% over baseline)",
+    )
+    bench_check.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print the comparison but always exit 0 (CI smoke mode)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -442,9 +534,21 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         help="write a JSONL structured-event trace of the run to PATH",
     )
     parser.add_argument(
+        "--stream-trace",
+        action="store_true",
+        help="stream --trace to disk during the run instead of exporting "
+        "at the end: a killed run keeps a readable trace prefix",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="print a metrics-registry snapshot after the run",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="save the metrics snapshot as JSON (input to metrics-export)",
     )
 
 
@@ -612,6 +716,39 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_tick_hooks(args: argparse.Namespace):
+    """The ``serve`` per-tick callback: dashboard and/or OpenMetrics file.
+
+    Returns ``(on_tick, renderer)`` — both ``None`` when neither flag is
+    given, so the plain path stays callback-free.
+    """
+    callbacks = []
+    renderer = None
+    if getattr(args, "dashboard", False):
+        from repro.obs.dashboard import DashboardRenderer
+
+        renderer = DashboardRenderer()
+        callbacks.append(renderer.update)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        from repro.obs.metrics import get_registry
+        from repro.obs.openmetrics import write_openmetrics
+
+        callbacks.append(
+            lambda _sample: write_openmetrics(
+                get_registry().snapshot(), metrics_out
+            )
+        )
+    if not callbacks:
+        return None, None
+
+    def on_tick(sample) -> None:
+        for callback in callbacks:
+            callback(sample)
+
+    return on_tick, renderer
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import (
         MaxScheduler,
@@ -620,6 +757,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workload_by_name,
     )
 
+    on_tick, renderer = _serve_tick_hooks(args)
+
     if args.resume:
         from repro.service import recover_scheduler
 
@@ -627,9 +766,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise InvalidParameterError("--resume requires --journal PATH")
         scheduler = recover_scheduler(args.journal)
         resumed_at = scheduler.ticks
-        report = scheduler.run()
+        report = scheduler.run(on_tick=on_tick)
         if scheduler.journal is not None:
             scheduler.journal.close()
+        if renderer is not None:
+            renderer.finish()
         print(f"resumed {args.journal} from tick {resumed_at}")
         print(report.render(per_query=args.per_query))
         return 0
@@ -678,9 +819,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_config=_breaker_config(args),
         journal=journal,
     )
-    report = scheduler.run()
+    report = scheduler.run(on_tick=on_tick)
     if journal is not None:
         journal.close()
+    if renderer is not None:
+        renderer.finish()
     profile_name = args.faults if args.faults is not None else "none"
     retries = (
         f"retry x{retry_policy.max_attempts}" if retry_policy else "no retries"
@@ -694,6 +837,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{args.snapshot_interval} tick(s))")
     print(report.render(per_query=args.per_query))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import DashboardRenderer
+    from repro.service.telemetry import follow_samples, samples_from_journal
+
+    renderer = DashboardRenderer()
+    if args.follow:
+        samples = follow_samples(
+            args.journal, poll_interval=args.poll, timeout=args.timeout
+        )
+    else:
+        samples = iter(samples_from_journal(args.journal))
+    for sample in samples:
+        renderer.update(sample)
+    renderer.finish()
+    return 0
+
+
+def _cmd_metrics_export(args: argparse.Namespace) -> int:
+    from repro.obs.openmetrics import render_openmetrics, write_openmetrics
+    from repro.persistence import load_json
+
+    payload = load_json(args.snapshot)
+    if payload.get("kind") != "metrics_snapshot" or not isinstance(
+        payload.get("snapshot"), dict
+    ):
+        raise InvalidParameterError(
+            f"{args.snapshot} is not a metrics snapshot (expected the "
+            f"--metrics-json output shape)"
+        )
+    snapshot = payload["snapshot"]
+    if args.output is not None:
+        write_openmetrics(snapshot, args.output)
+        print(f"wrote OpenMetrics exposition to {args.output}")
+    else:
+        sys.stdout.write(render_openmetrics(snapshot))
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.bench import compare_times, load_bench_times
+
+    comparison = compare_times(
+        load_bench_times(args.baseline),
+        load_bench_times(args.current),
+        threshold=args.threshold,
+    )
+    print(comparison.render())
+    if comparison.ok:
+        return 0
+    if args.warn_only:
+        print("(warn-only: regressions reported but not failing the run)")
+        return 0
+    return 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -813,7 +1011,8 @@ def _run_with_observability(
     """
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
-    if trace_path is None and not want_metrics:
+    metrics_json = getattr(args, "metrics_json", None)
+    if trace_path is None and not want_metrics and metrics_json is None:
         return handler(args)
     from repro import obs
 
@@ -829,12 +1028,34 @@ def _run_with_observability(
     registry = obs.get_registry()
     registry.reset()
     obs.declare_standard_metrics(registry)
-    tracer = obs.RecordingTracer() if trace_path else obs.NULL_TRACER
+    streaming = trace_path is not None and getattr(args, "stream_trace", False)
+    if trace_path is None:
+        tracer = obs.NULL_TRACER
+    elif streaming:
+        # Events go straight to disk as they happen; no in-memory buffer,
+        # so a killed run keeps the flushed prefix of its trace.
+        tracer = obs.RecordingTracer(
+            sinks=(obs.StreamingJsonlSink(trace_path),), buffer=False
+        )
+    else:
+        tracer = obs.RecordingTracer()
     with obs.use_tracer(tracer):
         exit_code = handler(args)
     if trace_path:
-        n_events = obs.write_jsonl(tracer, trace_path)
+        if streaming:
+            tracer.close_sinks()
+            n_events = tracer.emitted
+        else:
+            n_events = obs.write_jsonl(tracer, trace_path)
         print(f"wrote {n_events} trace event(s) to {trace_path}")
+    if metrics_json is not None:
+        from repro.persistence import save_json
+
+        save_json(
+            {"kind": "metrics_snapshot", "snapshot": registry.snapshot()},
+            metrics_json,
+        )
+        print(f"wrote metrics snapshot to {metrics_json}")
     if want_metrics:
         print()
         print("metrics snapshot:")
@@ -853,6 +1074,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "solve": _cmd_solve,
         "simulate": _cmd_simulate,
         "serve": _cmd_serve,
+        "top": _cmd_top,
+        "metrics-export": _cmd_metrics_export,
+        "bench-check": _cmd_bench_check,
         "chaos": _cmd_chaos,
         "experiment": _cmd_experiment,
         "list": _cmd_list,

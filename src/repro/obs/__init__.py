@@ -10,7 +10,14 @@ Three cooperating pieces:
 * a process-wide **metrics registry** (:mod:`repro.obs.metrics`) —
   counters, gauges and histograms with ``snapshot()``/``reset()``;
 * **profiling spans** (:func:`repro.obs.timed`) — a context
-  manager/decorator that feeds both of the above.
+  manager/decorator that feeds both of the above;
+* **streaming sinks** (:mod:`repro.obs.sinks`) — live JSONL export of
+  events as they happen, so crashed runs keep a readable trace prefix;
+* **OpenMetrics export** (:mod:`repro.obs.openmetrics`) — render any
+  metrics snapshot in the Prometheus text exposition format;
+* a **terminal dashboard** (:mod:`repro.obs.dashboard`) — sparkline view
+  of per-tick scheduler telemetry (``tdp-repro serve --dashboard``,
+  ``tdp-repro top``).
 
 The engine, allocators, Reliable Worker Layer and simulated platform are
 pre-instrumented; by default they see the no-op :data:`NULL_TRACER`, so
@@ -49,8 +56,15 @@ from repro.obs.events import (
     WorkerServiced,
     event_from_dict,
 )
+from repro.obs.dashboard import (
+    DashboardRenderer,
+    render_final,
+    render_frame,
+    sparkline,
+)
 from repro.obs.export import read_jsonl, write_jsonl
 from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
     Counter,
     Gauge,
     Histogram,
@@ -58,8 +72,17 @@ from repro.obs.metrics import (
     declare_standard_metrics,
     get_registry,
     render_snapshot,
+    snapshot_percentile,
 )
+from repro.obs.openmetrics import render_openmetrics, write_openmetrics
 from repro.obs.report import render_trace_report, report_file
+from repro.obs.sinks import (
+    InMemorySink,
+    StreamingJsonlSink,
+    TeeSink,
+    TraceSink,
+)
+from repro.obs.stats import nearest_rank, percentile
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -98,14 +121,32 @@ __all__ = [
     "current_tracer",
     "use_tracer",
     "timed",
+    # sinks
+    "TraceSink",
+    "InMemorySink",
+    "StreamingJsonlSink",
+    "TeeSink",
     # metrics
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DEFAULT_BUCKET_BOUNDS",
     "get_registry",
     "declare_standard_metrics",
     "render_snapshot",
+    "snapshot_percentile",
+    # stats
+    "nearest_rank",
+    "percentile",
+    # openmetrics
+    "render_openmetrics",
+    "write_openmetrics",
+    # dashboard
+    "sparkline",
+    "render_frame",
+    "render_final",
+    "DashboardRenderer",
     # export / report
     "write_jsonl",
     "read_jsonl",

@@ -1,0 +1,156 @@
+"""Terminal dashboard over per-tick scheduler telemetry.
+
+Renders a compact, fixed-height ANSI frame from a sequence of
+tick samples (anything with the attribute set of
+:class:`repro.service.telemetry.TickSample` — the module duck-types so
+the obs layer keeps no import on the service layer):
+
+* sparklines (``▁▂▃▄▅▆▇█``) of queue depth, active queries and shared
+  round latency over the recent window;
+* current breaker state, plan-cache hit rate and cumulative outcome
+  counters.
+
+:class:`DashboardRenderer` drives it two ways.  On a TTY it redraws in
+place each tick (cursor-up + erase-line, no curses dependency, no
+alternate screen).  On a pipe or file — CI, ``| tee`` — it stays silent
+until :meth:`DashboardRenderer.finish` and prints one final frame, so
+logs are not flooded with control codes.  Both ``tdp-repro serve
+--dashboard`` (live) and ``tdp-repro top`` (journal replay/follow) end
+with the same :func:`render_final` line, which is how the two views are
+checked against each other: same journal, same final counters.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, List, Optional, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+#: Ticks shown in each sparkline window.
+SPARK_WIDTH = 48
+#: Lines in one rendered frame (the in-place redraw depends on it).
+FRAME_LINES = 7
+
+
+def sparkline(values: Sequence[float], width: int = SPARK_WIDTH) -> str:
+    """A unicode block-character sparkline of the last *width* values.
+
+    The vertical scale is the window's own min..max (a flat series
+    renders as its lowest block); an empty series renders empty.
+    """
+    window = [float(v) for v in values[-width:]]
+    if not window:
+        return ""
+    lo, hi = min(window), max(window)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(window)
+    top = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[min(top, int((v - lo) / span * len(_BLOCKS)))] for v in window
+    )
+
+
+def _fmt_seconds(seconds: float) -> str:
+    return f"{seconds:.1f}s" if seconds < 600 else f"{seconds / 60:.1f}m"
+
+
+def render_frame(samples: Sequence, width: int = SPARK_WIDTH) -> str:
+    """Render one dashboard frame (exactly :data:`FRAME_LINES` lines)."""
+    if not samples:
+        return "\n".join(["(no ticks yet)"] + [""] * (FRAME_LINES - 1))
+    last = samples[-1]
+    depth = [s.waiting + s.backlog for s in samples]
+    active = [s.active for s in samples]
+    latency = [s.round_latency for s in samples]
+    lines = [
+        f"tick {last.tick}  t={_fmt_seconds(last.now)}  "
+        f"breaker={last.breaker}  "
+        f"plan-cache {100 * last.cache_hit_rate:.0f}% hit",
+        f"  queue depth   {sparkline(depth, width):<{width}} "
+        f"{depth[-1]:>6d}  (waiting {last.waiting}, backlog {last.backlog})",
+        f"  active        {sparkline(active, width):<{width}} "
+        f"{active[-1]:>6d}",
+        f"  round latency {sparkline(latency, width):<{width}} "
+        f"{_fmt_seconds(latency[-1]):>6}"
+        f"{'  (deferred)' if last.deferred else ''}",
+        f"  this round: {last.questions} questions  "
+        f"cumulative: {last.shared_rounds} rounds / "
+        f"{last.questions_total} questions",
+        f"  queries: {last.completed} completed  "
+        f"{last.degraded} degraded  {last.shed} shed",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def render_final(samples: Sequence) -> str:
+    """The one-line end-of-run summary shared by ``serve`` and ``top``.
+
+    Derived purely from the last sample, so a live run and a journal
+    replay of the same run print byte-identical summaries.
+    """
+    if not samples:
+        return "final: no ticks recorded"
+    last = samples[-1]
+    return (
+        f"final: tick={last.tick} t={last.now:.1f}s "
+        f"completed={last.completed} degraded={last.degraded} "
+        f"shed={last.shed} shared_rounds={last.shared_rounds} "
+        f"questions={last.questions_total}"
+    )
+
+
+class DashboardRenderer:
+    """Incrementally render tick samples to a terminal.
+
+    Args:
+        stream: output stream (default ``sys.stdout``).
+        live: force in-place redraw on (True) or off (False); by default
+            redraw is used only when *stream* is a TTY.  When off, only
+            the final frame and summary are printed — headless runs (CI,
+            piped output) get clean logs.
+        width: sparkline window width, ticks.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        live: Optional[bool] = None,
+        width: int = SPARK_WIDTH,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+        if live is None:
+            isatty = getattr(self._stream, "isatty", None)
+            live = bool(isatty()) if callable(isatty) else False
+        self._live = live
+        self._width = width
+        self._samples: List = []
+        self._drawn = False
+
+    @property
+    def samples(self) -> Sequence:
+        return tuple(self._samples)
+
+    def update(self, sample) -> None:
+        """Ingest one tick sample; redraw immediately when live."""
+        self._samples.append(sample)
+        if not self._live:
+            return
+        frame = render_frame(self._samples, self._width)
+        if self._drawn:
+            # Constant frame height: move up and overwrite in place.
+            self._stream.write(f"\x1b[{FRAME_LINES}A")
+        self._drawn = True
+        for line in frame.split("\n"):
+            self._stream.write(f"\x1b[2K{line}\n")
+        self._stream.flush()
+
+    def finish(self) -> str:
+        """Print the final frame + summary; returns the summary line."""
+        summary = render_final(self._samples)
+        if not self._live:
+            self._stream.write(render_frame(self._samples, self._width) + "\n")
+        self._stream.write(summary + "\n")
+        self._stream.flush()
+        return summary

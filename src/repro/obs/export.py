@@ -35,15 +35,22 @@ def write_jsonl(
     source: Union[RecordingTracer, Iterable[TraceRecord]],
     destination: PathOrFile,
 ) -> int:
-    """Write a trace to *destination* as JSONL; returns the record count."""
+    """Write a trace to *destination* as JSONL; returns the record count.
+
+    Path destinations are written atomically (temp-file + rename), so an
+    interrupted export leaves the previous trace intact rather than a
+    truncated one.  For incremental streaming during a run, use
+    :class:`~repro.obs.sinks.StreamingJsonlSink` instead.
+    """
     records = _records_of(source)
+    lines = [json.dumps(record.to_dict()) + "\n" for record in records]
     if hasattr(destination, "write"):
-        for record in records:
-            destination.write(json.dumps(record.to_dict()) + "\n")
+        for line in lines:
+            destination.write(line)
     else:
-        with open(destination, "w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record.to_dict()) + "\n")
+        from repro.persistence import save_text
+
+        save_text("".join(lines), destination)
     return len(records)
 
 

@@ -11,18 +11,83 @@ The instrumented hot paths record into the process-wide default registry
 need isolation construct their own registry.  Recording is cheap — one
 lock-guarded float update per call — and the hot paths only record
 *aggregates* (e.g. one counter bump per DP solve, not per DP cell).
+
+Histograms retain the first :data:`_HISTOGRAM_SAMPLE_CAP` raw samples and
+additionally maintain fixed-boundary cumulative **buckets** over *every*
+observation, so percentiles stay accurate (to within one bucket width) on
+runs long enough to blow past the sample cap, and any snapshot can be
+rendered in the OpenMetrics exposition format
+(:mod:`repro.obs.openmetrics`).
 """
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-#: Sample-retention cap per histogram; beyond it only the running
-#: aggregates (count/total/min/max) keep updating.
+from repro.obs.stats import nearest_rank, percentile
+
+#: Sample-retention cap per histogram; beyond it the running aggregates
+#: (count/total/min/max) and the cumulative buckets keep updating, and
+#: snapshots carry ``truncated: True``.
 _HISTOGRAM_SAMPLE_CAP = 4096
 
 Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (seconds).  A 1-2.5-5 geometric
+#: ladder from a millisecond to a simulated fortnight: fine enough that
+#: a bucket-estimated percentile stays within one bucket width of the
+#: exact nearest-rank value, coarse enough that a snapshot stays small.
+#: An implicit +Inf bucket always follows the last finite bound.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    mantissa * 10.0**exponent
+    for exponent in range(-3, 6)
+    for mantissa in (1.0, 2.5, 5.0)
+)
+
+
+def bucket_percentile(
+    bounds: Sequence[float],
+    cumulative_counts: Sequence[int],
+    count: int,
+    p: float,
+    minimum: Number,
+    maximum: Number,
+) -> float:
+    """Estimate the nearest-rank *p*-th percentile from cumulative buckets.
+
+    Returns the upper bound of the bucket containing the rank, clamped to
+    the observed ``[minimum, maximum]`` range — so the estimate is off by
+    at most one bucket width, and the +Inf bucket degrades to the exact
+    observed maximum.
+    """
+    rank = nearest_rank(count, p)
+    index = bisect.bisect_left(cumulative_counts, rank)
+    if index >= len(bounds):  # the +Inf overflow bucket
+        return float(maximum)
+    return float(min(max(bounds[index], minimum), maximum))
+
+
+def snapshot_percentile(state: Dict[str, Any], p: float) -> Optional[float]:
+    """The *p*-th percentile of a histogram *snapshot* dict.
+
+    Exact (nearest-rank over the retained samples) while the sample cap
+    has not been reached; bucket-estimated once the snapshot is
+    ``truncated``.  ``None`` for an empty histogram.
+    """
+    if state.get("type") != "histogram" or not state.get("count"):
+        return None
+    if not state.get("truncated"):
+        return float(percentile(state["samples"], p))
+    return bucket_percentile(
+        state["bucket_bounds"],
+        state["bucket_counts"],
+        state["count"],
+        p,
+        state["min"],
+        state["max"],
+    )
 
 
 class Counter:
@@ -84,16 +149,30 @@ class Gauge:
 
 
 class Histogram:
-    """A stream of observations with running aggregates.
+    """A stream of observations with running aggregates and fixed buckets.
 
     The first ``_HISTOGRAM_SAMPLE_CAP`` samples are retained in order (the
     per-round candidate counts of a run, say, stay individually visible in
-    a snapshot); past the cap only the aggregates keep updating.
+    a snapshot); past the cap the aggregates *and* the fixed-boundary
+    cumulative buckets keep updating, so :meth:`percentile` stays accurate
+    to within one bucket width on arbitrarily long runs, and snapshots say
+    so explicitly via their ``truncated`` flag.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> None:
         self.name = name
         self._lock = threading.Lock()
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKET_BOUNDS
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name} bucket bounds must be strictly "
+                f"increasing: {bounds}"
+            )
+        self._bounds = bounds
+        #: Per-bucket (non-cumulative) counts; the final slot is +Inf.
+        self._bucket_counts = [0] * (len(bounds) + 1)
         self._samples: List[Number] = []
         self._count = 0
         self._total: float = 0.0
@@ -108,6 +187,7 @@ class Histogram:
                 self._min = value
             if self._max is None or value > self._max:
                 self._max = value
+            self._bucket_counts[bisect.bisect_left(self._bounds, value)] += 1
             if len(self._samples) < _HISTOGRAM_SAMPLE_CAP:
                 self._samples.append(value)
 
@@ -123,6 +203,34 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self._total / self._count if self._count else None
 
+    def percentile(self, p: float) -> Optional[float]:
+        """The nearest-rank *p*-th percentile of everything observed.
+
+        Exact while every observation is still retained; bucket-estimated
+        (within one bucket width) once the sample cap has been passed.
+        ``None`` for an empty histogram.
+        """
+        with self._lock:
+            if not self._count:
+                return None
+            if len(self._samples) == self._count:
+                return float(percentile(self._samples, p))
+            return bucket_percentile(
+                self._bounds,
+                self._cumulative_counts(),
+                self._count,
+                p,
+                self._min,
+                self._max,
+            )
+
+    def _cumulative_counts(self) -> List[int]:
+        cumulative, running = [], 0
+        for count in self._bucket_counts:
+            running += count
+            cumulative.append(running)
+        return cumulative
+
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -133,6 +241,9 @@ class Histogram:
                 "max": self._max,
                 "mean": self.mean,
                 "samples": list(self._samples),
+                "truncated": self._count > len(self._samples),
+                "bucket_bounds": list(self._bounds),
+                "bucket_counts": self._cumulative_counts(),
             }
 
     def reset(self) -> None:
@@ -142,6 +253,7 @@ class Histogram:
             self._total = 0.0
             self._min = None
             self._max = None
+            self._bucket_counts = [0] * (len(self._bounds) + 1)
 
 
 class MetricsRegistry:
@@ -170,8 +282,25 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Get or create a histogram.
+
+        *buckets* applies only on first registration (the instrument's
+        boundaries are fixed for its lifetime, as in Prometheus).
+        """
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Histogram(name, buckets=buckets)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not Histogram"
+                )
+            return instrument
 
     def names(self) -> List[str]:
         with self._lock:
@@ -224,6 +353,9 @@ STANDARD_METRICS = (
     ("counter", "service.plan_cache.misses"),
     ("histogram", "service.query_latency"),
     ("histogram", "service.queue_wait"),
+    ("histogram", "service.round_latency"),
+    ("gauge", "service.queue_depth"),
+    ("gauge", "service.active_queries"),
     ("counter", "service.checkpoints"),
     ("counter", "service.recoveries"),
     ("counter", "circuit.opened"),
@@ -265,10 +397,19 @@ def render_snapshot(snapshot: Dict[str, Dict[str, Any]]) -> str:
                     f"count={state['count']} mean={state['mean']:.4g} "
                     f"min={state['min']:.4g} max={state['max']:.4g}"
                 )
+                p50 = snapshot_percentile(state, 50)
+                p95 = snapshot_percentile(state, 95)
+                if p50 is not None and p95 is not None:
+                    detail += f" p50={p50:.4g} p95={p95:.4g}"
                 samples = state["samples"]
                 if samples and len(samples) <= 16:
                     rendered = ", ".join(f"{s:.4g}" for s in samples)
                     detail += f" [{rendered}]"
+                if state.get("truncated"):
+                    detail += (
+                        f" (truncated: first {len(samples)} samples kept, "
+                        f"percentiles bucket-estimated)"
+                    )
             else:
                 detail = "count=0"
             lines.append(f"{name:<{width}}  {detail}")

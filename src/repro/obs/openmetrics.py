@@ -1,0 +1,108 @@
+"""OpenMetrics / Prometheus text exposition of a metrics snapshot.
+
+:func:`render_openmetrics` turns any
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` into the text
+exposition format scraped by Prometheus and anything OpenMetrics-aware:
+
+* counters become ``<name>_total``;
+* gauges keep their name (unset gauges are omitted — the format has no
+  null);
+* histograms expose cumulative ``<name>_bucket{le="..."}`` series ending
+  with the mandatory ``le="+Inf"`` bucket, plus ``<name>_sum`` and
+  ``<name>_count``.
+
+Instrument names are sanitized to the exposition grammar (dots and other
+non-identifier characters become underscores): ``service.query_latency``
+is scraped as ``service_query_latency``.
+
+:func:`write_openmetrics` renders and writes atomically
+(temp-file + rename, via :func:`repro.persistence.save_text`), which is
+exactly what the Prometheus node-exporter *textfile collector* expects:
+``tdp-repro serve --metrics-out FILE`` rewrites the file once per
+scheduler tick and a scraper never observes a half-written exposition.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """Sanitize an instrument name to the exposition grammar."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _fmt(value: Any) -> str:
+    """Format a sample value: integers bare, floats in shortest repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Render a registry snapshot in OpenMetrics text exposition format.
+
+    The output ends with the ``# EOF`` terminator; metric families appear
+    in sorted-name order so the rendering is deterministic (the golden
+    test relies on that).
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        state = snapshot[name]
+        flat = metric_name(name)
+        kind = state["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat}_total {_fmt(state['value'])}")
+        elif kind == "gauge":
+            if state["value"] is None:
+                continue  # unset gauge: nothing to expose
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_fmt(state['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {flat} histogram")
+            bounds = state.get("bucket_bounds", [])
+            counts = state.get("bucket_counts", [])
+            for bound, cumulative in zip(bounds, counts):
+                lines.append(
+                    f'{flat}_bucket{{le="{_fmt(bound)}"}} {_fmt(cumulative)}'
+                )
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {_fmt(state["count"])}')
+            lines.append(f"{flat}_sum {_fmt(state['total'])}")
+            lines.append(f"{flat}_count {_fmt(state['count'])}")
+        else:
+            raise ValueError(f"unknown instrument type {kind!r} for {name!r}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    snapshot: Dict[str, Dict[str, Any]], path: Union[str, Path]
+) -> None:
+    """Atomically write a snapshot's exposition to *path*.
+
+    Temp-file + rename in the target directory: a concurrent scraper (or
+    a crash mid-write) sees either the previous complete exposition or
+    the new one, never a torn file.
+    """
+    from repro.persistence import save_text
+
+    save_text(render_openmetrics(snapshot), path)

@@ -1,0 +1,138 @@
+"""Trace sinks: stream events out of the process as they happen.
+
+A :class:`~repro.obs.tracer.RecordingTracer` historically only *buffered*
+records, exporting them after the run — so a killed run lost its whole
+trace, and a long ``serve`` run held every event in memory.  Sinks fix
+both: the tracer hands each :class:`~repro.obs.events.TraceRecord` to its
+sinks at emission time.
+
+* :class:`StreamingJsonlSink` appends one JSONL line per event with a
+  periodic flush, so a crashed run leaves a readable prefix on disk —
+  the same guarantee the scheduler's write-ahead journal makes.  Line
+  writes are atomic with respect to the flush boundary (a flush never
+  splits a record), so ``repro.obs.export.read_jsonl`` always parses the
+  prefix.
+* :class:`InMemorySink` collects records in a list (tests, ad-hoc
+  analysis).
+* :class:`TeeSink` fans one stream out to several sinks.
+
+The zero-overhead null path is untouched: sinks hang off *recording*
+tracers only, and an uninstrumented run still pays exactly one attribute
+read per potential event (pinned by the tracer-noninvasiveness regression
+guard in ``tests/obs/test_integration.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import InvalidParameterError
+from repro.obs.events import TraceRecord
+
+
+class TraceSink:
+    """Interface of all sinks: receive records, flush, close."""
+
+    def write(self, record: TraceRecord) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered records to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InMemorySink(TraceSink):
+    """Buffer records in memory (the sink equivalent of the old tracer)."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def write(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+
+class StreamingJsonlSink(TraceSink):
+    """Append each record to a JSONL file as it is emitted.
+
+    Args:
+        path: destination file; truncated on construction (one sink = one
+            run's trace).
+        flush_interval: flush the OS-level buffer every N records (>= 1).
+            Smaller = more durable prefix after a kill, larger = cheaper.
+            Whatever the interval, only whole lines ever reach the file,
+            so the on-disk prefix is always parseable.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], flush_interval: int = 64
+    ) -> None:
+        if flush_interval < 1:
+            raise InvalidParameterError(
+                f"flush_interval must be >= 1, got {flush_interval}"
+            )
+        self.path = Path(path)
+        self.flush_interval = flush_interval
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._since_flush = 0
+        self._written = 0
+        self._closed = False
+
+    @property
+    def records_written(self) -> int:
+        """Records handed to the sink so far (flushed or not)."""
+        return self._written
+
+    def write(self, record: TraceRecord) -> None:
+        if self._closed:
+            raise InvalidParameterError(
+                f"sink {self.path} is closed; no further records accepted"
+            )
+        self._handle.write(json.dumps(record.to_dict()) + "\n")
+        self._written += 1
+        self._since_flush += 1
+        if self._since_flush >= self.flush_interval:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._handle.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        if not self._closed:
+            self._handle.flush()
+            self._closed = True
+            self._handle.close()
+
+
+class TeeSink(TraceSink):
+    """Fan one record stream out to several sinks, in order."""
+
+    def __init__(self, sinks: Sequence[TraceSink]) -> None:
+        self.sinks: Tuple[TraceSink, ...] = tuple(sinks)
+
+    def write(self, record: TraceRecord) -> None:
+        for sink in self.sinks:
+            sink.write(record)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,48 @@
+"""Shared order statistics for the observability and service layers.
+
+Percentiles appear in three places — :class:`~repro.service.report.ServiceReport`
+(per-query latency), :class:`~repro.obs.metrics.Histogram` (instrument
+snapshots) and the terminal dashboard — and all of them must agree, or an
+operator comparing a report against a scraped histogram chases phantom
+regressions.  This module is the single definition they share.
+
+The definition is **nearest-rank**: the *p*-th percentile of *n* sorted
+samples is the ``ceil(p / 100 * n)``-th smallest (1-based), i.e. the
+smallest sample at or above the requested rank.  It is deterministic, does
+no interpolation (every returned value is an actual observation), and
+matches ``numpy.percentile(..., method="inverted_cdf")`` — a property test
+pins that equivalence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+from repro.errors import InvalidParameterError
+
+Number = Union[int, float]
+
+
+def nearest_rank(n_samples: int, p: float) -> int:
+    """The 1-based nearest-rank index of the *p*-th percentile.
+
+    Raises:
+        InvalidParameterError: when ``n_samples < 1`` or *p* is outside
+            ``(0, 100]``.
+    """
+    if n_samples < 1:
+        raise InvalidParameterError("cannot take a percentile of zero samples")
+    if not 0 < p <= 100:
+        raise InvalidParameterError(f"percentile must be in (0, 100], got {p}")
+    return max(1, math.ceil(p / 100 * n_samples))
+
+
+def percentile(values: Sequence[Number], p: float) -> float:
+    """The nearest-rank *p*-th percentile of *values* (``0 < p <= 100``).
+
+    Raises:
+        InvalidParameterError: on an empty sample or out-of-range *p*.
+    """
+    rank = nearest_rank(len(values), p)
+    return sorted(values)[rank - 1]

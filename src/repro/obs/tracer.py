@@ -31,10 +31,22 @@ import functools
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.obs.events import SpanCompleted, TraceEvent, TraceRecord
 from repro.obs.metrics import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # import cycle: sinks imports nothing from tracer, but
+    from repro.obs.sinks import TraceSink  # keep runtime deps one-way.
 
 
 class Tracer:
@@ -67,18 +79,41 @@ NULL_TRACER = NullTracer()
 
 
 class RecordingTracer(Tracer):
-    """Buffers timestamped events in memory for later export.
+    """Buffers timestamped events in memory and/or streams them to sinks.
 
     Args:
         clock: monotonic time source (injectable for deterministic tests).
+        sinks: :class:`~repro.obs.sinks.TraceSink` s each record is handed
+            to at emission time (e.g. a ``StreamingJsonlSink``, so a
+            crashed run leaves a readable trace prefix on disk).
+        buffer: keep records in memory (:attr:`records`).  Turn off for
+            long streaming runs whose only consumer is a sink — the
+            tracer then holds no per-event state at all.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        sinks: Sequence["TraceSink"] = (),
+        buffer: bool = True,
+    ) -> None:
         self._clock = clock
         self._origin = clock()
         self._lock = threading.Lock()
         self._records: List[TraceRecord] = []
+        self._sinks: Tuple["TraceSink", ...] = tuple(sinks)
+        self._buffer = buffer
+        self._emitted = 0
         self._sim_time = 0.0
+
+    @property
+    def sinks(self) -> Tuple["TraceSink", ...]:
+        return self._sinks
+
+    @property
+    def emitted(self) -> int:
+        """Events emitted so far (buffered or not)."""
+        return self._emitted
 
     @property
     def sim_time(self) -> float:
@@ -93,14 +128,17 @@ class RecordingTracer(Tracer):
         """Record *event* now; *sim_time* overrides the tracked sim clock."""
         wall = self._clock() - self._origin
         with self._lock:
-            self._records.append(
-                TraceRecord(
-                    seq=len(self._records),
-                    wall_time=wall,
-                    sim_time=self._sim_time if sim_time is None else sim_time,
-                    event=event,
-                )
+            record = TraceRecord(
+                seq=self._emitted,
+                wall_time=wall,
+                sim_time=self._sim_time if sim_time is None else sim_time,
+                event=event,
             )
+            self._emitted += 1
+            if self._buffer:
+                self._records.append(record)
+            for sink in self._sinks:
+                sink.write(record)
 
     @property
     def records(self) -> Tuple[TraceRecord, ...]:
@@ -118,7 +156,13 @@ class RecordingTracer(Tracer):
     def clear(self) -> None:
         with self._lock:
             self._records.clear()
+            self._emitted = 0
             self._sim_time = 0.0
+
+    def close_sinks(self) -> None:
+        """Flush and close every attached sink."""
+        for sink in self._sinks:
+            sink.close()
 
 
 _CURRENT: contextvars.ContextVar[Tracer] = contextvars.ContextVar(

@@ -398,16 +398,17 @@ def worker_config_from_dict(
 # ----------------------------------------------------------------------
 # File helpers
 # ----------------------------------------------------------------------
-def save_json(payload: Dict[str, Any], path: Union[str, Path]) -> None:
-    """Atomically write a serialized payload to *path* as JSON.
+def save_text(text: str, path: Union[str, Path]) -> None:
+    """Atomically write *text* to *path*.
 
-    The payload is serialized first (so an unserializable payload leaves
-    an existing file untouched), written to a temp file in the target
-    directory, fsync'd and renamed into place — a crash mid-write can
-    leave a stale checkpoint behind, never a corrupt one.
+    Written to a temp file in the target directory, fsync'd and renamed
+    into place — a crash mid-write can leave a stale file behind, never a
+    torn one, and a concurrent reader sees either the old contents or the
+    new.  The trace exporter and the OpenMetrics textfile writer both use
+    this; the latter rewrites its file every scheduler tick, so rename
+    atomicity is what keeps scrapes consistent.
     """
     path = Path(path)
-    text = json.dumps(payload, indent=2)
     fd, tmp_name = tempfile.mkstemp(
         dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -421,6 +422,15 @@ def save_json(payload: Dict[str, Any], path: Union[str, Path]) -> None:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
         raise
+
+
+def save_json(payload: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Atomically write a serialized payload to *path* as JSON.
+
+    The payload is serialized first (so an unserializable payload leaves
+    an existing file untouched), then handed to :func:`save_text`.
+    """
+    save_text(json.dumps(payload, indent=2), path)
 
 
 def load_json(path: Union[str, Path]) -> Dict[str, Any]:

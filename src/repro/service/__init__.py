@@ -52,6 +52,13 @@ from repro.service.policies import (
 from repro.service.query import QueryResult, QuerySpec, QueryState
 from repro.service.report import ServiceReport, nearest_rank_percentile
 from repro.service.scheduler import ActiveQuery, MaxScheduler, ServiceConfig
+from repro.service.telemetry import (
+    TICK_HISTORY_LIMIT,
+    TickSample,
+    follow_samples,
+    samples_from_journal,
+    samples_from_records,
+)
 from repro.service.workload import (
     WorkloadConfig,
     available_workloads,
@@ -92,6 +99,12 @@ __all__ = [
     # report
     "ServiceReport",
     "nearest_rank_percentile",
+    # telemetry
+    "TickSample",
+    "TICK_HISTORY_LIMIT",
+    "samples_from_records",
+    "samples_from_journal",
+    "follow_samples",
     # journal / recovery
     "SchedulerJournal",
     "JournalContents",

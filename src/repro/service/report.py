@@ -6,34 +6,30 @@ A :class:`ServiceReport` aggregates the per-query
 operator watches: completion/shed counts, latency percentiles, queue
 wait, SLO attainment, accuracy, throughput and plan-cache efficiency.
 
-Percentiles use the deterministic nearest-rank definition (the smallest
-sample at or above the requested rank), so reports are bit-identical
-across runs and platforms.
+Percentiles use the deterministic nearest-rank definition from
+:mod:`repro.obs.stats` (the smallest sample at or above the requested
+rank) — the same one the metrics histograms use, so a service report and
+a scraped ``service.query_latency`` histogram always agree.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.errors import InvalidParameterError
+from repro.obs.stats import percentile
 from repro.service.query import QueryResult, QueryState
 
 
 def nearest_rank_percentile(values: List[float], p: float) -> float:
     """The nearest-rank *p*-th percentile of *values* (``0 < p <= 100``).
 
+    Alias of :func:`repro.obs.stats.percentile`, kept for its callers.
+
     Raises:
         InvalidParameterError: on an empty sample or out-of-range *p*.
     """
-    if not values:
-        raise InvalidParameterError("cannot take a percentile of zero samples")
-    if not 0 < p <= 100:
-        raise InvalidParameterError(f"percentile must be in (0, 100], got {p}")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(p / 100 * len(ordered)))
-    return ordered[rank - 1]
+    return percentile(values, p)
 
 
 @dataclass(frozen=True)

@@ -27,8 +27,18 @@ bit-identical — including under a fault profile.
 from __future__ import annotations
 
 import logging
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -68,6 +78,7 @@ from repro.service.plan_cache import PlanCache, PlanKey
 from repro.service.policies import policy_by_name
 from repro.service.query import QueryResult, QuerySpec, QueryState
 from repro.service.report import ServiceReport
+from repro.service.telemetry import TICK_HISTORY_LIMIT, TickSample
 from repro.types import Answer, Element, Question, normalize_question
 
 logger = logging.getLogger(__name__)
@@ -266,6 +277,10 @@ class MaxScheduler:
         self._ticks = 0
         self._shared_rounds = 0
         self._questions_posted = 0
+        #: Per-tick telemetry ring (newest last); the dashboard's feed.
+        self.tick_history: Deque[TickSample] = deque(maxlen=TICK_HISTORY_LIMIT)
+        self._last_round_latency = 0.0
+        self._last_round_questions = 0
         self._journal: Optional[Any] = None
         if journal is not None:
             self.attach_journal(journal)
@@ -305,10 +320,21 @@ class MaxScheduler:
         self._journal = journal
         journal.begin(self)
 
-    def run(self) -> ServiceReport:
-        """Drain the workload and return the :class:`ServiceReport`."""
+    def run(
+        self, on_tick: Optional[Callable[[TickSample], None]] = None
+    ) -> ServiceReport:
+        """Drain the workload and return the :class:`ServiceReport`.
+
+        Args:
+            on_tick: called with the newest :class:`TickSample` after
+                every tick (not after pure idle clock jumps) — the live
+                dashboard's hook.
+        """
+        seen_ticks = 0
         while self.step():
-            pass
+            if on_tick is not None and self._ticks != seen_ticks:
+                seen_ticks = self._ticks
+                on_tick(self.tick_history[-1])
         if self._journal is not None:
             self._journal.complete(self)
         return self._build_report()
@@ -339,12 +365,14 @@ class MaxScheduler:
             if decision is RoundDecision.DEFER:
                 self._defer_round()
                 self._ticks += 1
+                self._sample_tick(deferred=True)
                 if self._journal is not None:
                     self._journal.maybe_snapshot(self)
                 return True
             probe_only = decision is RoundDecision.PROBE
         self._run_tick(runnable, probe_only=probe_only)
         self._ticks += 1
+        self._sample_tick(deferred=False)
         if self._journal is not None:
             self._journal.maybe_snapshot(self)
         return True
@@ -366,6 +394,51 @@ class MaxScheduler:
     def _journal_record(self, record_type: str, **payload: Any) -> None:
         if self._journal is not None:
             self._journal.record(record_type, payload)
+
+    def _sample_tick(self, deferred: bool) -> None:
+        """Record this tick's :class:`TickSample` everywhere it goes.
+
+        Outcome counters are recomputed from ``_results`` rather than
+        kept incrementally so a recovered scheduler (whose results list
+        is restored wholesale from a snapshot) samples correctly without
+        any extra journaled state.
+        """
+        completed = degraded = shed = 0
+        for result in self._results:
+            if result.state is QueryState.COMPLETED:
+                completed += 1
+            elif result.state is QueryState.DEGRADED:
+                degraded += 1
+            elif result.state is QueryState.SHED:
+                shed += 1
+        sample = TickSample(
+            tick=self._ticks,
+            now=self._now,
+            active=len(self._active),
+            waiting=len(self._waiting),
+            backlog=len(self._backlog),
+            breaker=(
+                self.breaker.state.value if self.breaker is not None else "none"
+            ),
+            cache_hit_rate=self.plan_cache.stats.hit_rate,
+            round_latency=0.0 if deferred else self._last_round_latency,
+            questions=0 if deferred else self._last_round_questions,
+            questions_total=self._questions_posted,
+            shared_rounds=self._shared_rounds,
+            completed=completed,
+            degraded=degraded,
+            shed=shed,
+            deferred=deferred,
+        )
+        self.tick_history.append(sample)
+        registry = get_registry()
+        registry.gauge("service.queue_depth").set(sample.queue_depth)
+        registry.gauge("service.active_queries").set(sample.active)
+        if not deferred:
+            registry.histogram("service.round_latency").observe(
+                sample.round_latency
+            )
+        self._journal_record("tick", **sample.to_dict())
 
     # ------------------------------------------------------------------
     # Admission
@@ -603,6 +676,8 @@ class MaxScheduler:
             # scheduled query keeps its outstanding questions for the next
             # tick; the detection time is latency all of them paid.
             self._now += outage.wasted_seconds
+            self._last_round_latency = float(outage.wasted_seconds)
+            self._last_round_questions = 0
             if self.breaker is not None:
                 self.breaker.note_time(self._now)
             self._journal_record(
@@ -616,6 +691,8 @@ class MaxScheduler:
             return
         self._shared_rounds += 1
         self._questions_posted += len(batch)
+        self._last_round_latency = float(result.latency)
+        self._last_round_questions = len(batch)
         registry.counter("service.rounds").inc()
         registry.counter("service.questions_posted").inc(len(batch))
         self._now += result.latency

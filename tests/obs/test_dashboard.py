@@ -1,0 +1,110 @@
+"""Tests for the terminal dashboard (``repro.obs.dashboard``)."""
+
+import io
+
+from repro.obs.dashboard import (
+    FRAME_LINES,
+    DashboardRenderer,
+    render_final,
+    render_frame,
+    sparkline,
+)
+from repro.service.telemetry import TickSample
+
+
+def _sample(tick: int, **overrides) -> TickSample:
+    payload = dict(
+        tick=tick,
+        now=100.0 * tick,
+        active=2,
+        waiting=1,
+        backlog=3,
+        breaker="none",
+        cache_hit_rate=0.5,
+        round_latency=240.0,
+        questions=40,
+        questions_total=40 * tick,
+        shared_rounds=tick,
+        completed=tick - 1,
+        degraded=0,
+        shed=0,
+        deferred=False,
+    )
+    payload.update(overrides)
+    return TickSample(**payload)
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_lowest_block(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_is_monotone(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert list(line) == sorted(line)
+
+    def test_window_clips_to_width(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+
+class TestRenderFrame:
+    def test_has_fixed_line_count(self):
+        frame = render_frame([_sample(1), _sample(2)])
+        assert len(frame.split("\n")) == FRAME_LINES
+        empty = render_frame([])
+        assert len(empty.split("\n")) == FRAME_LINES
+
+    def test_shows_current_state(self):
+        frame = render_frame([_sample(3, breaker="open", waiting=4)])
+        assert "tick 3" in frame
+        assert "breaker=open" in frame
+        assert "waiting 4" in frame
+        assert "plan-cache 50% hit" in frame
+
+    def test_marks_deferred_ticks(self):
+        frame = render_frame([_sample(1, deferred=True, round_latency=0.0)])
+        assert "(deferred)" in frame
+
+
+class TestRenderFinal:
+    def test_summarizes_last_sample(self):
+        line = render_final([_sample(1), _sample(9, completed=6, shed=2)])
+        assert line == (
+            "final: tick=9 t=900.0s completed=6 degraded=0 shed=2 "
+            "shared_rounds=9 questions=360"
+        )
+
+    def test_empty_series(self):
+        assert "no ticks" in render_final([])
+
+
+class TestDashboardRenderer:
+    def test_headless_stream_prints_only_final_frame(self):
+        stream = io.StringIO()  # not a TTY
+        renderer = DashboardRenderer(stream=stream)
+        for tick in (1, 2, 3):
+            renderer.update(_sample(tick))
+        assert stream.getvalue() == ""  # silent until finish
+        summary = renderer.finish()
+        out = stream.getvalue()
+        assert "tick 3" in out
+        assert summary in out
+        assert "\x1b[" not in out  # no control codes in headless output
+
+    def test_live_stream_redraws_in_place(self):
+        stream = io.StringIO()
+        renderer = DashboardRenderer(stream=stream, live=True)
+        renderer.update(_sample(1))
+        renderer.update(_sample(2))
+        out = stream.getvalue()
+        assert f"\x1b[{FRAME_LINES}A" in out  # cursor-up between frames
+        assert "\x1b[2K" in out  # erase-line before each redraw
+
+    def test_finish_returns_the_summary_line(self):
+        renderer = DashboardRenderer(stream=io.StringIO())
+        renderer.update(_sample(4))
+        assert renderer.finish().startswith("final: tick=4")

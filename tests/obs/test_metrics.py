@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import bisect
+import random
 import threading
 
 import pytest
@@ -15,7 +17,9 @@ from repro.obs.metrics import (
     declare_standard_metrics,
     get_registry,
     render_snapshot,
+    snapshot_percentile,
 )
+from repro.obs.stats import percentile
 
 
 class TestCounter:
@@ -160,3 +164,77 @@ class TestRender:
         assert "engine.rounds" in text
         assert "count=1" in text
         assert "0.5" in text
+
+
+class TestBucketedPercentiles:
+    def test_custom_buckets_apply_on_first_registration_only(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        assert registry.histogram("h", buckets=(9.0,)) is histogram
+        assert histogram.snapshot()["bucket_bounds"] == [1.0, 2.0]
+
+    def test_rejects_unsorted_bucket_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_bucket_counts_are_cumulative_with_inf_slot(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 99.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["bucket_counts"] == [1, 3, 4]  # last slot is +Inf
+
+    def test_percentile_exact_below_cap(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.percentile(50) == 2.0
+        assert snapshot_percentile(histogram.snapshot(), 50) == 2.0
+
+    def test_p95_within_one_bucket_width_past_sample_cap(self):
+        # Acceptance: past the 4096-sample retention cap the bucketed
+        # p95 must land within one bucket width of the exact
+        # nearest-rank p95 over *all* observations.
+        rng = random.Random(42)
+        histogram = Histogram("service.query_latency")
+        observations = [rng.uniform(0.01, 1000.0) for _ in range(6000)]
+        for value in observations:
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["truncated"] is True
+        assert len(snap["samples"]) < len(observations)
+        exact = percentile(observations, 95)
+        estimate = snapshot_percentile(snap, 95)
+        bounds = snap["bucket_bounds"]
+        index = bisect.bisect_left(bounds, exact)
+        lower = bounds[index - 1] if index else 0.0
+        upper = bounds[index] if index < len(bounds) else snap["max"]
+        assert abs(estimate - exact) <= upper - lower
+
+    def test_estimate_degrades_to_max_in_overflow_bucket(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        for value in range(5000):
+            histogram.observe(float(value))
+        assert histogram.percentile(100) == 4999.0
+
+    def test_empty_histogram_percentile_is_none(self):
+        assert Histogram("h").percentile(95) is None
+        assert snapshot_percentile({"type": "gauge", "value": 3}, 95) is None
+
+
+class TestTruncatedRendering:
+    def test_truncated_flag_is_surfaced(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in range(5000):
+            histogram.observe(float(value))
+        snap = registry.snapshot()
+        assert snap["lat"]["truncated"] is True
+        text = render_snapshot(snap)
+        assert "truncated" in text
+        assert "bucket-estimated" in text
+
+    def test_untruncated_histogram_has_no_marker(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(1.0)
+        assert "truncated" not in render_snapshot(registry.snapshot())

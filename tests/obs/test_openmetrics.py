@@ -1,0 +1,120 @@
+"""Tests for the OpenMetrics text exposition (``repro.obs.openmetrics``)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    metric_name,
+    render_openmetrics,
+    write_openmetrics,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "openmetrics_golden.txt"
+
+#: One exposition line: comment, or `name{labels} value`.
+_LINE = re.compile(
+    r"^(# (TYPE|EOF).*|[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{le=\"[^\"]+\"\})? [^ ]+)$"
+)
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("service.rounds").inc(3)
+    registry.gauge("service.queue_depth").set(7)
+    registry.gauge("unset.gauge")  # never set: must be omitted
+    histogram = registry.histogram(
+        "service.query_latency", buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestGoldenFile:
+    def test_matches_committed_exposition(self):
+        rendered = render_openmetrics(_golden_registry().snapshot())
+        assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+    def test_every_line_parses(self):
+        rendered = render_openmetrics(_golden_registry().snapshot())
+        for line in rendered.rstrip("\n").split("\n"):
+            assert _LINE.match(line), f"unparseable exposition line: {line!r}"
+
+    def test_ends_with_eof_terminator(self):
+        assert render_openmetrics({}).endswith("# EOF\n")
+
+
+class TestRendering:
+    def test_counter_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("questions.posted").inc(41)
+        assert "questions_posted_total 41" in render_openmetrics(
+            registry.snapshot()
+        )
+
+    def test_unset_gauge_is_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        rendered = render_openmetrics(registry.snapshot())
+        assert "never_set" not in rendered
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 99.0):
+            histogram.observe(value)
+        rendered = render_openmetrics(registry.snapshot())
+        assert 'h_bucket{le="1"} 1' in rendered
+        assert 'h_bucket{le="2"} 3' in rendered
+        assert 'h_bucket{le="+Inf"} 4' in rendered
+        assert "h_count 4" in rendered
+
+    def test_histogram_counts_survive_sample_cap(self):
+        # Past the per-histogram sample cap the bucket counters (which
+        # never truncate) still expose every observation.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("big", buckets=(10.0,))
+        for index in range(5000):
+            histogram.observe(float(index % 20))
+        rendered = render_openmetrics(registry.snapshot())
+        assert 'big_bucket{le="+Inf"} 5000' in rendered
+        assert "big_count 5000" in rendered
+
+    def test_unknown_instrument_type_is_an_error(self):
+        with pytest.raises(ValueError):
+            render_openmetrics({"x": {"type": "summary"}})
+
+
+class TestNameSanitization:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("service.query_latency", "service_query_latency"),
+            ("time.fig15.tdp", "time_fig15_tdp"),
+            ("9starts-with-digit", "_9starts_with_digit"),
+            ("ok_name", "ok_name"),
+        ],
+    )
+    def test_sanitizes_to_exposition_grammar(self, raw, expected):
+        assert metric_name(raw) == expected
+
+
+class TestWriteOpenmetrics:
+    def test_writes_atomically_and_is_rereadable(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        registry = _golden_registry()
+        write_openmetrics(registry.snapshot(), path)
+        first = path.read_text(encoding="utf-8")
+        assert first.endswith("# EOF\n")
+        # Rewrite (the per-tick serve path): replaced, never appended.
+        registry.counter("service.rounds").inc()
+        write_openmetrics(registry.snapshot(), path)
+        second = path.read_text(encoding="utf-8")
+        assert second.count("# EOF") == 1
+        assert "service_rounds_total 4" in second
+        # No leftover temp files from the atomic replace.
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]

@@ -1,0 +1,140 @@
+"""Tests for trace sinks: streaming JSONL, in-memory, tee, crash prefix."""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosScenario, build_scheduler
+from repro.errors import InvalidParameterError
+from repro.obs.events import RoundPosted, TraceRecord
+from repro.obs.export import read_jsonl
+from repro.obs.sinks import InMemorySink, StreamingJsonlSink, TeeSink
+from repro.obs.tracer import RecordingTracer, use_tracer
+
+
+def _event(index: int) -> RoundPosted:
+    return RoundPosted(
+        round_index=index, budget=10, questions_posted=10, candidates_before=5
+    )
+
+
+class TestInMemorySink:
+    def test_collects_records_in_order(self):
+        sink = InMemorySink()
+        tracer = RecordingTracer(sinks=[sink])
+        for i in range(5):
+            tracer.emit(_event(i))
+        assert [r.seq for r in sink.records] == [0, 1, 2, 3, 4]
+        assert sink.records == tracer.records
+
+
+class TestStreamingJsonlSink:
+    def test_writes_one_line_per_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with StreamingJsonlSink(path, flush_interval=1) as sink:
+            tracer = RecordingTracer(sinks=[sink])
+            for i in range(3):
+                tracer.emit(_event(i))
+        records = read_jsonl(path)
+        assert len(records) == 3
+        assert [r.event.round_index for r in records] == [0, 1, 2]
+
+    def test_flush_interval_controls_durability(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = StreamingJsonlSink(path, flush_interval=4)
+        tracer = RecordingTracer(sinks=[sink])
+        for i in range(6):
+            tracer.emit(_event(i))
+        # 6 written, last flush at 4: the readable prefix is 4 records.
+        assert sink.records_written == 6
+        assert len(read_jsonl(path)) == 4
+        sink.flush()
+        assert len(read_jsonl(path)) == 6
+
+    def test_closed_sink_rejects_writes(self, tmp_path):
+        sink = StreamingJsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(InvalidParameterError):
+            sink.write(TraceRecord(0, 0.0, 0.0, _event(0)))
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = StreamingJsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_rejects_bad_flush_interval(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            StreamingJsonlSink(tmp_path / "t.jsonl", flush_interval=0)
+
+
+class TestTeeSink:
+    def test_fans_out_to_all_sinks(self, tmp_path):
+        memory = InMemorySink()
+        jsonl = StreamingJsonlSink(tmp_path / "t.jsonl", flush_interval=1)
+        tee = TeeSink([memory, jsonl])
+        tracer = RecordingTracer(sinks=[tee])
+        for i in range(4):
+            tracer.emit(_event(i))
+        tee.close()
+        assert len(memory.records) == 4
+        assert len(read_jsonl(tmp_path / "t.jsonl")) == 4
+
+
+class TestTracerSinkIntegration:
+    def test_unbuffered_tracer_keeps_no_records(self, tmp_path):
+        sink = InMemorySink()
+        tracer = RecordingTracer(sinks=[sink], buffer=False)
+        for i in range(7):
+            tracer.emit(_event(i))
+        assert tracer.records == ()
+        assert tracer.emitted == 7
+        assert len(sink.records) == 7
+        # seq numbering is independent of buffering.
+        assert [r.seq for r in sink.records] == list(range(7))
+
+    def test_clear_resets_seq(self):
+        tracer = RecordingTracer()
+        tracer.emit(_event(0))
+        tracer.clear()
+        tracer.emit(_event(1))
+        assert tracer.records[0].seq == 0
+
+    def test_close_sinks_flushes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = RecordingTracer(
+            sinks=[StreamingJsonlSink(path, flush_interval=100)]
+        )
+        tracer.emit(_event(0))
+        assert read_jsonl(path) == []
+        tracer.close_sinks()
+        assert len(read_jsonl(path)) == 1
+
+
+class TestCrashLeavesReadablePrefix:
+    def test_killed_run_prefix_parses_and_matches(self, tmp_path):
+        """Abandon a scheduler mid-run; the sink's on-disk prefix must
+        parse cleanly and be an exact prefix of the emitted stream."""
+        scenario = ChaosScenario(workload="smoke", seed=7)
+        trace_path = tmp_path / "trace.jsonl"
+        sink = StreamingJsonlSink(trace_path, flush_interval=2)
+        tracer = RecordingTracer(sinks=[sink])
+        victim = build_scheduler(scenario)
+        with use_tracer(tracer):
+            for _ in range(2):
+                if not victim.step():
+                    break
+        # Kill: the scheduler and sink are abandoned without close();
+        # only flushed lines are on disk (the sink object stays alive so
+        # no destructor flushes behind our back).
+        del victim
+        on_disk = read_jsonl(trace_path)
+        emitted = tracer.records
+        assert len(emitted) > 0
+        assert len(on_disk) <= len(emitted)
+        assert len(on_disk) >= len(emitted) - (sink.flush_interval - 1)
+        for parsed, original in zip(on_disk, emitted):
+            assert parsed.to_dict() == original.to_dict()
+        # Every line on disk is whole — no torn JSON at the tail.
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            for line in handle.read().splitlines():
+                json.loads(line)

@@ -1,0 +1,195 @@
+"""Tests for per-tick scheduler telemetry (``repro.service.telemetry``)."""
+
+import json
+
+import pytest
+
+from repro.core.latency import mturk_car_latency
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import get_registry
+from repro.service import (
+    MaxScheduler,
+    SchedulerJournal,
+    generate_workload,
+    workload_by_name,
+)
+from repro.service.telemetry import (
+    TickSample,
+    follow_samples,
+    samples_from_journal,
+    samples_from_records,
+)
+
+
+def _scheduler(journal=None, workload="smoke", seed=0) -> MaxScheduler:
+    specs = generate_workload(workload_by_name(workload), seed=seed)
+    return MaxScheduler(
+        specs, mturk_car_latency(), seed=seed, journal=journal
+    )
+
+
+class TestTickSample:
+    def test_round_trips_through_dict(self):
+        scheduler = _scheduler()
+        scheduler.run()
+        sample = scheduler.tick_history[-1]
+        assert TickSample.from_dict(sample.to_dict()) == sample
+
+    def test_missing_field_is_a_clear_error(self):
+        with pytest.raises(InvalidParameterError):
+            TickSample.from_dict({"tick": 1})
+
+    def test_queue_depth_is_waiting_plus_backlog(self):
+        scheduler = _scheduler(workload="burst")
+        scheduler.run()
+        for sample in scheduler.tick_history:
+            assert sample.queue_depth == sample.waiting + sample.backlog
+
+
+class TestSchedulerSampling:
+    def test_one_sample_per_tick(self):
+        scheduler = _scheduler()
+        report = scheduler.run()
+        assert len(scheduler.tick_history) == report.ticks
+        assert [s.tick for s in scheduler.tick_history] == list(
+            range(1, report.ticks + 1)
+        )
+
+    def test_final_sample_matches_report(self):
+        scheduler = _scheduler(workload="steady")
+        report = scheduler.run()
+        last = scheduler.tick_history[-1]
+        assert last.questions_total == report.questions_posted
+        assert last.shared_rounds == report.shared_rounds
+        assert last.completed == len(report.completed)
+        assert last.degraded == len(report.degraded)
+        assert last.shed == len(report.shed)
+        assert last.now == report.makespan
+
+    def test_gauges_track_queue_state(self):
+        registry = get_registry()
+        registry.reset()
+        scheduler = _scheduler()
+        scheduler.run()
+        snapshot = registry.snapshot()
+        # Drained run: both gauges end at zero (and were set at all).
+        assert snapshot["service.queue_depth"]["value"] == 0
+        assert snapshot["service.active_queries"]["value"] == 0
+        assert (
+            snapshot["service.round_latency"]["count"]
+            == scheduler._shared_rounds
+        )
+
+    def test_on_tick_callback_sees_every_sample(self):
+        seen = []
+        scheduler = _scheduler()
+        scheduler.run(on_tick=seen.append)
+        assert seen == list(scheduler.tick_history)
+
+
+class TestJournalReplay:
+    def test_journal_replay_equals_live_history(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        scheduler = _scheduler(journal=SchedulerJournal.create(path))
+        scheduler.run()
+        scheduler.journal.close()
+        assert samples_from_journal(path) == list(scheduler.tick_history)
+
+    def test_duplicate_ticks_collapse_to_last(self):
+        first = {"record": "tick", "payload": _tick_payload(1, questions=5)}
+        replayed = {"record": "tick", "payload": _tick_payload(1, questions=5)}
+        second = {"record": "tick", "payload": _tick_payload(2, questions=9)}
+        samples = samples_from_records([first, second, replayed])
+        assert [s.tick for s in samples] == [1, 2]
+        assert samples[0].questions == 5
+
+    def test_non_tick_records_are_ignored(self):
+        samples = samples_from_records(
+            [{"record": "admit", "payload": {"query_id": 1}}]
+        )
+        assert samples == []
+
+
+class TestFollowSamples:
+    def test_follows_to_completion(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        scheduler = _scheduler(journal=SchedulerJournal.create(path))
+        scheduler.run()
+        scheduler.journal.close()
+        followed = list(
+            follow_samples(path, poll_interval=0.01, timeout=5.0)
+        )
+        assert followed == list(scheduler.tick_history)
+
+    def test_times_out_without_completion(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(
+            json.dumps({"record": "tick", "payload": _tick_payload(1)}) + "\n",
+            encoding="utf-8",
+        )
+        ticks = [0.0]
+
+        def clock():
+            ticks[0] += 1.0
+            return ticks[0]
+
+        samples = list(
+            follow_samples(
+                path,
+                poll_interval=0.01,
+                timeout=3.0,
+                _clock=clock,
+                _sleep=lambda _s: None,
+            )
+        )
+        assert [s.tick for s in samples] == [1]
+
+    def test_rejects_bad_poll_interval(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            next(follow_samples(tmp_path / "j.jsonl", poll_interval=0))
+
+
+class TestRecoverySampling:
+    def test_recovered_run_resamples_consistently(self, tmp_path):
+        from repro.service import recover_scheduler
+
+        path = tmp_path / "journal.jsonl"
+        baseline = _scheduler()
+        baseline.run()
+
+        victim = _scheduler(
+            journal=SchedulerJournal.create(path, snapshot_interval=1)
+        )
+        victim.step()
+        victim.step()
+        victim.journal.close()  # kill between ticks
+
+        recovered = recover_scheduler(path)
+        recovered.run()
+        recovered.journal.close()
+        # The journal's deduped tick series equals the uninterrupted
+        # run's — replayed ticks overwrite their first appearance with
+        # bit-identical samples.
+        assert samples_from_journal(path) == list(baseline.tick_history)
+
+
+def _tick_payload(tick: int, **overrides) -> dict:
+    payload = dict(
+        tick=tick,
+        now=10.0 * tick,
+        active=1,
+        waiting=0,
+        backlog=0,
+        breaker="none",
+        cache_hit_rate=0.0,
+        round_latency=1.0,
+        questions=1,
+        questions_total=tick,
+        shared_rounds=tick,
+        completed=0,
+        degraded=0,
+        shed=0,
+        deferred=False,
+    )
+    payload.update(overrides)
+    return payload

@@ -1,0 +1,83 @@
+"""Tests for benchmark regression artifacts (``repro.bench``)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    combine_times,
+    compare_times,
+    load_bench_times,
+    make_artifact,
+    write_artifact,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestArtifacts:
+    def test_make_and_write(self, tmp_path):
+        artifact = make_artifact("bench_solve", 1.25, scale="smoke")
+        assert artifact["kind"] == "bench_artifact"
+        assert artifact["schema"] == BENCH_SCHEMA_VERSION
+        path = write_artifact(artifact, tmp_path / "artifacts")
+        assert path.name == "BENCH_bench_solve.json"
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk == artifact
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(InvalidParameterError):
+            make_artifact("b", -0.1, scale="smoke")
+
+    def test_compact_metrics_ride_along(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(2.0)
+        artifact = make_artifact(
+            "b", 1.0, scale="smoke", metrics=registry.snapshot()
+        )
+        assert artifact["metrics"]["lat"]["count"] == 1
+        assert "samples" not in artifact["metrics"]["lat"]  # compacted
+
+
+class TestLoadBenchTimes:
+    def test_loads_a_directory_of_artifacts(self, tmp_path):
+        write_artifact(make_artifact("a", 1.0, scale="smoke"), tmp_path)
+        write_artifact(make_artifact("b", 2.0, scale="smoke"), tmp_path)
+        assert load_bench_times(tmp_path) == {"a": 1.0, "b": 2.0}
+
+    def test_loads_a_single_artifact(self, tmp_path):
+        path = write_artifact(make_artifact("a", 1.5, scale="smoke"), tmp_path)
+        assert load_bench_times(path) == {"a": 1.5}
+
+    def test_loads_a_combined_baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(combine_times({"a": 1.0})), encoding="utf-8"
+        )
+        assert load_bench_times(path) == {"a": 1.0}
+
+    def test_rejects_unrecognized_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "other"}', encoding="utf-8")
+        with pytest.raises(InvalidParameterError):
+            load_bench_times(path)
+
+
+class TestCompareTimes:
+    def test_threshold_boundary(self):
+        # 25% over baseline is the default tolerance: exactly at the
+        # boundary passes, just beyond fails.
+        assert compare_times({"b": 1.0}, {"b": 1.25}).ok
+        assert not compare_times({"b": 1.0}, {"b": 1.26}).ok
+
+    def test_speedups_pass(self):
+        assert compare_times({"b": 1.0}, {"b": 0.1}).ok
+
+    def test_render_names_the_regressed_bench(self):
+        comparison = compare_times({"b": 1.0}, {"b": 3.0})
+        text = comparison.render()
+        assert "b" in text
+        assert "FAIL" in text
+        assert "3.00" in text

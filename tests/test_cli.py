@@ -350,3 +350,164 @@ class TestChaos:
             ["chaos", "--workload", "smoke", "--seed", "7", "--sweep"]
         ) == 0
         assert "all recoveries bit-identical" in capsys.readouterr().out
+
+
+class TestDashboard:
+    def test_headless_dashboard_prints_final_frame(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--seed", "3", "--dashboard"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "final: tick=" in out
+        assert "breaker=" in out
+        assert "\x1b[" not in out  # captured stream is not a TTY
+
+    def test_serve_and_top_agree_on_final_counters(self, capsys, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        assert main(
+            ["serve", "--workload", "smoke", "--seed", "3", "--dashboard",
+             "--journal", str(journal)]
+        ) == 0
+        serve_out = capsys.readouterr().out
+        assert main(["top", str(journal)]) == 0
+        top_out = capsys.readouterr().out
+        serve_final = [l for l in serve_out.splitlines() if l.startswith("final:")]
+        top_final = [l for l in top_out.splitlines() if l.startswith("final:")]
+        assert len(serve_final) == len(top_final) == 1
+        assert serve_final == top_final
+
+    def test_top_follow_stops_at_complete_record(self, capsys, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        assert main(
+            ["serve", "--workload", "smoke", "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["top", str(journal), "--follow", "--poll", "0.01",
+             "--timeout", "5"]
+        ) == 0
+        assert "final: tick=" in capsys.readouterr().out
+
+    def test_top_missing_journal_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "absent.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
+class TestMetricsExport:
+    def test_serve_metrics_out_writes_openmetrics(self, capsys, tmp_path):
+        out_path = tmp_path / "metrics.prom"
+        assert main(
+            ["serve", "--workload", "smoke", "--metrics-out", str(out_path)]
+        ) == 0
+        text = out_path.read_text(encoding="utf-8")
+        assert text.endswith("# EOF\n")
+        assert "service_queue_depth" in text
+
+    def test_metrics_json_then_export(self, capsys, tmp_path):
+        snapshot = tmp_path / "metrics.json"
+        assert main(
+            ["serve", "--workload", "smoke", "--metrics-json", str(snapshot)]
+        ) == 0
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+        assert main(["metrics-export", str(snapshot)]) == 0
+        exposition = capsys.readouterr().out
+        assert exposition.endswith("# EOF\n")
+        assert "_total" in exposition
+
+    def test_export_to_file(self, capsys, tmp_path):
+        snapshot = tmp_path / "metrics.json"
+        assert main(
+            ["solve", "--elements", "20", "--budget", "300", "--metrics-json",
+             str(snapshot)]
+        ) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "metrics.prom"
+        assert main(
+            ["metrics-export", str(snapshot), "--output", str(out_path)]
+        ) == 0
+        assert "wrote OpenMetrics exposition" in capsys.readouterr().out
+        assert out_path.read_text(encoding="utf-8").endswith("# EOF\n")
+
+    def test_non_snapshot_file_is_a_clean_error(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"kind": "other"}', encoding="utf-8")
+        assert main(["metrics-export", str(bogus)]) == 2
+        assert "not a metrics snapshot" in capsys.readouterr().err
+
+
+class TestStreamTrace:
+    def test_streamed_trace_parses(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["solve", "--elements", "20", "--budget", "300", "--trace",
+             str(trace), "--stream-trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace event(s)" in out
+        from repro.obs.export import read_jsonl
+
+        assert len(read_jsonl(trace)) > 0
+
+
+class TestBenchCheck:
+    @staticmethod
+    def _times_file(tmp_path, name, times):
+        import json as _json
+
+        path = tmp_path / name
+        path.write_text(
+            _json.dumps(
+                {
+                    "schema": 1,
+                    "benches": {
+                        bench: {"wall_seconds": seconds}
+                        for bench, seconds in times.items()
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_identical_baselines_pass(self, capsys, tmp_path):
+        baseline = self._times_file(tmp_path, "base.json", {"b": 1.0})
+        current = self._times_file(tmp_path, "cur.json", {"b": 1.0})
+        assert main(["bench-check", str(baseline), str(current)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_twofold_slowdown_fails(self, capsys, tmp_path):
+        baseline = self._times_file(tmp_path, "base.json", {"b": 1.0})
+        current = self._times_file(tmp_path, "cur.json", {"b": 2.0})
+        assert main(["bench-check", str(baseline), str(current)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "FAIL" in out
+
+    def test_warn_only_reports_but_passes(self, capsys, tmp_path):
+        baseline = self._times_file(tmp_path, "base.json", {"b": 1.0})
+        current = self._times_file(tmp_path, "cur.json", {"b": 2.0})
+        assert main(
+            ["bench-check", str(baseline), str(current), "--warn-only"]
+        ) == 0
+        assert "warn-only" in capsys.readouterr().out
+
+    def test_new_and_missing_benches_never_fail(self, capsys, tmp_path):
+        baseline = self._times_file(tmp_path, "base.json", {"gone": 1.0})
+        current = self._times_file(tmp_path, "cur.json", {"new": 1.0})
+        assert main(["bench-check", str(baseline), str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "new" in out
+        assert "missing" in out
+
+    def test_checks_against_committed_baseline_shape(self, capsys, tmp_path):
+        # The CI warn-only step feeds the committed baseline file; it must
+        # stay loadable.
+        from pathlib import Path
+
+        committed = Path(__file__).parent.parent / "benchmarks" / "baseline.json"
+        current = self._times_file(tmp_path, "cur.json", {"x": 1.0})
+        assert main(
+            ["bench-check", str(committed), str(current), "--warn-only"]
+        ) == 0

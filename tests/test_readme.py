@@ -49,11 +49,17 @@ class TestReadmeClaims:
 
         parser = _build_parser()
         text = README.read_text(encoding="utf-8")
-        for command in re.findall(r"tdp-repro (\w+)", text):
+        # Minimal required positionals per subcommand, so parse_args only
+        # fails on commands the parser does not know.
+        required = {
+            "experiment": ["fig15"],
+            "top": ["run.jsonl"],
+            "metrics-export": ["snap.json"],
+            "bench-check": ["baseline.json", "current"],
+        }
+        for command in re.findall(r"tdp-repro ([\w-]+)", text):
             # argparse raises SystemExit(2) for unknown subcommands.
             try:
-                parser.parse_args([command] + (
-                    ["fig15"] if command == "experiment" else []
-                ))
+                parser.parse_args([command] + required.get(command, []))
             except SystemExit as error:
                 assert error.code != 2, f"README shows unknown command {command}"
