@@ -15,11 +15,18 @@ Both sides of a comparison accept either shape:
   {"wall_seconds": ...}}}`` (what gets committed);
 * a directory of per-bench ``BENCH_*.json`` artifacts (what a run
   emits).
+
+``tdp-repro bench-history`` appends each run's artifact set to an
+append-only JSONL history (``benchmarks/history.jsonl``) and renders
+per-bench wall-time trends as sparklines next to the delta against the
+committed baseline, so slow drift that never crosses the per-run
+regression threshold is still visible.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import fnmatch
 import json
 import subprocess
 from pathlib import Path
@@ -235,6 +242,23 @@ class BenchComparison:
         return "\n".join(lines)
 
 
+def filter_times(
+    times: Dict[str, float], patterns: List[str]
+) -> Dict[str, float]:
+    """Restrict a name → seconds mapping to benches matching *patterns*.
+
+    Patterns are shell-style (``fnmatch``) globs; a bench is kept when
+    it matches any of them.  An empty pattern list keeps everything.
+    """
+    if not patterns:
+        return dict(times)
+    return {
+        name: seconds
+        for name, seconds in times.items()
+        if any(fnmatch.fnmatchcase(name, pattern) for pattern in patterns)
+    }
+
+
 def compare_times(
     baseline: Dict[str, float],
     current: Dict[str, float],
@@ -271,3 +295,105 @@ def compare_times(
             )
         )
     return BenchComparison(deltas=tuple(deltas), threshold=threshold)
+
+
+# ----------------------------------------------------------------------
+# History (append-only trend log)
+# ----------------------------------------------------------------------
+def make_history_entry(
+    times: Dict[str, float],
+    git_sha: Optional[str] = None,
+    timestamp: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One history line for a run's name → wall-seconds mapping."""
+    if not times:
+        raise InvalidParameterError("history entry needs at least one bench")
+    return {
+        "kind": "bench_history",
+        "schema": BENCH_SCHEMA_VERSION,
+        "git_sha": git_sha,
+        "timestamp": timestamp,
+        "benches": {
+            name: float(seconds) for name, seconds in sorted(times.items())
+        },
+    }
+
+
+def append_history(entry: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Append *entry* as one JSONL line to *path* (created if missing)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a history JSONL file, oldest entry first.
+
+    A missing file is an empty history; corrupt lines (a crashed append)
+    are skipped rather than fatal — the history is a trend aid, not a
+    source of truth.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(payload, dict) and isinstance(
+            payload.get("benches"), dict
+        ):
+            entries.append(payload)
+    return entries
+
+
+def render_history(
+    entries: List[Dict[str, Any]],
+    baseline: Optional[Dict[str, float]] = None,
+    limit: int = 20,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> str:
+    """Per-bench trend table over the last *limit* history entries.
+
+    Each row shows a sparkline of the bench's wall time across the
+    window, the latest time, and the delta against *baseline* (when the
+    bench has a baseline entry).
+    """
+    from repro.obs.dashboard import sparkline
+
+    if limit < 1:
+        raise InvalidParameterError(f"limit must be >= 1, got {limit}")
+    if not entries:
+        return "bench history: (empty)"
+    window = entries[-limit:]
+    names = sorted(window[-1]["benches"])
+    lines = [
+        f"bench history ({len(window)} run(s), newest last):",
+        f"{'bench':<40} {'trend':<{limit}} {'latest':>10} {'vs baseline':>12}",
+    ]
+    baseline = baseline or {}
+    for name in names:
+        series = [
+            float(e["benches"][name]) for e in window if name in e["benches"]
+        ]
+        latest = series[-1]
+        base = baseline.get(name)
+        if base:
+            ratio = latest / base
+            verdict = f"{ratio:.2f}x"
+            if ratio > 1 + threshold:
+                verdict += " !"
+        else:
+            verdict = "-"
+        lines.append(
+            f"{name:<40} {sparkline(series, limit):<{limit}} "
+            f"{latest:>9.3f}s {verdict:>12}"
+        )
+    return "\n".join(lines)

@@ -47,6 +47,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from pathlib import Path
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -327,6 +328,97 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the comparison but always exit 0 (CI smoke mode)",
     )
+    bench_check.add_argument(
+        "--filter",
+        default=None,
+        metavar="PAT,PAT",
+        help="comma-separated fnmatch patterns; only matching benches "
+        "(on both sides) are compared — lets CI gate hard on the "
+        "deterministic solver benches while keeping the rest warn-only",
+    )
+
+    bench_history = sub.add_parser(
+        "bench-history",
+        help="append a benchmark run to the trend history and render "
+        "per-bench sparklines against the baseline",
+    )
+    bench_history.add_argument(
+        "current",
+        help="combined JSON or a directory of BENCH_*.json artifacts",
+    )
+    bench_history.add_argument(
+        "--history",
+        default="benchmarks/history.jsonl",
+        metavar="PATH",
+        help="append-only JSONL trend log (created if missing)",
+    )
+    bench_history.add_argument(
+        "--baseline",
+        default="benchmarks/baseline.json",
+        metavar="PATH",
+        help="combined baseline for the delta column ('-' to skip)",
+    )
+    bench_history.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="history entries shown in each sparkline window",
+    )
+    bench_history.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown that flags the baseline delta with '!'",
+    )
+    bench_history.add_argument(
+        "--no-append",
+        action="store_true",
+        help="render the existing history only; do not record this run",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="render per-query latency waterfalls (and causal span trees) "
+        "from a JSONL trace written with --trace",
+    )
+    explain.add_argument(
+        "query_id",
+        nargs="?",
+        type=int,
+        default=None,
+        help="query to explain (default: every query in the trace)",
+    )
+    explain.add_argument(
+        "--trace",
+        required=True,
+        metavar="PATH",
+        help="JSONL trace of a traced serve run",
+    )
+    explain.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the causal span tree(s)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the tDP solvers under the work-counter profiler and "
+        "print what the dynamic programs actually did",
+    )
+    _add_workload_args(profile)
+    profile.add_argument(
+        "--solver",
+        default="both",
+        choices=("frontier", "memo", "both"),
+        help="which MinLatency solver(s) to profile",
+    )
+    profile.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="solve this many times (plan-cache hit rates need >= 2)",
+    )
+    _add_obs_args(profile)
 
     chaos = sub.add_parser(
         "chaos",
@@ -878,13 +970,19 @@ def _cmd_metrics_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_check(args: argparse.Namespace) -> int:
-    from repro.bench import compare_times, load_bench_times
+    from repro.bench import compare_times, filter_times, load_bench_times
 
-    comparison = compare_times(
-        load_bench_times(args.baseline),
-        load_bench_times(args.current),
-        threshold=args.threshold,
-    )
+    baseline = load_bench_times(args.baseline)
+    current = load_bench_times(args.current)
+    if args.filter is not None:
+        patterns = [token for token in args.filter.split(",") if token]
+        baseline = filter_times(baseline, patterns)
+        current = filter_times(current, patterns)
+        if not current:
+            raise InvalidParameterError(
+                f"--filter {args.filter!r} matches no current bench"
+            )
+    comparison = compare_times(baseline, current, threshold=args.threshold)
     print(comparison.render())
     if comparison.ok:
         return 0
@@ -892,6 +990,124 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         print("(warn-only: regressions reported but not failing the run)")
         return 0
     return 1
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        append_history,
+        current_git_sha,
+        load_bench_times,
+        load_history,
+        make_history_entry,
+        render_history,
+    )
+
+    times = load_bench_times(args.current)
+    if not args.no_append:
+        import datetime
+
+        entry = make_history_entry(
+            times,
+            git_sha=current_git_sha(),
+            timestamp=datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        )
+        append_history(entry, args.history)
+        print(f"appended {len(times)} bench(es) to {args.history}")
+    entries = load_history(args.history)
+    baseline = None
+    if args.baseline != "-":
+        try:
+            baseline = load_bench_times(args.baseline)
+        except InvalidParameterError:
+            print(f"(no baseline at {args.baseline}; delta column skipped)")
+    print(render_history(
+        entries, baseline, limit=args.limit, threshold=args.threshold
+    ))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.attribution import render_waterfall, waterfalls_from_records
+    from repro.obs.export import read_jsonl
+    from repro.obs.spans import assemble_spans, render_span_tree, span_roots
+
+    if not Path(args.trace).is_file():
+        raise InvalidParameterError(f"trace file not found: {args.trace}")
+    records = read_jsonl(args.trace)
+    waterfalls = waterfalls_from_records(records)
+    if not waterfalls:
+        print(f"{args.trace}: no query spans (was the run traced via "
+              f"serve --trace?)")
+        return 1
+    if args.query_id is not None:
+        if args.query_id not in waterfalls:
+            known = ", ".join(str(q) for q in sorted(waterfalls))
+            raise InvalidParameterError(
+                f"query {args.query_id} not in {args.trace} "
+                f"(trace has queries {known})"
+            )
+        selected = [args.query_id]
+    else:
+        selected = sorted(waterfalls)
+    for query_id in selected:
+        print(render_waterfall(waterfalls[query_id]))
+        print()
+    if args.tree:
+        spans = assemble_spans(records)
+        print("causal span tree:")
+        for root in span_roots(spans):
+            if args.query_id is not None and root.query_id not in (
+                args.query_id, -1
+            ):
+                continue
+            print("\n".join(render_span_tree(root, indent="  ")))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.tdp import solve_min_latency
+    from repro.core.tdp_memo import solve_min_latency_memo
+    from repro.obs.profiling import profiled, render_profile
+    from repro.service.plan_cache import PlanCache, PlanKey
+
+    latency = _latency_from_args(args)
+    solvers = (
+        ("frontier", "memo") if args.solver == "both" else (args.solver,)
+    )
+    if args.repeat < 1:
+        raise InvalidParameterError(
+            f"--repeat must be >= 1, got {args.repeat}"
+        )
+    cache = PlanCache()
+    key = PlanKey(
+        n_elements=args.elements,
+        budget=args.budget,
+        latency_key=repr(latency),
+        repetition=1,
+    )
+    with profiled() as profiler:
+        for _ in range(args.repeat):
+            if "frontier" in solvers:
+                plan = cache.get(key)
+                if plan is None:
+                    solved = solve_min_latency(
+                        args.elements, args.budget, latency
+                    )
+                    from repro.core.allocation import Allocation
+
+                    cache.put(key, Allocation.from_element_sequence(
+                        solved.sequence, "tDP"
+                    ))
+            if "memo" in solvers:
+                solve_min_latency_memo(args.elements, args.budget, latency)
+    print(
+        f"profiled {' + '.join(solvers)} on c0={args.elements} "
+        f"b={args.budget} x{args.repeat}"
+    )
+    print(render_profile(profiler.snapshot()))
+    return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -1077,12 +1293,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "top": _cmd_top,
         "metrics-export": _cmd_metrics_export,
         "bench-check": _cmd_bench_check,
+        "bench-history": _cmd_bench_history,
+        "explain": _cmd_explain,
+        "profile": _cmd_profile,
         "chaos": _cmd_chaos,
         "experiment": _cmd_experiment,
         "list": _cmd_list,
     }
     try:
-        return _run_with_observability(args, handlers[args.command])
+        handler = handlers[args.command]
+        if args.command == "explain":
+            # explain *consumes* --trace; the observability wrapper would
+            # treat it as an output path and overwrite the input file.
+            return handler(args)
+        return _run_with_observability(args, handler)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -40,6 +40,7 @@ from repro.core.questions import tournament_questions
 from repro.errors import InvalidParameterError
 from repro.obs.events import DPTableBuilt
 from repro.obs.metrics import get_registry
+from repro.obs.profiling import PROFILER
 from repro.obs.tracer import current_tracer, timed
 
 _INITIAL_FRONTIER_WIDTH = 16
@@ -52,6 +53,8 @@ def _record_dp_build(
     registry = get_registry()
     registry.counter("tdp.solver_calls").inc()
     registry.counter("tdp.frontier_points").inc(states)
+    if PROFILER.enabled:
+        PROFILER.add("frontier.solves")
     tracer = current_tracer()
     if tracer.enabled:
         tracer.emit(
@@ -128,6 +131,9 @@ class _FrontierTable:
         extra = new_width - self.width
         if extra <= 0:
             return
+        if PROFILER.enabled:
+            PROFILER.add("frontier.grows")
+            PROFILER.set_max("frontier.peak_width", new_width)
         n_rows = self.cost.shape[0]
         self.cost = np.hstack(
             [self.cost, np.full((n_rows, extra), np.iinfo(np.int64).max, np.int64)]
@@ -315,6 +321,14 @@ def _build_frontier(
     keep[0] = True
     keep[1:] = lat_sorted[1:] < running_best[:-1]
     chosen = order[keep]
+    if PROFILER.enabled:
+        # One batched tally per frontier row, never per cell: the counters
+        # are exact work counts (pure functions of the instance), while
+        # the disabled path above costs a single attribute load.
+        PROFILER.add("frontier.rows")
+        PROFILER.add("frontier.candidates", int(flat_cost.size))
+        PROFILER.add("frontier.cells", int(valid.size))
+        PROFILER.add("frontier.points", int(chosen.size))
     table.set_row(
         c,
         cost=flat_cost[chosen],

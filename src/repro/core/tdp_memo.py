@@ -25,6 +25,7 @@ from repro.core.questions import tournament_questions
 from repro.errors import InvalidParameterError, ReproError
 from repro.obs.events import DPTableBuilt
 from repro.obs.metrics import get_registry
+from repro.obs.profiling import PROFILER
 from repro.obs.tracer import current_tracer, timed
 
 
@@ -147,6 +148,14 @@ def solve_min_latency_memo(
     registry.counter("tdp_memo.states_visited").inc(len(memo))
     registry.counter("tdp_memo.memo_hits").inc(memo_hits)
     registry.counter("tdp_memo.memo_misses").inc(memo_misses)
+    if PROFILER.enabled:
+        # Same local-tally discipline as the registry above: the DP loop
+        # itself never touches the profiler.
+        PROFILER.add("memo.solves")
+        PROFILER.add("memo.states", len(memo))
+        PROFILER.add("memo.hits", memo_hits)
+        PROFILER.add("memo.misses", memo_misses)
+        PROFILER.add("memo.transition_rows", len(transitions))
     tracer = current_tracer()
     if tracer.enabled:
         tracer.emit(

@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional
 from repro.errors import InvalidParameterError
 from repro.obs.events import CircuitClosed, CircuitOpened
 from repro.obs.metrics import get_registry
+from repro.obs.spans import current_span_id
 from repro.obs.tracer import current_tracer
 
 logger = logging.getLogger(__name__)
@@ -223,7 +224,10 @@ class CircuitBreaker:
         tracer = current_tracer()
         if tracer.enabled:
             tracer.emit(
-                CircuitOpened(consecutive_outages=self.consecutive_outages)
+                CircuitOpened(
+                    consecutive_outages=self.consecutive_outages,
+                    span_id=current_span_id(),
+                )
             )
 
     def _close(self) -> None:
@@ -237,4 +241,8 @@ class CircuitBreaker:
         logger.info("circuit closed after %d successful probe(s)", probes)
         tracer = current_tracer()
         if tracer.enabled:
-            tracer.emit(CircuitClosed(probe_successes=probes))
+            tracer.emit(
+                CircuitClosed(
+                    probe_successes=probes, span_id=current_span_id()
+                )
+            )

@@ -53,6 +53,7 @@ from repro.crowd.platform import (
 from repro.errors import InvalidParameterError, PlatformOutageError
 from repro.obs.events import FaultInjected
 from repro.obs.metrics import get_registry
+from repro.obs.spans import current_span_id
 from repro.obs.tracer import Tracer, current_tracer
 
 logger = logging.getLogger(__name__)
@@ -409,7 +410,10 @@ class FaultyPlatform(Platform):
         if tracer.enabled:
             tracer.emit(
                 FaultInjected(
-                    fault=fault, n_affected=count, batch_index=batch_index
+                    fault=fault,
+                    n_affected=count,
+                    batch_index=batch_index,
+                    span_id=current_span_id(),
                 )
             )
 

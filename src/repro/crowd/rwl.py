@@ -38,6 +38,7 @@ from repro.errors import (
 from repro.graphs.answer_graph import AnswerGraph
 from repro.obs.events import BatchRetried, RWLRetry
 from repro.obs.metrics import get_registry
+from repro.obs.spans import current_span, emit_span, span_scope
 from repro.obs.tracer import Tracer, current_tracer
 from repro.types import Answer, Element, Question, normalize_question
 
@@ -196,6 +197,12 @@ class ReliableWorkerLayer:
         attempt = 0
         registry = get_registry()
         breaker = self.breaker
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        # When a span scope is ambient (the scheduler's tick span, or an
+        # engine round span), each posting attempt becomes a child span —
+        # anchored on the global simulated clock via the scope's base time
+        # plus this round's local latency accumulator.
+        scope = current_span() if tracer.enabled else None
         while pending:
             if breaker is not None and not breaker.allow_post():
                 logger.info(
@@ -205,8 +212,16 @@ class ReliableWorkerLayer:
                 break
             attempt += 1
             posted = [pair for pair in pending for _ in range(self.repetition)]
+            attempt_start = total_latency
+            attempt_id = (
+                f"{scope.span_id}/a{attempt}" if scope is not None else None
+            )
             try:
-                batch = self.platform.post_batch(posted)
+                if attempt_id is not None:
+                    with span_scope(attempt_id, scope.base_time):
+                        batch = self.platform.post_batch(posted)
+                else:
+                    batch = self.platform.post_batch(posted)
             except PlatformOutageError as outage:
                 if breaker is not None:
                     breaker.record_outage()
@@ -214,6 +229,17 @@ class ReliableWorkerLayer:
                     raise
                 total_latency += outage.wasted_seconds
                 reason = "outage"
+                if attempt_id is not None:
+                    emit_span(
+                        tracer,
+                        attempt_id,
+                        "attempt",
+                        start=scope.base_time + attempt_start,
+                        end=scope.base_time + total_latency,
+                        parent_id=scope.span_id,
+                        detail=f"{len(posted)} posted",
+                        status="outage",
+                    )
             else:
                 if breaker is not None:
                     breaker.record_success()
@@ -223,6 +249,16 @@ class ReliableWorkerLayer:
                 answered.update(wa.answer.question for wa in batch.worker_answers)
                 pending = [pair for pair in pending if pair not in answered]
                 reason = "unanswered"
+                if attempt_id is not None:
+                    emit_span(
+                        tracer,
+                        attempt_id,
+                        "attempt",
+                        start=scope.base_time + attempt_start,
+                        end=scope.base_time + total_latency,
+                        parent_id=scope.span_id,
+                        detail=f"{len(posted)} posted",
+                    )
             if not pending or policy is None:
                 break
             if attempt >= policy.max_attempts:
@@ -266,7 +302,6 @@ class ReliableWorkerLayer:
                 attempt + 1,
                 reason,
             )
-            tracer = self._tracer if self._tracer is not None else current_tracer()
             if tracer.enabled:
                 tracer.emit(
                     BatchRetried(
@@ -275,6 +310,7 @@ class ReliableWorkerLayer:
                         questions_reposted=len(pending) * self.repetition,
                         backoff_seconds=backoff,
                         reason=reason,
+                        span_id=scope.span_id if scope is not None else "",
                     ),
                     sim_time=total_latency,
                 )

@@ -43,6 +43,7 @@ from repro.obs.events import (
     RunStarted,
 )
 from repro.obs.metrics import get_registry
+from repro.obs.spans import close_span, open_span, span_scope
 from repro.obs.tracer import Tracer, current_tracer
 from repro.selection.base import QuestionSelector, SelectionContext
 from repro.selection.scoring import score_candidates
@@ -102,7 +103,16 @@ class AdaptiveMaxEngine:
         tracer = self._tracer if self._tracer is not None else current_tracer()
         registry = get_registry()
         registry.counter("engine.runs").inc()
+        # Structural root-span id (see MaxEngine.run for the rationale).
+        run_span = f"run{getattr(tracer, 'emitted', 0)}"
         if tracer.enabled:
+            open_span(
+                tracer,
+                run_span,
+                "run",
+                start=0.0,
+                detail=f"{type(self).__name__} c0={n_elements}",
+            )
             tracer.emit(
                 RunStarted(
                     n_elements=n_elements,
@@ -138,7 +148,16 @@ class AdaptiveMaxEngine:
                     len(candidates),
                 )
                 break
+            round_span = f"{run_span}/r{round_index}"
             if tracer.enabled:
+                open_span(
+                    tracer,
+                    round_span,
+                    "round",
+                    start=total_latency,
+                    parent_id=run_span,
+                    detail=f"{len(questions)} questions",
+                )
                 tracer.emit(
                     RoundPosted(
                         round_index=round_index,
@@ -148,10 +167,12 @@ class AdaptiveMaxEngine:
                     ),
                     sim_time=total_latency,
                 )
-            answers, latency = self.source.resolve(questions)
+            with span_scope(round_span, base_time=total_latency):
+                answers, latency = self.source.resolve(questions)
             evidence.record_all(answers)
             next_candidates = tuple(sorted(evidence.remaining_candidates()))
             if tracer.enabled:
+                close_span(tracer, round_span, end=total_latency + latency)
                 tracer.emit(
                     AnswersReceived(
                         round_index=round_index,
@@ -248,6 +269,7 @@ class AdaptiveMaxEngine:
                 ),
                 sim_time=total_latency,
             )
+            close_span(tracer, run_span, end=total_latency)
         return MaxRunResult(
             winner=winner,
             true_max=truth.max_element,

@@ -42,6 +42,7 @@ from repro.obs.events import (
     RunStarted,
 )
 from repro.obs.metrics import get_registry
+from repro.obs.spans import close_span, open_span, span_scope
 from repro.obs.tracer import Tracer, current_tracer
 from repro.selection.base import QuestionSelector, SelectionContext
 from repro.selection.scoring import score_candidates
@@ -141,7 +142,18 @@ class MaxEngine:
         tracer = self._resolve_tracer()
         registry = get_registry()
         registry.counter("engine.runs").inc()
+        # Structural root-span id: the tracer's emission count at run
+        # start distinguishes successive runs on one tracer and is
+        # reproducible (identical runs emit identical event sequences).
+        run_span = f"run{getattr(tracer, 'emitted', 0)}"
         if tracer.enabled:
+            open_span(
+                tracer,
+                run_span,
+                "run",
+                start=0.0,
+                detail=f"{type(self).__name__} c0={n_elements}",
+            )
             tracer.emit(
                 RunStarted(
                     n_elements=n_elements,
@@ -183,7 +195,16 @@ class MaxEngine:
                     budget,
                 )
                 continue
+            round_span = f"{run_span}/r{round_index}"
             if tracer.enabled:
+                open_span(
+                    tracer,
+                    round_span,
+                    "round",
+                    start=total_latency,
+                    parent_id=run_span,
+                    detail=f"{len(questions)} questions",
+                )
                 tracer.emit(
                     RoundPosted(
                         round_index=round_index,
@@ -193,10 +214,12 @@ class MaxEngine:
                     ),
                     sim_time=total_latency,
                 )
-            answers, latency = self.source.resolve(questions)
+            with span_scope(round_span, base_time=total_latency):
+                answers, latency = self.source.resolve(questions)
             evidence.record_all(answers)
             next_candidates = tuple(sorted(evidence.remaining_candidates()))
             if tracer.enabled:
+                close_span(tracer, round_span, end=total_latency + latency)
                 tracer.emit(
                     AnswersReceived(
                         round_index=round_index,
@@ -278,6 +301,7 @@ class MaxEngine:
                 ),
                 sim_time=total_latency,
             )
+            close_span(tracer, run_span, end=total_latency)
         return MaxRunResult(
             winner=winner,
             true_max=truth.max_element,

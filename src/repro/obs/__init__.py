@@ -13,6 +13,14 @@ Three cooperating pieces:
   manager/decorator that feeds both of the above;
 * **streaming sinks** (:mod:`repro.obs.sinks`) — live JSONL export of
   events as they happen, so crashed runs keep a readable trace prefix;
+* **causal spans** (:mod:`repro.obs.spans`) — deterministic
+  ``query -> plan -> round -> attempt`` trees riding the same event
+  pipeline, plus per-query **latency attribution**
+  (:mod:`repro.obs.attribution`) whose components provably sum to the
+  end-to-end latency (``tdp-repro explain``);
+* **solver profiling counters** (:mod:`repro.obs.profiling`) — opt-in
+  work counters for the tDP solvers and the plan cache
+  (``tdp-repro profile``), free when disabled;
 * **OpenMetrics export** (:mod:`repro.obs.openmetrics`) — render any
   metrics snapshot in the Prometheus text exposition format;
 * a **terminal dashboard** (:mod:`repro.obs.dashboard`) — sparkline view
@@ -36,6 +44,16 @@ tracing on by passing a :class:`RecordingTracer` explicitly or ambiently::
 or from the CLI: ``tdp-repro solve --trace out.jsonl --metrics``.
 """
 
+from repro.obs.attribution import (
+    COMPONENTS,
+    Chunk,
+    ComponentStat,
+    QueryWaterfall,
+    render_attribution,
+    render_waterfall,
+    summarize_attribution,
+    waterfalls_from_records,
+)
 from repro.obs.events import (
     AnswersReceived,
     BatchRetried,
@@ -50,7 +68,9 @@ from repro.obs.events import (
     RoundPosted,
     RunFinished,
     RunStarted,
+    SpanClosed,
     SpanCompleted,
+    SpanOpened,
     TraceEvent,
     TraceRecord,
     WorkerServiced,
@@ -75,7 +95,27 @@ from repro.obs.metrics import (
     snapshot_percentile,
 )
 from repro.obs.openmetrics import render_openmetrics, write_openmetrics
+from repro.obs.profiling import (
+    PROFILER,
+    SolverProfiler,
+    profiled,
+    render_profile,
+)
 from repro.obs.report import render_trace_report, report_file
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    assemble_spans,
+    close_span,
+    current_span,
+    current_span_id,
+    emit_span,
+    open_span,
+    render_span_tree,
+    span_roots,
+    span_scope,
+    spans_for_query,
+)
 from repro.obs.sinks import (
     InMemorySink,
     StreamingJsonlSink,
@@ -112,7 +152,36 @@ __all__ = [
     "FaultInjected",
     "DPTableBuilt",
     "SpanCompleted",
+    "SpanOpened",
+    "SpanClosed",
     "event_from_dict",
+    # spans
+    "Span",
+    "SpanContext",
+    "assemble_spans",
+    "close_span",
+    "current_span",
+    "current_span_id",
+    "emit_span",
+    "open_span",
+    "render_span_tree",
+    "span_roots",
+    "span_scope",
+    "spans_for_query",
+    # attribution
+    "COMPONENTS",
+    "Chunk",
+    "ComponentStat",
+    "QueryWaterfall",
+    "render_attribution",
+    "render_waterfall",
+    "summarize_attribution",
+    "waterfalls_from_records",
+    # profiling
+    "PROFILER",
+    "SolverProfiler",
+    "profiled",
+    "render_profile",
     # tracer
     "Tracer",
     "NullTracer",

@@ -78,7 +78,10 @@ def render_frame(samples: Sequence, width: int = SPARK_WIDTH) -> str:
         f"cumulative: {last.shared_rounds} rounds / "
         f"{last.questions_total} questions",
         f"  queries: {last.completed} completed  "
-        f"{last.degraded} degraded  {last.shed} shed",
+        f"{last.degraded} degraded  {last.shed} shed  "
+        # Duck-typed default: pre-queue-wait samples (old journals) have
+        # no queue_wait_mean attribute.
+        f"wait {_fmt_seconds(getattr(last, 'queue_wait_mean', 0.0))}",
         "",
     ]
     return "\n".join(lines)

@@ -19,7 +19,9 @@ The taxonomy follows the layers of the system:
 * reliable worker layer — :class:`RWLRetry`, :class:`BatchRetried`;
 * simulated platform — :class:`WorkerServiced`, :class:`FaultInjected`;
 * allocators — :class:`DPTableBuilt`;
-* profiling — :class:`SpanCompleted` (emitted by :func:`repro.obs.timed`).
+* profiling — :class:`SpanCompleted` (emitted by :func:`repro.obs.timed`);
+* causal spans — :class:`SpanOpened` / :class:`SpanClosed` (see
+  :mod:`repro.obs.spans`).
 
 Events round-trip through plain dicts (:meth:`TraceEvent.to_dict` /
 :func:`event_from_dict`) so traces can be exported to JSONL and read back
@@ -255,6 +257,7 @@ class CircuitOpened(TraceEvent):
 
     kind: ClassVar[str] = "CircuitOpened"
     consecutive_outages: int
+    span_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -267,6 +270,7 @@ class CircuitClosed(TraceEvent):
 
     kind: ClassVar[str] = "CircuitClosed"
     probe_successes: int
+    span_id: str = ""
 
 
 # ----------------------------------------------------------------------
@@ -307,6 +311,8 @@ class BatchRetried(TraceEvent):
         backoff_seconds: simulated seconds waited before re-posting.
         reason: ``"outage"`` (the whole previous batch was lost) or
             ``"unanswered"`` (some answers never arrived).
+        span_id: causal span the retry happened under (``""`` when the
+            emitter ran outside any span scope).
     """
 
     kind: ClassVar[str] = "BatchRetried"
@@ -315,6 +321,7 @@ class BatchRetried(TraceEvent):
     questions_reposted: int
     backoff_seconds: float
     reason: str
+    span_id: str = ""
 
 
 # ----------------------------------------------------------------------
@@ -333,12 +340,14 @@ class FaultInjected(TraceEvent):
         n_affected: answers affected (questions in the batch for an
             outage).
         batch_index: 0-based index of the batch on this FaultyPlatform.
+        span_id: causal span the batch ran under (``""`` outside spans).
     """
 
     kind: ClassVar[str] = "FaultInjected"
     fault: str
     n_affected: int
     batch_index: int
+    span_id: str = ""
 
 
 
@@ -392,6 +401,53 @@ class SpanCompleted(TraceEvent):
     kind: ClassVar[str] = "SpanCompleted"
     label: str
     seconds: float
+
+
+# ----------------------------------------------------------------------
+# Causal-span events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpanOpened(TraceEvent):
+    """A causal span began (see :mod:`repro.obs.spans`).
+
+    Span ids are *structural* — derived from stable coordinates like
+    ``(query_id, round_index)`` rather than emission counters or wall
+    time — so a journal-recovered run re-emits the very same ids and
+    span trees stay comparable across crashes.
+
+    Attributes:
+        span_id: structural identifier, unique within one trace.
+        parent_id: enclosing span's id (``None`` for roots).
+        name: span type, e.g. ``"query"``, ``"plan"``, ``"round"``, or a
+            leaf attribution component such as ``"round_post"``.
+        start: simulated-clock seconds when the span opened.
+        query_id: owning query, ``-1`` for shared/unowned spans.
+        detail: free-form annotation (cache hit, retry reason, ...).
+    """
+
+    kind: ClassVar[str] = "SpanOpened"
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    query_id: int = -1
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SpanClosed(TraceEvent):
+    """A causal span ended.
+
+    Attributes:
+        span_id: the id given at :class:`SpanOpened`.
+        end: simulated-clock seconds when the span closed.
+        status: ``"ok"`` or a failure tag (``"outage"``, ``"degraded"``).
+    """
+
+    kind: ClassVar[str] = "SpanClosed"
+    span_id: str
+    end: float
+    status: str = "ok"
 
 
 @dataclass(frozen=True)

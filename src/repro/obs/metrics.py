@@ -47,6 +47,32 @@ DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
 )
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the OpenMetrics exposition grammar."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def labeled_name(base: str, labels: Dict[str, str]) -> str:
+    """The canonical registry name of a labeled series.
+
+    The registry itself is label-unaware — a labeled series is just an
+    instrument whose name embeds a sorted, escaped OpenMetrics label set:
+    ``labeled_name("service.latency_component", {"component": "retry"})``
+    is ``service.latency_component{component="retry"}``.  The exposition
+    renderer (:mod:`repro.obs.openmetrics`) splits the suffix back off,
+    so the same instrument scrapes as a properly-labeled series.
+    """
+    if not labels:
+        return base
+    parts = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{base}{{{parts}}}"
+
+
 def bucket_percentile(
     bounds: Sequence[float],
     cumulative_counts: Sequence[int],
@@ -356,6 +382,7 @@ STANDARD_METRICS = (
     ("histogram", "service.round_latency"),
     ("gauge", "service.queue_depth"),
     ("gauge", "service.active_queries"),
+    ("gauge", "service.queue_wait_mean"),
     ("counter", "service.checkpoints"),
     ("counter", "service.recoveries"),
     ("counter", "circuit.opened"),
@@ -374,6 +401,25 @@ STANDARD_METRICS = (
     ("counter", "tdp_memo.memo_hits"),
     ("counter", "tdp_memo.memo_misses"),
     ("histogram", "time.tdp_memo.solve"),
+    # Solver profiling counters (repro.obs.profiling); published only
+    # when a profiled() block ran, pre-declared so exports show zeros.
+    ("counter", "solver.frontier.solves"),
+    ("counter", "solver.frontier.rows"),
+    ("counter", "solver.frontier.cells"),
+    ("counter", "solver.frontier.candidates"),
+    ("counter", "solver.frontier.points"),
+    ("counter", "solver.memo.solves"),
+    ("counter", "solver.memo.hits"),
+    ("counter", "solver.memo.misses"),
+    ("counter", "solver.plan_cache.hits"),
+    ("counter", "solver.plan_cache.misses"),
+    ("counter", "solver.plan_cache.shape_hits"),
+) + tuple(
+    # Per-component latency attribution histograms — one labeled series
+    # per component; must mirror repro.obs.attribution.COMPONENTS (the
+    # obs test suite asserts the two stay in sync).
+    ("histogram", labeled_name("service.latency_component", {"component": c}))
+    for c in ("queue_wait", "round_post", "retry", "defer", "outage", "stall")
 )
 
 

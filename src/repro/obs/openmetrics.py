@@ -15,6 +15,12 @@ Instrument names are sanitized to the exposition grammar (dots and other
 non-identifier characters become underscores): ``service.query_latency``
 is scraped as ``service_query_latency``.
 
+Labeled series are supported through the canonical embedded form produced
+by :func:`repro.obs.metrics.labeled_name` — an instrument registered as
+``service.latency_component{component="retry"}`` renders with its label
+set intact (histogram buckets merge the labels with ``le``), while plain
+names render exactly as before.
+
 :func:`write_openmetrics` renders and writes atomically
 (temp-file + rename, via :func:`repro.persistence.save_text`), which is
 exactly what the Prometheus node-exporter *textfile collector* expects:
@@ -37,6 +43,24 @@ def metric_name(name: str) -> str:
     if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
         sanitized = "_" + sanitized
     return sanitized
+
+
+#: Canonical labeled instrument name: ``base{key="value",...}`` with the
+#: label block already escaped by :func:`repro.obs.metrics.labeled_name`.
+_LABELED_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.+)\}$")
+
+
+def split_labels(name: str) -> "tuple[str, str]":
+    """Split a registry name into ``(base, label_block)``.
+
+    The label block is the raw ``key="value",...`` text (``""`` for
+    unlabeled names); values were escaped when the name was built, so
+    the renderer re-emits the block verbatim.
+    """
+    match = _LABELED_RE.match(name)
+    if match is None:
+        return name, ""
+    return match.group("base"), match.group("labels")
 
 
 def _fmt(value: Any) -> str:
@@ -65,29 +89,42 @@ def render_openmetrics(snapshot: Dict[str, Dict[str, Any]]) -> str:
     test relies on that).
     """
     lines: List[str] = []
+    typed: set = set()
     for name in sorted(snapshot):
         state = snapshot[name]
-        flat = metric_name(name)
+        base, labels = split_labels(name)
+        flat = metric_name(base)
+        suffix = f"{{{labels}}}" if labels else ""
         kind = state["type"]
         if kind == "counter":
-            lines.append(f"# TYPE {flat} counter")
-            lines.append(f"{flat}_total {_fmt(state['value'])}")
+            if flat not in typed:
+                typed.add(flat)
+                lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat}_total{suffix} {_fmt(state['value'])}")
         elif kind == "gauge":
             if state["value"] is None:
                 continue  # unset gauge: nothing to expose
-            lines.append(f"# TYPE {flat} gauge")
-            lines.append(f"{flat} {_fmt(state['value'])}")
+            if flat not in typed:
+                typed.add(flat)
+                lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat}{suffix} {_fmt(state['value'])}")
         elif kind == "histogram":
-            lines.append(f"# TYPE {flat} histogram")
+            if flat not in typed:
+                typed.add(flat)
+                lines.append(f"# TYPE {flat} histogram")
             bounds = state.get("bucket_bounds", [])
             counts = state.get("bucket_counts", [])
+            merged = f"{labels}," if labels else ""
             for bound, cumulative in zip(bounds, counts):
                 lines.append(
-                    f'{flat}_bucket{{le="{_fmt(bound)}"}} {_fmt(cumulative)}'
+                    f'{flat}_bucket{{{merged}le="{_fmt(bound)}"}}'
+                    f" {_fmt(cumulative)}"
                 )
-            lines.append(f'{flat}_bucket{{le="+Inf"}} {_fmt(state["count"])}')
-            lines.append(f"{flat}_sum {_fmt(state['total'])}")
-            lines.append(f"{flat}_count {_fmt(state['count'])}")
+            lines.append(
+                f'{flat}_bucket{{{merged}le="+Inf"}} {_fmt(state["count"])}'
+            )
+            lines.append(f"{flat}_sum{suffix} {_fmt(state['total'])}")
+            lines.append(f"{flat}_count{suffix} {_fmt(state['count'])}")
         else:
             raise ValueError(f"unknown instrument type {kind!r} for {name!r}")
     lines.append("# EOF")

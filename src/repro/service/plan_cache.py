@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.allocation import Allocation
 from repro.core.latency import LatencyFunction
 from repro.errors import InvalidParameterError
+from repro.obs.profiling import PROFILER
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,10 @@ class PlanCache:
         self.capacity = capacity
         self.stats = PlanCacheStats()
         self._entries: "OrderedDict[PlanKey, Allocation]" = OrderedDict()
+        # Secondary index by coarse shape (c0, budget) — the *two-level*
+        # hit question: how many full-key misses would have hit if the
+        # latency model / repetition matched?  Profiling-only diagnostic.
+        self._shapes: Dict[Tuple[int, int], int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -105,9 +110,15 @@ class PlanCache:
         allocation = self._entries.get(key)
         if allocation is None:
             self.stats.misses += 1
+            if PROFILER.enabled:
+                PROFILER.add("plan_cache.misses")
+                if self._shapes.get((key.n_elements, key.budget), 0):
+                    PROFILER.add("plan_cache.shape_hits")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if PROFILER.enabled:
+            PROFILER.add("plan_cache.hits")
         return allocation
 
     def peek(self, key: PlanKey) -> Optional[Allocation]:
@@ -121,9 +132,20 @@ class PlanCache:
             self._entries[key] = allocation
             return
         if len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._drop_shape(evicted)
         self._entries[key] = allocation
+        shape = (key.n_elements, key.budget)
+        self._shapes[shape] = self._shapes.get(shape, 0) + 1
+
+    def _drop_shape(self, key: PlanKey) -> None:
+        shape = (key.n_elements, key.budget)
+        remaining = self._shapes.get(shape, 0) - 1
+        if remaining > 0:
+            self._shapes[shape] = remaining
+        else:
+            self._shapes.pop(shape, None)
 
     def items(self) -> List[Tuple[PlanKey, Allocation]]:
         """All entries, LRU first (a snapshot; safe to iterate)."""
@@ -132,6 +154,7 @@ class PlanCache:
     def clear(self) -> None:
         """Drop every entry; stats keep accumulating."""
         self._entries.clear()
+        self._shapes.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict summary for reports and metrics exports."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.obs.attribution import ComponentStat, render_attribution
 from repro.obs.stats import percentile
 from repro.service.query import QueryResult, QueryState
 
@@ -45,6 +46,10 @@ class ServiceReport:
         questions_posted: distinct questions over all shared rounds
             (fault re-posts counted once per question).
         cache_hits / cache_misses / cache_evictions: plan-cache traffic.
+        attribution: aggregated per-component latency attribution
+            (total/p50/p95/share per component), present only when the
+            run was traced — with tracing off the report is bit-identical
+            to the attribution-less one.
     """
 
     results: Tuple[QueryResult, ...]
@@ -55,6 +60,7 @@ class ServiceReport:
     cache_hits: int
     cache_misses: int
     cache_evictions: int
+    attribution: Optional[Tuple[ComponentStat, ...]] = None
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -166,6 +172,9 @@ class ServiceReport:
             f"(hit rate {100 * self.cache_hit_rate:.0f}%, "
             f"{self.cache_evictions} evictions)",
         ]
+        if self.attribution is not None:
+            lines.append("")
+            lines.extend(render_attribution(self.attribution))
         if per_query:
             lines.append("")
             for r in self.results:

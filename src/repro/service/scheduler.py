@@ -59,6 +59,7 @@ from repro.crowd.workers import WorkerPoolConfig
 from repro.engine.session import MaxSession, SessionStateError
 from repro.errors import InvalidParameterError, PlatformOutageError
 from repro.graphs.answer_graph import AnswerGraph
+from repro.obs.attribution import component_metric, summarize_attribution
 from repro.obs.events import (
     QueryAdmitted,
     QueryCompleted,
@@ -66,7 +67,8 @@ from repro.obs.events import (
     QueryShed,
 )
 from repro.obs.metrics import get_registry
-from repro.obs.tracer import current_tracer
+from repro.obs.spans import close_span, emit_span, open_span, span_scope
+from repro.obs.tracer import Tracer, current_tracer
 from repro.selection.registry import selector_by_name
 from repro.selection.scoring import score_candidates
 from repro.service.admission import (
@@ -281,6 +283,11 @@ class MaxScheduler:
         self.tick_history: Deque[TickSample] = deque(maxlen=TICK_HISTORY_LIMIT)
         self._last_round_latency = 0.0
         self._last_round_questions = 0
+        #: Per-query attribution chunks ``(component, start, end)`` in
+        #: absolute simulated seconds; populated only while a tracer is
+        #: enabled (with tracing off the report stays bit-identical to
+        #: the un-instrumented scheduler).
+        self._attribution: Dict[int, List[Tuple[str, float, float]]] = {}
         self._journal: Optional[Any] = None
         if journal is not None:
             self.attach_journal(journal)
@@ -363,7 +370,7 @@ class MaxScheduler:
         if self.breaker is not None:
             decision = self.breaker.before_round(self._now)
             if decision is RoundDecision.DEFER:
-                self._defer_round()
+                self._defer_round(runnable)
                 self._ticks += 1
                 self._sample_tick(deferred=True)
                 if self._journal is not None:
@@ -377,7 +384,7 @@ class MaxScheduler:
             self._journal.maybe_snapshot(self)
         return True
 
-    def _defer_round(self) -> None:
+    def _defer_round(self, runnable: List[ActiveQuery]) -> None:
         """Skip the shared round while the circuit is open."""
         target = self.breaker.defer_target(self._now)
         get_registry().counter("circuit.deferred_rounds").inc()
@@ -389,11 +396,112 @@ class MaxScheduler:
             self._now,
             target,
         )
+        before = self._now
         self._now = max(self._now, target)
+        tracer = current_tracer()
+        if tracer.enabled:
+            for query in runnable:
+                if query.first_scheduled_time is not None:
+                    self._add_chunk(tracer, query, "defer", before, self._now)
 
     def _journal_record(self, record_type: str, **payload: Any) -> None:
         if self._journal is not None:
             self._journal.record(record_type, payload)
+
+    # ------------------------------------------------------------------
+    # Causal spans + latency attribution (active only while tracing)
+    # ------------------------------------------------------------------
+    def _add_chunk(
+        self,
+        tracer: Tracer,
+        query: ActiveQuery,
+        component: str,
+        start: float,
+        end: float,
+    ) -> None:
+        """Attribute ``[start, end]`` of *query*'s lifetime to *component*.
+
+        The chunk doubles as a leaf span (its name is the component) so
+        waterfalls are reconstructible from the trace alone.  Zero-length
+        chunks are skipped — they contribute nothing and the tiling stays
+        contiguous.  Span ids are structural (``q<id>/t<tick>`` — at most
+        one chunk per query per tick, plus one ``q<id>/wait``), so a
+        journal-recovered run re-emits identical ids.
+        """
+        if end <= start:
+            return
+        query_id = query.spec.query_id
+        parent = (
+            f"q{query_id}/r{query.session.round_index}"
+            if query.outstanding
+            else f"q{query_id}"
+        )
+        emit_span(
+            tracer,
+            f"q{query_id}/t{self._ticks}",
+            component,
+            start=start,
+            end=end,
+            parent_id=parent,
+            query_id=query_id,
+        )
+        self._attribution.setdefault(query_id, []).append(
+            (component, start, end)
+        )
+
+    def _emit_wait_chunk(
+        self, tracer: Tracer, query: ActiveQuery, end: float
+    ) -> None:
+        """Attribute arrival-to-first-schedule (or to finalize, for
+        queries that never reached the platform) as ``queue_wait``."""
+        start = query.spec.arrival_time
+        if end <= start:
+            return
+        query_id = query.spec.query_id
+        emit_span(
+            tracer,
+            f"q{query_id}/wait",
+            "queue_wait",
+            start=start,
+            end=end,
+            parent_id=f"q{query_id}",
+            query_id=query_id,
+        )
+        self._attribution.setdefault(query_id, []).append(
+            ("queue_wait", start, end)
+        )
+
+    def _record_tick_chunks(
+        self,
+        tracer: Tracer,
+        runnable: List[ActiveQuery],
+        scheduled: List[ActiveQuery],
+        start: float,
+        end: float,
+        outage: bool,
+    ) -> None:
+        """Attribute one shared round's duration to every live query.
+
+        Scheduled queries pay the round as ``round_post`` (first attempt),
+        ``retry`` (re-posting lost questions) or ``outage``; runnable
+        queries left out by backpressure or a breaker probe pay it as
+        ``stall``.  Queries still waiting for their first schedule are
+        covered by their ``queue_wait`` chunk instead.
+        """
+        scheduled_ids = {q.spec.query_id for q in scheduled}
+        for query in runnable:
+            if query.first_scheduled_time is None:
+                continue
+            if query.spec.query_id in scheduled_ids:
+                if outage:
+                    component = "outage"
+                elif query.round_attempts > 0:
+                    component = "retry"
+                else:
+                    component = "round_post"
+            else:
+                component = "stall"
+            self._add_chunk(tracer, query, component, start, end)
 
     def _sample_tick(self, deferred: bool) -> None:
         """Record this tick's :class:`TickSample` everywhere it goes.
@@ -404,13 +512,17 @@ class MaxScheduler:
         any extra journaled state.
         """
         completed = degraded = shed = 0
+        wait_total = 0.0
         for result in self._results:
             if result.state is QueryState.COMPLETED:
                 completed += 1
+                wait_total += result.queue_wait
             elif result.state is QueryState.DEGRADED:
                 degraded += 1
+                wait_total += result.queue_wait
             elif result.state is QueryState.SHED:
                 shed += 1
+        finished = completed + degraded
         sample = TickSample(
             tick=self._ticks,
             now=self._now,
@@ -429,11 +541,13 @@ class MaxScheduler:
             degraded=degraded,
             shed=shed,
             deferred=deferred,
+            queue_wait_mean=wait_total / finished if finished else 0.0,
         )
         self.tick_history.append(sample)
         registry = get_registry()
         registry.gauge("service.queue_depth").set(sample.queue_depth)
         registry.gauge("service.active_queries").set(sample.active)
+        registry.gauge("service.queue_wait_mean").set(sample.queue_wait_mean)
         if not deferred:
             registry.histogram("service.round_latency").observe(
                 sample.round_latency
@@ -485,6 +599,27 @@ class MaxScheduler:
         registry.counter("service.queries_admitted").inc()
         tracer = current_tracer()
         if tracer.enabled:
+            query_span = f"q{spec.query_id}"
+            open_span(
+                tracer,
+                query_span,
+                "query",
+                start=spec.arrival_time,
+                query_id=spec.query_id,
+                detail=f"c0={spec.n_elements} b={spec.budget}",
+            )
+            # Planning consumes solver CPU, not simulated platform time,
+            # so the plan span is a zero-width annotation on the clock.
+            emit_span(
+                tracer,
+                f"{query_span}/plan",
+                "plan",
+                start=self._now,
+                end=self._now,
+                parent_id=query_span,
+                query_id=spec.query_id,
+                detail="cache-hit" if cache_hit else "solved",
+            )
             tracer.emit(
                 QueryAdmitted(
                     query_id=spec.query_id,
@@ -612,6 +747,18 @@ class MaxScheduler:
         query.collected = {}
         query.round_attempts = 0
         query.questions_posted += len(pending)
+        tracer = current_tracer()
+        if tracer.enabled:
+            query_id = query.spec.query_id
+            open_span(
+                tracer,
+                f"q{query_id}/r{session.round_index}",
+                "round",
+                start=self._now,
+                parent_id=f"q{query_id}",
+                query_id=query_id,
+                detail=f"{len(pending)} questions",
+            )
         return True
 
     def _run_tick(
@@ -639,6 +786,8 @@ class MaxScheduler:
         for query in scheduled:
             if query.first_scheduled_time is None:
                 query.first_scheduled_time = self._now
+                if tracer.enabled:
+                    self._emit_wait_chunk(tracer, query, self._now)
             query.times_scheduled += 1
             if tracer.enabled:
                 tracer.emit(
@@ -669,8 +818,25 @@ class MaxScheduler:
         if isinstance(self.platform, FaultyPlatform):
             # The sustained-outage window is gated on simulated time.
             self.platform.set_clock(self._now)
+        tick_span = f"t{self._ticks}"
+        tick_start = self._now
+        if tracer.enabled:
+            open_span(
+                tracer,
+                tick_span,
+                "tick",
+                start=tick_start,
+                detail=(
+                    f"{len(scheduled)} queries, {len(batch)} questions"
+                    + (" (probe)" if probe_only else "")
+                ),
+            )
         try:
-            result = self._rwl.ask(batch)
+            # The span scope hands the tick's id and clock anchor down to
+            # the RWL / fault layer / breaker, whose events and attempt
+            # sub-spans then nest under this shared round.
+            with span_scope(tick_span, base_time=tick_start):
+                result = self._rwl.ask(batch)
         except PlatformOutageError as outage:
             # No retry policy: the whole shared round was swallowed.  Every
             # scheduled query keeps its outstanding questions for the next
@@ -686,6 +852,12 @@ class MaxScheduler:
                 outage=True,
                 latency=outage.wasted_seconds,
             )
+            if tracer.enabled:
+                close_span(tracer, tick_span, end=self._now, status="outage")
+                self._record_tick_chunks(
+                    tracer, runnable, scheduled, tick_start, self._now,
+                    outage=True,
+                )
             for query in scheduled:
                 self._bump_round_attempts(query)
             return
@@ -707,6 +879,12 @@ class MaxScheduler:
             n_answers=len(result.answers),
             latency=result.latency,
         )
+        if tracer.enabled:
+            close_span(tracer, tick_span, end=self._now)
+            self._record_tick_chunks(
+                tracer, runnable, scheduled, tick_start, self._now,
+                outage=False,
+            )
         by_question = {answer.question: answer for answer in result.answers}
         for query in scheduled:
             self._collect(query, by_question)
@@ -724,6 +902,15 @@ class MaxScheduler:
         if query.outstanding:
             self._bump_round_attempts(query)
             return
+        tracer = current_tracer()
+        if tracer.enabled:
+            # round_index has not advanced yet (submit below does that),
+            # so the id matches the open emitted by _refresh_round.
+            close_span(
+                tracer,
+                f"q{query.spec.query_id}/r{query.session.round_index}",
+                end=self._now,
+            )
         query.session.submit(query.collected.values())
         query.collected = {}
         query.round_attempts = 0
@@ -807,6 +994,31 @@ class MaxScheduler:
         registry.histogram("service.queue_wait").observe(queue_wait)
         tracer = current_tracer()
         if tracer.enabled:
+            if query.first_scheduled_time is None:
+                # Never reached the platform (trivial c0=1, or degraded
+                # out of the queue): the whole lifetime was queue wait.
+                self._emit_wait_chunk(tracer, query, self._now)
+            if query.outstanding:
+                # Degraded mid-round: the open round span ends with the
+                # query.
+                close_span(
+                    tracer,
+                    f"q{spec.query_id}/r{query.session.round_index}",
+                    end=self._now,
+                    status="degraded",
+                )
+            close_span(
+                tracer, f"q{spec.query_id}", end=self._now, status=state.value
+            )
+            totals: Dict[str, float] = {}
+            for component, start, end in self._attribution.get(
+                spec.query_id, ()
+            ):
+                totals[component] = totals.get(component, 0.0) + (end - start)
+            for component, seconds in totals.items():
+                registry.histogram(component_metric(component)).observe(
+                    seconds
+                )
             tracer.emit(
                 QueryCompleted(
                     query_id=spec.query_id,
@@ -852,4 +1064,9 @@ class MaxScheduler:
             cache_hits=cache["hits"],
             cache_misses=cache["misses"],
             cache_evictions=cache["evictions"],
+            attribution=(
+                summarize_attribution(self._attribution)
+                if self._attribution
+                else None
+            ),
         )

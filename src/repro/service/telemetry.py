@@ -65,6 +65,10 @@ class TickSample:
         shed: cumulative queries SHED by admission control.
         deferred: whether this tick was a breaker deferral instead of a
             shared round.
+        queue_wait_mean: mean arrival-to-first-schedule seconds across
+            queries finished so far (0.0 before the first finish).
+            Defaulted so journals written before the field existed stay
+            replayable.
     """
 
     tick: int
@@ -82,6 +86,7 @@ class TickSample:
     degraded: int
     shed: int
     deferred: bool
+    queue_wait_mean: float = 0.0
 
     @property
     def queue_depth(self) -> int:
@@ -93,14 +98,20 @@ class TickSample:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "TickSample":
-        try:
-            kwargs = {
-                f.name: payload[f.name] for f in dataclasses.fields(cls)
-            }
-        except KeyError as missing:
-            raise InvalidParameterError(
-                f"tick record is missing field {missing}"
-            ) from None
+        """Rebuild a sample from its journal form.
+
+        Fields with defaults may be absent (a journal written by an older
+        version); missing *core* fields still raise, so a garbage payload
+        cannot masquerade as a sample.
+        """
+        kwargs: Dict[str, Any] = {}
+        for spec in dataclasses.fields(cls):
+            if spec.name in payload:
+                kwargs[spec.name] = payload[spec.name]
+            elif spec.default is dataclasses.MISSING:
+                raise InvalidParameterError(
+                    f"tick record is missing field '{spec.name}'"
+                )
         return cls(**kwargs)
 
 

@@ -1,0 +1,194 @@
+"""Tests for per-query latency attribution (``repro.obs.attribution``)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.attribution import (
+    COMPONENTS,
+    Chunk,
+    QueryWaterfall,
+    component_metric,
+    render_attribution,
+    render_waterfall,
+    summarize_attribution,
+    waterfalls_from_records,
+)
+from repro.obs.events import SpanClosed, SpanOpened
+from repro.obs.metrics import STANDARD_METRICS
+from repro.obs.tracer import RecordingTracer
+
+
+def _waterfall(chunks, start=0.0, end=None, status="ok", query_id=0):
+    if end is None:
+        end = chunks[-1].end if chunks else start
+    return QueryWaterfall(
+        query_id=query_id, start=start, end=end, status=status,
+        chunks=tuple(chunks),
+    )
+
+
+class TestWaterfallInvariant:
+    def test_exact_tiling_validates(self):
+        wf = _waterfall([
+            Chunk("queue_wait", 0.0, 10.0),
+            Chunk("round_post", 10.0, 250.0),
+            Chunk("retry", 250.0, 400.0),
+        ])
+        wf.validate()
+        assert wf.total == 400.0
+
+    def test_gap_is_rejected(self):
+        wf = _waterfall([
+            Chunk("queue_wait", 0.0, 10.0),
+            Chunk("round_post", 11.0, 20.0),
+        ])
+        with pytest.raises(InvalidParameterError, match="expected 10.0"):
+            wf.validate()
+
+    def test_overlap_is_rejected(self):
+        wf = _waterfall([
+            Chunk("queue_wait", 0.0, 10.0),
+            Chunk("round_post", 9.0, 20.0),
+        ])
+        with pytest.raises(InvalidParameterError):
+            wf.validate()
+
+    def test_short_tiling_is_rejected(self):
+        wf = _waterfall([Chunk("round_post", 0.0, 10.0)], end=20.0)
+        with pytest.raises(InvalidParameterError, match="chunks end at 10.0"):
+            wf.validate()
+
+    def test_open_waterfall_cannot_validate(self):
+        wf = QueryWaterfall(
+            query_id=0, start=0.0, end=None, status=None, chunks=(),
+        )
+        with pytest.raises(InvalidParameterError, match="still open"):
+            wf.validate()
+
+    def test_zero_latency_query_needs_no_chunks(self):
+        _waterfall([], start=5.0, end=5.0).validate()
+
+    def test_chunk_sum_telescopes_exactly(self):
+        # Boundaries that are not nicely representable: per-chunk
+        # durations lose the last bit, the signed-endpoint fsum does not.
+        a, b, c = 1.949163034576543, 200.67655863962463, 578.9315876433593
+        wf = _waterfall(
+            [Chunk("queue_wait", a, b), Chunk("round_post", b, c)], start=a,
+        )
+        wf.validate()
+        assert wf.chunk_sum == wf.total == c - a
+
+    def test_open_waterfall_has_no_chunk_sum(self):
+        wf = QueryWaterfall(
+            query_id=0, start=0.0, end=None, status=None, chunks=(),
+        )
+        assert wf.chunk_sum is None
+
+    def test_components_sum_to_total(self):
+        wf = _waterfall([
+            Chunk("queue_wait", 0.0, 10.0),
+            Chunk("round_post", 10.0, 20.0),
+            Chunk("round_post", 20.0, 35.0),
+        ])
+        components = wf.components()
+        assert components == {"queue_wait": 10.0, "round_post": 25.0}
+        assert sum(components.values()) == wf.total
+
+
+class TestTraceReassembly:
+    def _records(self):
+        tracer = RecordingTracer()
+        for event in (
+            SpanOpened(span_id="q0", parent_id=None, name="query", start=0.0,
+                       query_id=0),
+            SpanOpened(span_id="q0/wait", parent_id="q0", name="queue_wait",
+                       start=0.0, query_id=0),
+            SpanClosed(span_id="q0/wait", end=10.0),
+            SpanOpened(span_id="q0/t1", parent_id="q0/r0", name="round_post",
+                       start=10.0, query_id=0),
+            SpanClosed(span_id="q0/t1", end=30.0),
+            SpanClosed(span_id="q0", end=30.0, status="completed"),
+            # A second query still in flight when the trace ends.
+            SpanOpened(span_id="q1", parent_id=None, name="query", start=5.0,
+                       query_id=1),
+        ):
+            tracer.emit(event)
+        return tracer.records
+
+    def test_waterfalls_rebuilt_from_span_events(self):
+        waterfalls = waterfalls_from_records(self._records())
+        assert set(waterfalls) == {0, 1}
+        waterfalls[0].validate()
+        assert waterfalls[0].total == 30.0
+        assert waterfalls[0].status == "completed"
+
+    def test_open_query_has_no_total(self):
+        waterfalls = waterfalls_from_records(self._records())
+        assert waterfalls[1].end is None
+        assert waterfalls[1].total is None
+        assert "still in flight" in render_waterfall(waterfalls[1])
+
+    def test_non_component_spans_are_not_chunks(self):
+        # Round spans (name "round") must not double-count against the
+        # round_post leaves they contain.
+        tracer = RecordingTracer()
+        for event in (
+            SpanOpened(span_id="q0", parent_id=None, name="query", start=0.0,
+                       query_id=0),
+            SpanOpened(span_id="q0/r0", parent_id="q0", name="round",
+                       start=0.0, query_id=0),
+            SpanOpened(span_id="q0/t0", parent_id="q0/r0", name="round_post",
+                       start=0.0, query_id=0),
+            SpanClosed(span_id="q0/t0", end=10.0),
+            SpanClosed(span_id="q0/r0", end=10.0),
+            SpanClosed(span_id="q0", end=10.0),
+        ):
+            tracer.emit(event)
+        (wf,) = waterfalls_from_records(tracer.records).values()
+        assert [c.component for c in wf.chunks] == ["round_post"]
+        wf.validate()
+
+
+class TestAggregation:
+    def test_summarize_orders_by_canonical_component(self):
+        stats = summarize_attribution({
+            0: [("round_post", 0.0, 10.0), ("queue_wait", 10.0, 12.0)],
+            1: [("queue_wait", 0.0, 6.0)],
+        })
+        assert [s.component for s in stats] == ["queue_wait", "round_post"]
+        wait = stats[0]
+        assert wait.total == 8.0
+        assert wait.queries == 2
+        assert wait.p50 == 2.0
+        assert wait.p95 == 6.0
+
+    def test_shares_sum_to_one(self):
+        stats = summarize_attribution({
+            0: [("round_post", 0.0, 30.0), ("stall", 30.0, 40.0)],
+        })
+        assert sum(s.share for s in stats) == pytest.approx(1.0)
+
+    def test_empty_attribution_renders_placeholder(self):
+        assert render_attribution(()) == [
+            "latency attribution: (no attributed queries)"
+        ]
+
+    def test_render_lists_every_component(self):
+        stats = summarize_attribution({0: [("defer", 0.0, 5.0)]})
+        lines = render_attribution(stats)
+        assert any("defer" in line for line in lines)
+
+
+class TestMetricSync:
+    def test_component_metric_embeds_the_label(self):
+        assert component_metric("retry") == (
+            'service.latency_component{component="retry"}'
+        )
+
+    def test_standard_metrics_mirror_components(self):
+        declared = {
+            name
+            for _, name in STANDARD_METRICS
+            if name.startswith("service.latency_component{")
+        }
+        assert declared == {component_metric(c) for c in COMPONENTS}

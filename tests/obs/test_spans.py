@@ -1,0 +1,173 @@
+"""Tests for causal spans (``repro.obs.spans``)."""
+
+import pytest
+
+from repro.obs.events import SpanClosed, SpanOpened, event_from_dict
+from repro.obs.spans import (
+    assemble_spans,
+    close_span,
+    current_span,
+    current_span_id,
+    emit_span,
+    open_span,
+    render_span_tree,
+    span_roots,
+    span_scope,
+    spans_for_query,
+)
+from repro.obs.tracer import RecordingTracer
+
+
+class TestSpanScope:
+    def test_no_ambient_scope_by_default(self):
+        assert current_span() is None
+        assert current_span_id() == ""
+
+    def test_scope_is_ambient_inside_the_with_body(self):
+        with span_scope("q1/r0", base_time=42.0) as context:
+            assert current_span() is context
+            assert current_span_id() == "q1/r0"
+            assert current_span().base_time == 42.0
+        assert current_span() is None
+
+    def test_scopes_nest_and_restore(self):
+        with span_scope("outer"):
+            with span_scope("inner"):
+                assert current_span_id() == "inner"
+            assert current_span_id() == "outer"
+
+    def test_scope_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with span_scope("doomed"):
+                raise RuntimeError("boom")
+        assert current_span() is None
+
+
+class TestEmission:
+    def test_open_and_close_are_stamped_at_their_sim_times(self):
+        tracer = RecordingTracer()
+        open_span(tracer, "q0", "query", start=5.0, query_id=0)
+        close_span(tracer, "q0", end=17.0)
+        records = tracer.records
+        assert isinstance(records[0].event, SpanOpened)
+        assert records[0].sim_time == 5.0
+        assert isinstance(records[1].event, SpanClosed)
+        assert records[1].sim_time == 17.0
+
+    def test_emit_span_produces_a_matched_pair(self):
+        tracer = RecordingTracer()
+        emit_span(
+            tracer, "q0/t3", "round_post", start=1.0, end=2.0,
+            parent_id="q0", query_id=0, status="ok",
+        )
+        opened, closed = (r.event for r in tracer.records)
+        assert opened.span_id == closed.span_id == "q0/t3"
+        assert opened.parent_id == "q0"
+        assert closed.end == 2.0
+
+    def test_span_events_round_trip_through_dicts(self):
+        event = SpanOpened(
+            span_id="q1", parent_id=None, name="query", start=3.0,
+            query_id=1, detail="c0=10 b=50",
+        )
+        assert event_from_dict(event.kind, event.to_dict()) == event
+        closed = SpanClosed(span_id="q1", end=9.0, status="degraded")
+        assert event_from_dict(closed.kind, closed.to_dict()) == closed
+
+
+def _trace(*events):
+    tracer = RecordingTracer()
+    for event in events:
+        tracer.emit(event)
+    return tracer.records
+
+
+class TestAssembly:
+    def test_tree_structure_and_child_order(self):
+        records = _trace(
+            SpanOpened(span_id="q0", parent_id=None, name="query", start=0.0,
+                       query_id=0),
+            SpanOpened(span_id="q0/r1", parent_id="q0", name="round",
+                       start=10.0, query_id=0),
+            SpanOpened(span_id="q0/r0", parent_id="q0", name="round",
+                       start=5.0, query_id=0),
+            SpanClosed(span_id="q0/r0", end=10.0),
+            SpanClosed(span_id="q0/r1", end=20.0),
+            SpanClosed(span_id="q0", end=20.0),
+        )
+        spans = assemble_spans(records)
+        root = spans["q0"]
+        assert [child.span_id for child in root.children] == ["q0/r0", "q0/r1"]
+        assert root.duration == 20.0
+        assert spans["q0/r0"].duration == 5.0
+
+    def test_unclosed_span_stays_open(self):
+        records = _trace(
+            SpanOpened(span_id="q0", parent_id=None, name="query", start=0.0),
+        )
+        span = assemble_spans(records)["q0"]
+        assert span.end is None
+        assert span.duration is None
+        assert "(open)" in render_span_tree(span)[0]
+
+    def test_unmatched_close_creates_a_stub(self):
+        records = _trace(SpanClosed(span_id="ghost", end=7.0))
+        span = assemble_spans(records)["ghost"]
+        assert span.name == "?"
+        assert span.start == 7.0
+        assert span.end == 7.0
+
+    def test_duplicate_open_keeps_first_duplicate_close_keeps_last(self):
+        records = _trace(
+            SpanOpened(span_id="q0", parent_id=None, name="query", start=1.0),
+            SpanOpened(span_id="q0", parent_id=None, name="other", start=9.0),
+            SpanClosed(span_id="q0", end=2.0),
+            SpanClosed(span_id="q0", end=3.0, status="degraded"),
+        )
+        span = assemble_spans(records)["q0"]
+        assert span.name == "query"
+        assert span.start == 1.0
+        assert span.end == 3.0
+        assert span.status == "degraded"
+
+    def test_roots_are_parentless_or_orphaned(self):
+        records = _trace(
+            SpanOpened(span_id="a", parent_id=None, name="x", start=0.0),
+            SpanOpened(span_id="a/b", parent_id="a", name="y", start=1.0),
+            SpanOpened(span_id="lost/c", parent_id="lost", name="z", start=2.0),
+        )
+        roots = span_roots(assemble_spans(records))
+        assert [r.span_id for r in roots] == ["a", "lost/c"]
+
+    def test_spans_for_query_filters_and_sorts(self):
+        records = _trace(
+            SpanOpened(span_id="q1", parent_id=None, name="query", start=5.0,
+                       query_id=1),
+            SpanOpened(span_id="q2", parent_id=None, name="query", start=0.0,
+                       query_id=2),
+            SpanOpened(span_id="q1/wait", parent_id="q1", name="queue_wait",
+                       start=1.0, query_id=1),
+        )
+        owned = spans_for_query(assemble_spans(records), 1)
+        assert [s.span_id for s in owned] == ["q1/wait", "q1"]
+
+
+class TestRendering:
+    def test_render_includes_status_and_detail(self):
+        records = _trace(
+            SpanOpened(span_id="q0", parent_id=None, name="query", start=0.0,
+                       detail="c0=10 b=50"),
+            SpanClosed(span_id="q0", end=5.0, status="degraded"),
+        )
+        (line,) = render_span_tree(assemble_spans(records)["q0"])
+        assert "query <q0>" in line
+        assert "[degraded]" in line
+        assert "(c0=10 b=50)" in line
+
+    def test_children_are_indented(self):
+        records = _trace(
+            SpanOpened(span_id="a", parent_id=None, name="run", start=0.0),
+            SpanOpened(span_id="a/r0", parent_id="a", name="round", start=0.0),
+        )
+        lines = render_span_tree(span_roots(assemble_spans(records))[0])
+        assert lines[1].startswith("  round")

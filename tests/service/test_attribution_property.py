@@ -1,0 +1,142 @@
+"""Property tests for the attribution invariant.
+
+The contract (docs/observability.md): for every completed query the
+waterfall chunks tile ``[arrival, completion]`` exactly, so the
+per-component durations sum — bitwise, no epsilon — to the query's
+end-to-end latency.  And recording spans must not perturb the service:
+a traced run's report, minus the attribution table, equals the
+untraced run's report bit for bit.
+
+Hypothesis drives random workloads through fault, retry, and breaker
+configurations to hunt for tilings the hand-written tests miss.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LinearLatency
+from repro.crowd.breaker import CircuitBreakerConfig
+from repro.crowd.faults import FaultProfile, RetryPolicy
+from repro.obs.attribution import waterfalls_from_records
+from repro.obs.tracer import RecordingTracer, use_tracer
+from repro.service import MaxScheduler, QuerySpec
+
+LATENCY = LinearLatency(239, 0.06)
+
+query_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=25),      # n_elements
+        st.integers(min_value=0, max_value=120),     # extra budget over n
+        st.floats(min_value=0.0, max_value=4000.0,   # arrival time
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=5,
+).map(
+    lambda rows: [
+        QuerySpec(
+            query_id=i,
+            n_elements=n,
+            budget=(0 if n == 1 else n + extra),
+            arrival_time=arrival,
+        )
+        for i, (n, extra, arrival) in enumerate(rows)
+    ]
+)
+
+fault_profiles = st.one_of(
+    st.none(),
+    st.builds(
+        FaultProfile,
+        abandon_prob=st.floats(min_value=0.0, max_value=0.3),
+        drop_prob=st.floats(min_value=0.0, max_value=0.3),
+        outage_prob=st.floats(min_value=0.0, max_value=0.2),
+    ),
+)
+
+breaker_configs = st.one_of(
+    st.none(),
+    st.builds(
+        CircuitBreakerConfig,
+        failure_threshold=st.integers(min_value=1, max_value=3),
+        cooldown_seconds=st.floats(min_value=60.0, max_value=1200.0),
+    ),
+)
+
+
+def _run(specs, seed, fault_profile, breaker_config, tracer=None):
+    retry_policy = None
+    if fault_profile is not None:
+        retry_policy = RetryPolicy(max_attempts=3, base_backoff=30.0)
+    scheduler = MaxScheduler(
+        specs,
+        LATENCY,
+        seed=seed,
+        fault_profile=fault_profile,
+        retry_policy=retry_policy,
+        breaker_config=breaker_config,
+    )
+    if tracer is None:
+        return scheduler.run()
+    with use_tracer(tracer):
+        return scheduler.run()
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    specs=query_specs,
+    seed=st.integers(min_value=0, max_value=2**16),
+    fault_profile=fault_profiles,
+    breaker_config=breaker_configs,
+)
+def test_waterfalls_tile_latency_exactly(
+    specs, seed, fault_profile, breaker_config
+):
+    tracer = RecordingTracer()
+    report = _run(specs, seed, fault_profile, breaker_config, tracer=tracer)
+    waterfalls = waterfalls_from_records(tracer.records)
+    assert set(waterfalls) == {s.query_id for s in specs}
+    for result in report.results:
+        wf = waterfalls[result.spec.query_id]
+        wf.validate()
+        # Bitwise equality: the tiling *is* the latency, not an estimate.
+        assert wf.total == result.latency
+        assert wf.chunk_sum == wf.total
+        # Per-component floats each round once, so their plain sum may
+        # drift by an ulp — that is the only slack allowed anywhere.
+        assert sum(wf.components().values()) == pytest.approx(
+            wf.total, rel=1e-12, abs=1e-9
+        )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    specs=query_specs,
+    seed=st.integers(min_value=0, max_value=2**16),
+    fault_profile=fault_profiles,
+    breaker_config=breaker_configs,
+)
+def test_tracing_never_perturbs_the_report(
+    specs, seed, fault_profile, breaker_config
+):
+    untraced = _run(specs, seed, fault_profile, breaker_config)
+    traced = _run(
+        specs, seed, fault_profile, breaker_config, tracer=RecordingTracer()
+    )
+    assert untraced.attribution is None
+    # Only all-zero-latency workloads (instant trivial queries) produce
+    # no chunks at all; anything that took time must be attributed.
+    if any(r.latency for r in traced.results):
+        assert traced.attribution is not None
+    assert dataclasses.replace(traced, attribution=None) == untraced

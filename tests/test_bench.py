@@ -6,10 +6,15 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA_VERSION,
+    append_history,
     combine_times,
     compare_times,
+    filter_times,
     load_bench_times,
+    load_history,
     make_artifact,
+    make_history_entry,
+    render_history,
     write_artifact,
 )
 from repro.errors import InvalidParameterError
@@ -81,3 +86,94 @@ class TestCompareTimes:
         assert "b" in text
         assert "FAIL" in text
         assert "3.00" in text
+
+
+class TestFilterTimes:
+    def test_empty_patterns_keep_everything(self):
+        times = {"bench_a": 1.0, "bench_b": 2.0}
+        assert filter_times(times, []) == times
+
+    def test_exact_and_glob_patterns(self):
+        times = {"bench_solve": 1.0, "bench_render": 2.0, "other": 3.0}
+        assert filter_times(times, ["bench_solve"]) == {"bench_solve": 1.0}
+        assert filter_times(times, ["bench_*"]) == {
+            "bench_solve": 1.0, "bench_render": 2.0,
+        }
+
+    def test_any_pattern_matching_keeps_the_bench(self):
+        times = {"a": 1.0, "b": 2.0}
+        assert filter_times(times, ["a", "nope"]) == {"a": 1.0}
+
+    def test_no_match_yields_empty(self):
+        assert filter_times({"a": 1.0}, ["zzz"]) == {}
+
+
+class TestHistory:
+    def test_make_history_entry_shape(self):
+        entry = make_history_entry(
+            {"bench_a": 1.5}, git_sha="abc123", timestamp="2026-08-08T00:00:00",
+        )
+        assert entry["kind"] == "bench_history"
+        assert entry["schema"] == BENCH_SCHEMA_VERSION
+        assert entry["git_sha"] == "abc123"
+        assert entry["benches"] == {"bench_a": 1.5}
+
+    def test_empty_times_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_history_entry({})
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        first = make_history_entry({"a": 1.0}, git_sha="s1")
+        second = make_history_entry({"a": 1.1}, git_sha="s2")
+        append_history(first, path)
+        append_history(second, path)
+        assert load_history(path) == [first, second]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_load_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entry = make_history_entry({"a": 1.0})
+        append_history(entry, path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+            handle.write('"a bare string"\n')
+        assert load_history(path) == [entry]
+
+
+class TestRenderHistory:
+    def _entries(self, *times):
+        return [make_history_entry({"bench_a": t}) for t in times]
+
+    def test_empty_history_placeholder(self):
+        assert render_history([]) == "bench history: (empty)"
+
+    def test_header_counts_runs(self):
+        text = render_history(self._entries(1.0, 1.1))
+        assert "2 run(s)" in text
+
+    def test_flags_regressions_against_baseline(self):
+        text = render_history(
+            self._entries(1.0, 3.0), baseline={"bench_a": 1.0},
+        )
+        assert "3.00x !" in text
+
+    def test_within_threshold_is_not_flagged(self):
+        text = render_history(
+            self._entries(1.0, 1.1), baseline={"bench_a": 1.0},
+        )
+        assert "1.10x" in text
+        assert "!" not in text
+
+    def test_missing_baseline_entry_renders_dash(self):
+        text = render_history(
+            self._entries(1.0), baseline={"bench_other": 1.0},
+        )
+        assert "-" in text
+
+    def test_limit_trims_the_sparkline_not_the_latest(self):
+        entries = self._entries(*[float(i + 1) for i in range(30)])
+        text = render_history(entries, limit=5)
+        assert "30.000" in text

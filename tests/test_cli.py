@@ -511,3 +511,142 @@ class TestBenchCheck:
         assert main(
             ["bench-check", str(committed), str(current), "--warn-only"]
         ) == 0
+
+    def test_filter_restricts_the_gate(self, capsys, tmp_path):
+        baseline = self._times_file(
+            tmp_path, "base.json", {"solver": 1.0, "noisy": 1.0}
+        )
+        current = self._times_file(
+            tmp_path, "cur.json", {"solver": 1.0, "noisy": 9.0}
+        )
+        # The noisy bench regressed badly, but the gate only watches
+        # the solver bench.
+        assert main(
+            ["bench-check", str(baseline), str(current), "--filter", "solver"]
+        ) == 0
+        assert main(
+            ["bench-check", str(baseline), str(current), "--filter", "solver,noisy"]
+        ) == 1
+
+    def test_filter_matching_nothing_is_a_clean_error(self, capsys, tmp_path):
+        baseline = self._times_file(tmp_path, "base.json", {"b": 1.0})
+        current = self._times_file(tmp_path, "cur.json", {"b": 1.0})
+        assert main(
+            ["bench-check", str(baseline), str(current), "--filter", "zzz"]
+        ) == 2
+        assert "zzz" in capsys.readouterr().err
+
+
+class TestBenchHistory:
+    def test_appends_and_renders(self, capsys, tmp_path):
+        current = TestBenchCheck._times_file(tmp_path, "cur.json", {"b": 1.0})
+        history = tmp_path / "history.jsonl"
+        assert main(
+            ["bench-history", str(current), "--history", str(history),
+             "--baseline", "-"]
+        ) == 0
+        assert main(
+            ["bench-history", str(current), "--history", str(history),
+             "--baseline", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert history.read_text(encoding="utf-8").count("\n") == 2
+
+    def test_no_append_leaves_history_untouched(self, capsys, tmp_path):
+        current = TestBenchCheck._times_file(tmp_path, "cur.json", {"b": 1.0})
+        history = tmp_path / "history.jsonl"
+        main(["bench-history", str(current), "--history", str(history),
+              "--baseline", "-"])
+        capsys.readouterr()
+        assert main(
+            ["bench-history", str(current), "--history", str(history),
+             "--baseline", "-", "--no-append"]
+        ) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+        assert history.read_text(encoding="utf-8").count("\n") == 1
+
+    def test_flags_regression_against_baseline(self, capsys, tmp_path):
+        baseline = TestBenchCheck._times_file(tmp_path, "base.json", {"b": 1.0})
+        current = TestBenchCheck._times_file(tmp_path, "cur.json", {"b": 4.0})
+        history = tmp_path / "history.jsonl"
+        assert main(
+            ["bench-history", str(current), "--history", str(history),
+             "--baseline", str(baseline)]
+        ) == 0
+        assert "4.00x !" in capsys.readouterr().out
+
+
+class TestExplain:
+    @staticmethod
+    def _trace(tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["serve", "--workload", "smoke", "--trace", str(path),
+             "--stream-trace"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_waterfalls_for_all_queries(self, capsys, tmp_path):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["explain", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "query 0" in out
+        assert "round_post" in out
+
+    def test_single_query_with_tree(self, capsys, tmp_path):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["explain", "0", "--trace", str(trace), "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "query <q0>" in out
+
+    def test_input_trace_is_not_overwritten(self, capsys, tmp_path):
+        # `explain` consumes --trace; it must never be routed through the
+        # observability wrapper, which would treat it as an output path.
+        trace = self._trace(tmp_path, capsys)
+        before = trace.read_text(encoding="utf-8")
+        main(["explain", "--trace", str(trace)])
+        assert trace.read_text(encoding="utf-8") == before
+
+    def test_unknown_query_id_is_a_clean_error(self, capsys, tmp_path):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["explain", "999", "--trace", str(trace)]) == 2
+        assert "999" in capsys.readouterr().err
+
+    def test_missing_trace_file_is_a_clean_error(self, capsys, tmp_path):
+        assert main(
+            ["explain", "--trace", str(tmp_path / "absent.jsonl")]
+        ) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_trace_without_spans_exits_one(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert main(["explain", "--trace", str(path)]) == 1
+        assert "no query spans" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profiles_both_solvers(self, capsys):
+        assert main(
+            ["profile", "--elements", "30", "--budget", "150"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "frontier.solves" in out
+        assert "memo.solves" in out
+        assert "plan_cache.misses" in out
+
+    def test_repeat_warms_the_plan_cache(self, capsys):
+        assert main(
+            ["profile", "--elements", "30", "--budget", "150",
+             "--solver", "frontier", "--repeat", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan_cache.hits" in out
+        assert "memo.solves" not in out
+
+    def test_repeat_must_be_positive(self, capsys):
+        assert main(
+            ["profile", "--elements", "30", "--budget", "150", "--repeat", "0"]
+        ) == 2

@@ -56,6 +56,8 @@ class TestReadmeClaims:
             "top": ["run.jsonl"],
             "metrics-export": ["snap.json"],
             "bench-check": ["baseline.json", "current"],
+            "bench-history": ["bench-artifacts"],
+            "explain": ["--trace", "trace.jsonl"],
         }
         for command in re.findall(r"tdp-repro ([\w-]+)", text):
             # argparse raises SystemExit(2) for unknown subcommands.
