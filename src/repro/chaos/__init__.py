@@ -11,10 +11,12 @@ from repro.chaos.harness import (
     ChaosReport,
     ChaosScenario,
     CrashOutcome,
+    available_scenarios,
     build_scheduler,
     describe_mismatch,
     run_chaos,
     run_with_crash,
+    scenario_by_name,
     seeded_crash_points,
     total_steps,
     uninterrupted_report,
@@ -24,11 +26,13 @@ __all__ = [
     "ChaosScenario",
     "CrashOutcome",
     "ChaosReport",
+    "available_scenarios",
     "build_scheduler",
     "uninterrupted_report",
     "total_steps",
     "describe_mismatch",
     "run_with_crash",
+    "scenario_by_name",
     "seeded_crash_points",
     "run_chaos",
 ]

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.latency import LatencyFunction, mturk_car_latency
 from repro.crowd.breaker import CircuitBreakerConfig
 from repro.crowd.faults import RetryPolicy, fault_profile_by_name
+from repro.crowd.multibackend import BackendSpec, backend_preset_by_name
 from repro.errors import InvalidParameterError
 from repro.service.journal import SchedulerJournal, recover_scheduler
 from repro.service.report import ServiceReport
@@ -49,6 +50,10 @@ class ChaosScenario:
         breaker: circuit-breaker configuration, if any.
         latency: planning latency model (``None`` = the paper's MTurk fit).
         snapshot_interval: journal snapshot cadence in ticks.
+        backends: federate the run across this fleet of
+            :class:`~repro.crowd.multibackend.BackendSpec` s instead of one
+            shared platform (mutually exclusive with ``faults``/``breaker``;
+            per-backend fault profiles and breakers live in the specs).
     """
 
     workload: str = "smoke"
@@ -60,6 +65,19 @@ class ChaosScenario:
     breaker: Optional[CircuitBreakerConfig] = None
     latency: Optional[LatencyFunction] = None
     snapshot_interval: int = 1
+    backends: Optional[Tuple[BackendSpec, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.backends is not None and self.faults is not None:
+            raise InvalidParameterError(
+                "faults and backends are mutually exclusive; attach fault "
+                "profiles to individual BackendSpecs instead"
+            )
+        if self.backends is not None and self.breaker is not None:
+            raise InvalidParameterError(
+                "breaker and backends are mutually exclusive; attach "
+                "breakers to individual BackendSpecs instead"
+            )
 
 
 @dataclass(frozen=True)
@@ -100,10 +118,16 @@ class ChaosReport:
 
     def render(self) -> str:
         """Human-readable summary for the CLI."""
+        backends = (
+            ",".join(spec.name for spec in self.scenario.backends)
+            if self.scenario.backends is not None
+            else "none"
+        )
         lines = [
             f"chaos: workload={self.scenario.workload} "
             f"seed={self.scenario.seed} "
             f"faults={self.scenario.faults or 'none'} "
+            f"backends={backends} "
             f"snapshot_interval={self.scenario.snapshot_interval}",
             f"baseline: {self.baseline.ticks} ticks, "
             f"makespan {self.baseline.makespan:.1f} s, "
@@ -157,7 +181,55 @@ def build_scheduler(
         retry_policy=scenario.retry_policy,
         breaker_config=scenario.breaker,
         journal=journal,
+        backends=(
+            list(scenario.backends) if scenario.backends is not None else None
+        ),
     )
+
+
+# ----------------------------------------------------------------------
+# Named scenarios (``tdp-repro chaos --scenario NAME``)
+# ----------------------------------------------------------------------
+def _multibackend_outage() -> ChaosScenario:
+    """A three-backend fleet whose default route goes dark mid-run.
+
+    The ``outage-trio`` preset arms every backend's circuit breaker and
+    gives the latency-preferred ``balanced`` backend a sustained outage
+    window: crash points land before, during and after the failover, so
+    recovery must reproduce the router's reroute decisions exactly.
+    """
+    return ChaosScenario(
+        workload="steady",
+        seed=3,
+        backends=tuple(backend_preset_by_name("outage-trio")),
+    )
+
+
+_SCENARIOS = {
+    "multibackend-outage": _multibackend_outage,
+}
+
+
+def available_scenarios() -> List[str]:
+    """Names accepted by :func:`scenario_by_name` (``--scenario``)."""
+    return sorted(_SCENARIOS)
+
+
+def scenario_by_name(name: str) -> ChaosScenario:
+    """Instantiate a named chaos scenario.
+
+    Raises:
+        InvalidParameterError: for unknown names (the message lists the
+            available ones).
+    """
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown chaos scenario {name!r}; available: "
+            f"{', '.join(available_scenarios())}"
+        ) from None
+    return factory()
 
 
 def uninterrupted_report(scenario: ChaosScenario) -> ServiceReport:

@@ -225,6 +225,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-round retry deadline in simulated seconds",
     )
     serve.add_argument(
+        "--backends",
+        default=None,
+        metavar="SPEC",
+        help="federate the workload across a fleet of crowd backends: a "
+        "preset name (solo, duo, trio, outage-trio) or a JSON spec file "
+        "(see docs/backends.md); mutually exclusive with --faults and "
+        "--breaker",
+    )
+    serve.add_argument(
+        "--routing",
+        default="latency",
+        metavar="POLICY",
+        help="multi-backend routing policy: latency (default), "
+        "least-loaded or weighted-price",
+    )
+    serve.add_argument(
         "--journal",
         default=None,
         metavar="PATH",
@@ -424,6 +440,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="crash-test the journaled scheduler: kill at tick boundaries, "
         "recover, verify the reports are bit-identical",
+    )
+    chaos.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="run a named scenario (e.g. multibackend-outage) instead of "
+        "composing one from the flags below",
     )
     chaos.add_argument(
         "--workload",
@@ -868,6 +891,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     latency = _latency_from_args(args)
+    backends = None
+    if args.backends is not None:
+        from repro.crowd.multibackend import resolve_backends
+
+        if args.faults is not None:
+            raise InvalidParameterError(
+                "--faults and --backends are mutually exclusive; attach "
+                "per-backend fault profiles to the backend specs"
+            )
+        if args.breaker:
+            raise InvalidParameterError(
+                "--breaker and --backends are mutually exclusive; attach "
+                "per-backend breakers to the backend specs"
+            )
+        backends = resolve_backends(args.backends)
     fault_profile = (
         fault_profile_by_name(args.faults) if args.faults is not None else None
     )
@@ -893,6 +931,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_active_queries=args.max_active,
         max_queue_depth=args.queue_depth,
         overload_policy=args.overload,
+        routing=args.routing,
     )
     journal = None
     if args.journal is not None:
@@ -910,6 +949,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry_policy=retry_policy,
         breaker_config=_breaker_config(args),
         journal=journal,
+        backends=backends,
     )
     report = scheduler.run(on_tick=on_tick)
     if journal is not None:
@@ -924,10 +964,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"workload {args.workload} ({len(specs)} queries), "
         f"policy {args.scheduling}, faults={profile_name}, {retries}"
     )
+    if backends is not None:
+        print(
+            f"backends: {args.backends} ({len(backends)} backend(s)), "
+            f"routing {args.routing}"
+        )
     if args.journal is not None:
         print(f"journal: {args.journal} (snapshot every "
               f"{args.snapshot_interval} tick(s))")
     print(report.render(per_query=args.per_query))
+    if scheduler.router is not None:
+        print("fleet:")
+        for row in scheduler.router.summary():
+            print(
+                f"  {row['name']:<12} rounds {row['rounds']:>4}  "
+                f"questions {row['questions_posted']:>6}  "
+                f"outages {row['outages']:>3}  "
+                f"cost ${row['cost']:.2f}  breaker {row['breaker']}"
+            )
     return 0
 
 
@@ -1111,29 +1165,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.chaos import ChaosScenario, run_chaos
+    from repro.chaos import ChaosScenario, run_chaos, scenario_by_name
 
-    attempts = args.retry
-    if attempts is not None and attempts < 1:
-        raise InvalidParameterError(
-            f"--retry must be >= 1 attempt, got {attempts}"
+    if args.scenario is not None:
+        if args.faults is not None or args.breaker:
+            raise InvalidParameterError(
+                "--scenario is a complete setup; it cannot be combined "
+                "with --faults or --breaker"
+            )
+        scenario = scenario_by_name(args.scenario)
+        if args.queries is not None:
+            import dataclasses
+
+            scenario = dataclasses.replace(scenario, n_queries=args.queries)
+    else:
+        attempts = args.retry
+        if attempts is not None and attempts < 1:
+            raise InvalidParameterError(
+                f"--retry must be >= 1 attempt, got {attempts}"
+            )
+        if attempts is None and args.faults is not None:
+            attempts = 3
+        retry_policy = (
+            RetryPolicy(max_attempts=attempts)
+            if attempts is not None and attempts > 1
+            else None
         )
-    if attempts is None and args.faults is not None:
-        attempts = 3
-    retry_policy = (
-        RetryPolicy(max_attempts=attempts)
-        if attempts is not None and attempts > 1
-        else None
-    )
-    scenario = ChaosScenario(
-        workload=args.workload,
-        seed=args.seed,
-        faults=args.faults,
-        retry_policy=retry_policy,
-        n_queries=args.queries,
-        breaker=_breaker_config(args),
-        snapshot_interval=args.snapshot_interval,
-    )
+        scenario = ChaosScenario(
+            workload=args.workload,
+            seed=args.seed,
+            faults=args.faults,
+            retry_policy=retry_policy,
+            n_queries=args.queries,
+            breaker=_breaker_config(args),
+            snapshot_interval=args.snapshot_interval,
+        )
     crash_points = None
     if args.crash_points is not None:
         try:

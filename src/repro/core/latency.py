@@ -128,6 +128,17 @@ class PowerLawLatency(LatencyFunction):
             f"p={self.p:g})"
         )
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PowerLawLatency)
+            and self.delta == other.delta
+            and self.alpha == other.alpha
+            and self.p == other.p
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PowerLawLatency", self.delta, self.alpha, self.p))
+
 
 class PiecewiseLinearLatency(LatencyFunction):
     """Piecewise-linear interpolation through given (batch size, seconds) knots.
@@ -170,6 +181,18 @@ class PiecewiseLinearLatency(LatencyFunction):
     def __repr__(self) -> str:
         return f"PiecewiseLinearLatency({list(zip(self._qs, self._ts))!r})"
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PiecewiseLinearLatency)
+            and self._qs == other._qs
+            and self._ts == other._ts
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            ("PiecewiseLinearLatency", tuple(self._qs), tuple(self._ts))
+        )
+
 
 class TabulatedLatency(LatencyFunction):
     """Latency interpolated from measured ``(batch size, seconds)`` samples.
@@ -199,6 +222,15 @@ class TabulatedLatency(LatencyFunction):
 
     def __repr__(self) -> str:
         return f"TabulatedLatency({list(zip(self._inner._qs, self._inner._ts))!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TabulatedLatency)
+            and self._inner == other._inner
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TabulatedLatency", hash(self._inner)))
 
 
 def fit_linear_latency(samples: Sequence[Tuple[int, float]]) -> LinearLatency:

@@ -1,0 +1,516 @@
+"""Capacity-aware routing of shared rounds across a federated fleet.
+
+The scheduler packs one shared round per tick; with a fleet configured the
+round is *split* across backends instead of posted to one platform.  The
+split is an assignment problem in the spirit of quoracle's load/latency
+search: place each query's question block on the backend that minimizes
+the predicted round makespan, subject to per-backend capacity limits —
+then post the per-backend sub-batches (conceptually in parallel, so the
+tick's latency is the *maximum* over the participating backends).
+
+Routing policies (``ServiceConfig.routing`` / ``serve --routing``):
+
+* ``latency`` (default) — greedy water-filling over predicted round
+  latency: each unit goes to the backend whose predicted ``L(q)`` after
+  taking the unit is smallest.
+* ``least-loaded`` — balance the round by occupancy (capacity fraction
+  where a capacity is set, absolute assigned questions otherwise).
+* ``weighted-price`` — cheapest backend first (predicted latency as the
+  tie-break), spilling to pricier backends only on capacity.
+
+Failover is breaker-driven and per-backend: an OPEN backend is excluded
+from the split (its share reroutes to the survivors), a HALF_OPEN backend
+receives at most ``PROBE_QUESTIONS`` as a probe, and only when *every*
+backend defers does the router defer the whole round.  Units are kept
+whole when any backend can take them (one query's round on one platform
+keeps worker-answer locality); a unit larger than every remaining slot is
+split across backends by remaining capacity.
+
+Determinism: backends are always iterated in spec order, every tie breaks
+toward the lower backend index, and the only RNG the router ever touches
+is each backend's own (inside its RWL).  The scheduler journals one
+``route`` record per multi-backend tick, and recovery replays the exact
+same decisions — bit-identically — because the router is a pure function
+of (fleet state, round content).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crowd.breaker import RoundDecision
+from repro.crowd.multibackend.backend import Backend
+from repro.crowd.rwl import RWLResult
+from repro.errors import InvalidParameterError, PlatformOutageError
+from repro.obs.metrics import get_registry, labeled_name
+from repro.obs.spans import current_span, emit_span, span_scope
+from repro.obs.tracer import current_tracer
+from repro.types import Answer, Question
+
+logger = logging.getLogger(__name__)
+
+#: Accepted ``ServiceConfig.routing`` / ``--routing`` policy names.
+ROUTING_POLICIES: Tuple[str, ...] = ("latency", "least-loaded", "weighted-price")
+
+#: Distinct-question cap of a half-open backend's probe sub-batch.
+PROBE_QUESTIONS = 8
+
+#: Effectively-unbounded stand-in for a ``capacity=None`` backend.
+_UNBOUNDED = 10**12
+
+
+@dataclass(frozen=True)
+class RouterAdmission:
+    """Outcome of :meth:`CapacityAwareRouter.before_round`.
+
+    ``defer`` is true only when every backend's breaker defers; then
+    ``resume_at`` is the earliest cooldown expiry across the fleet.
+    ``probe`` is true only for a *solo* fleet whose breaker is half-open
+    — the scheduler then packs a single probe query, exactly like the
+    router-less breaker path (part of the solo bit-identity contract);
+    multi-backend fleets probe per backend via sub-batch quotas instead.
+    """
+
+    defer: bool
+    resume_at: float = 0.0
+    probe: bool = False
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """One tick's routing decision (journaled; the failover audit trail).
+
+    Attributes:
+        tick: the scheduler tick the decision belongs to.
+        assignments: distinct questions assigned per backend name (every
+            configured backend appears, zeros included).
+        states: breaker state label per backend at decision time.
+        unposted: distinct questions no backend had room for (they stay
+            outstanding and are re-routed next tick — *not* a fault).
+    """
+
+    tick: int
+    assignments: Dict[str, int]
+    states: Dict[str, str]
+    unposted: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tick": self.tick,
+            "assignments": dict(self.assignments),
+            "states": dict(self.states),
+            "unposted": self.unposted,
+        }
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What one routed shared round produced, aggregated over the fleet.
+
+    Attributes:
+        answers: all answers, concatenated in backend order.
+        latency: the round's simulated latency — the max over posted
+            backends (sub-batches run in parallel).
+        n_posted: distinct questions successfully posted (assigned to a
+            backend that returned a batch).
+        unposted: questions no backend had capacity for this round.
+        total_outage: every posting backend suffered a whole-batch
+            outage (mirrors the single-platform ``PlatformOutageError``
+            path in the scheduler).
+        decision: the routing decision that produced this outcome.
+        backend_latencies: per-backend round latency (posted backends
+            only), keyed by name.
+        outaged: names of backends whose sub-batch was swallowed.
+    """
+
+    answers: Tuple[Answer, ...]
+    latency: float
+    n_posted: int
+    unposted: frozenset
+    total_outage: bool
+    decision: RouteDecision
+    backend_latencies: Dict[str, float]
+    outaged: Tuple[str, ...]
+
+
+class CapacityAwareRouter:
+    """Split each shared round across a fleet of :class:`Backend` s.
+
+    Args:
+        backends: the live fleet, spec order (see
+            :func:`~repro.crowd.multibackend.backend.build_backends`).
+        policy: one of :data:`ROUTING_POLICIES`.
+
+    A single-backend fleet short-circuits: no backend spans, no route
+    journal records, everything posted to the lone backend — the
+    differential regression test pins this down as bit-identical to the
+    router-less scheduler.
+    """
+
+    def __init__(self, backends: Sequence[Backend], policy: str = "latency") -> None:
+        if policy not in ROUTING_POLICIES:
+            raise InvalidParameterError(
+                f"unknown routing policy {policy!r}; available: "
+                f"{', '.join(ROUTING_POLICIES)}"
+            )
+        if not backends:
+            raise InvalidParameterError("the router needs >= 1 backend")
+        self.backends: List[Backend] = list(backends)
+        self.policy = policy
+        self._by_name = {b.name: b for b in self.backends}
+        self._decisions: Optional[Dict[int, RoundDecision]] = None
+
+    @property
+    def solo(self) -> bool:
+        """Whether the fleet degenerates to a single backend."""
+        return len(self.backends) == 1
+
+    def backend(self, name: str) -> Backend:
+        """Look up a backend by name."""
+        return self._by_name[name]
+
+    # ------------------------------------------------------------------
+    # Breaker admission (the scheduler's per-tick gate)
+    # ------------------------------------------------------------------
+    def before_round(self, now: float) -> RouterAdmission:
+        """Ask every backend's breaker about the round starting at *now*.
+
+        Decisions are stashed for the immediately following
+        :meth:`post_round`; an all-defer fleet yields a global defer.
+        """
+        decisions: Dict[int, RoundDecision] = {}
+        for backend in self.backends:
+            if backend.breaker is None:
+                decisions[backend.index] = RoundDecision.POST
+            else:
+                decisions[backend.index] = backend.breaker.before_round(now)
+        if all(d is RoundDecision.DEFER for d in decisions.values()):
+            resume_at = min(
+                backend.breaker.defer_target(now)
+                for backend in self.backends
+                if backend.breaker is not None
+            )
+            self._decisions = None
+            return RouterAdmission(defer=True, resume_at=resume_at)
+        self._decisions = decisions
+        probe = self.solo and decisions[
+            self.backends[0].index
+        ] is RoundDecision.PROBE
+        return RouterAdmission(defer=False, probe=probe)
+
+    def note_time(self, now: float) -> None:
+        """Stamp every breaker that opened clock-lessly during the round."""
+        for backend in self.backends:
+            if backend.breaker is not None:
+                backend.breaker.note_time(now)
+
+    def breaker_summary(self) -> str:
+        """One-line fleet breaker state for the tick telemetry feed.
+
+        ``"none"`` when no backend carries a breaker (matching the
+        router-less scheduler's label), ``"closed"`` when all circuits
+        are closed, otherwise the non-closed backends spelled out.  A
+        solo fleet reports its breaker's bare state, exactly like the
+        router-less scheduler.
+        """
+        if all(backend.breaker is None for backend in self.backends):
+            return "none"
+        if self.solo:
+            return self.backends[0].breaker.state.value
+        degraded = [
+            f"{backend.name}:{backend.breaker.state.value}"
+            for backend in self.backends
+            if backend.breaker is not None
+            and backend.breaker.state.value != "closed"
+        ]
+        return "closed" if not degraded else ",".join(degraded)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def post_round(
+        self,
+        units: Sequence[Tuple[int, Sequence[Question]]],
+        *,
+        now: float,
+        tick: int,
+    ) -> RoundOutcome:
+        """Split, post and merge one shared round.
+
+        Args:
+            units: ``(query_id, questions)`` blocks, scheduler policy
+                order; the router keeps each block whole when it can.
+            now: the simulated clock at round start (gates sustained
+                outage windows and anchors backend spans).
+            tick: the scheduler tick (span ids, decision log).
+        """
+        decisions = self._decisions
+        self._decisions = None
+        if decisions is None:
+            decisions = {
+                b.index: (
+                    b.breaker.before_round(now)
+                    if b.breaker is not None
+                    else RoundDecision.POST
+                )
+                for b in self.backends
+            }
+        assignment, unposted = self._assign(units, decisions)
+        decision = RouteDecision(
+            tick=tick,
+            assignments={
+                b.name: len(assignment[b.index]) for b in self.backends
+            },
+            states={b.name: b.breaker_state() for b in self.backends},
+            unposted=len(unposted),
+        )
+        registry = get_registry()
+        registry.counter("router.rounds").inc()
+        if unposted:
+            registry.counter("router.deferred_questions").inc(len(unposted))
+
+        answers: List[Answer] = []
+        latency = 0.0
+        n_posted = 0
+        backend_latencies: Dict[str, float] = {}
+        outaged: List[str] = []
+        posted_any = False
+        tracer = current_tracer()
+        scope = current_span() if tracer.enabled else None
+        for backend in self.backends:
+            sub_batch = assignment[backend.index]
+            if not sub_batch:
+                continue
+            posted_any = True
+            backend.set_clock(now)
+            backend.rounds += 1
+            span_id = (
+                f"{scope.span_id}/{backend.name}" if scope is not None else None
+            )
+            probe = decisions[backend.index] is RoundDecision.PROBE
+            try:
+                result = self._post_backend(backend, sub_batch, span_id, scope)
+            except PlatformOutageError as outage:
+                backend.outages += 1
+                wasted = float(outage.wasted_seconds)
+                latency = max(latency, wasted)
+                backend_latencies[backend.name] = wasted
+                outaged.append(backend.name)
+                self._observe_backend(registry, backend, wasted, 0, outage=True)
+                if not self.solo and span_id is not None:
+                    emit_span(
+                        tracer,
+                        span_id,
+                        "backend",
+                        start=scope.base_time,
+                        end=scope.base_time + wasted,
+                        parent_id=scope.span_id,
+                        detail=f"{backend.name}: {len(sub_batch)} questions",
+                        status="outage",
+                    )
+                logger.warning(
+                    "backend %s outage swallowed %d question(s) at t=%.1f",
+                    backend.name,
+                    len(sub_batch),
+                    now,
+                )
+                continue
+            answers.extend(result.answers)
+            latency = max(latency, float(result.latency))
+            n_posted += len(sub_batch)
+            backend.questions_posted += len(sub_batch)
+            backend.cost += backend.spec.price_per_question * float(
+                result.questions_posted
+            )
+            backend_latencies[backend.name] = float(result.latency)
+            self._observe_backend(
+                registry, backend, float(result.latency), len(sub_batch),
+                outage=False,
+            )
+            if not self.solo and span_id is not None:
+                emit_span(
+                    tracer,
+                    span_id,
+                    "backend",
+                    start=scope.base_time,
+                    end=scope.base_time + float(result.latency),
+                    parent_id=scope.span_id,
+                    detail=(
+                        f"{backend.name}: {len(sub_batch)} questions"
+                        + (" (probe)" if probe else "")
+                    ),
+                )
+        successful = set(backend_latencies) - set(outaged)
+        total_outage = posted_any and not successful
+        return RoundOutcome(
+            answers=tuple(answers),
+            latency=latency,
+            n_posted=n_posted,
+            unposted=frozenset(unposted),
+            total_outage=total_outage,
+            decision=decision,
+            backend_latencies=backend_latencies,
+            outaged=tuple(outaged),
+        )
+
+    def _post_backend(
+        self,
+        backend: Backend,
+        sub_batch: List[Question],
+        span_id: Optional[str],
+        scope,
+    ) -> RWLResult:
+        """Post one backend's sub-batch through its own RWL.
+
+        In a multi-backend fleet the backend span becomes the ambient
+        scope, so RWL attempt spans nest under it; a solo fleet leaves
+        the scheduler's tick scope ambient — the trace stays identical
+        to the router-less run.
+        """
+        if self.solo or span_id is None:
+            return backend.rwl.ask(sub_batch)
+        with span_scope(span_id, base_time=scope.base_time):
+            return backend.rwl.ask(sub_batch)
+
+    @staticmethod
+    def _observe_backend(
+        registry,
+        backend: Backend,
+        latency: float,
+        n_questions: int,
+        *,
+        outage: bool,
+    ) -> None:
+        """Record the per-backend labeled series for one sub-round."""
+        labels = {"backend": backend.name}
+        registry.histogram(
+            labeled_name("backend.round_latency", labels)
+        ).observe(latency)
+        registry.counter(labeled_name("backend.rounds", labels)).inc()
+        if n_questions:
+            registry.counter(
+                labeled_name("backend.questions_posted", labels)
+            ).inc(n_questions)
+        if outage:
+            registry.counter(labeled_name("backend.outages", labels)).inc()
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+    def _round_capacity(
+        self, backend: Backend, decision: RoundDecision
+    ) -> int:
+        """Distinct questions *backend* may take this round."""
+        if decision is RoundDecision.DEFER:
+            return 0
+        capacity = (
+            backend.spec.capacity
+            if backend.spec.capacity is not None
+            else _UNBOUNDED
+        )
+        if decision is RoundDecision.PROBE and not self.solo:
+            # Solo fleets probe the router-less way: the scheduler packs
+            # a single query; the quota applies only to real fleets.
+            return min(capacity, PROBE_QUESTIONS)
+        return capacity
+
+    def _predicted(self, backend: Backend, load: int) -> float:
+        """Predicted round latency of *backend* carrying *load* questions."""
+        return float(backend.spec.latency(load))
+
+    def _placement_key(
+        self, backend: Backend, load: int, unit_size: int
+    ) -> Tuple:
+        """Ordering key for placing a unit; smaller is better.
+
+        Backend index is always the final component — every tie is
+        broken deterministically toward spec order.
+        """
+        after = load + unit_size
+        if self.policy == "latency":
+            return (self._predicted(backend, after), backend.index)
+        if self.policy == "least-loaded":
+            capacity = backend.spec.capacity
+            occupancy = after / capacity if capacity is not None else float(after)
+            return (occupancy, self._predicted(backend, after), backend.index)
+        # weighted-price: cheapest first, predicted latency as tie-break.
+        return (
+            backend.spec.price_per_question,
+            self._predicted(backend, after),
+            backend.index,
+        )
+
+    def _assign(
+        self,
+        units: Sequence[Tuple[int, Sequence[Question]]],
+        decisions: Dict[int, RoundDecision],
+    ) -> Tuple[Dict[int, List[Question]], List[Question]]:
+        """Place every unit; returns (per-backend batches, unposted).
+
+        Phase 1 keeps units whole on the policy-preferred backend with
+        room; phase 2 splits units that fit nowhere whole across the
+        remaining slack (largest remaining slot first).  Questions that
+        still do not fit stay outstanding for the next tick.
+        """
+        assignment: Dict[int, List[Question]] = {
+            b.index: [] for b in self.backends
+        }
+        remaining: Dict[int, int] = {
+            b.index: self._round_capacity(b, decisions[b.index])
+            for b in self.backends
+        }
+        unposted: List[Question] = []
+        for _query_id, questions in units:
+            block = list(questions)
+            candidates = [
+                b
+                for b in self.backends
+                if remaining[b.index] >= len(block) and block
+            ]
+            if candidates:
+                best = min(
+                    candidates,
+                    key=lambda b: self._placement_key(
+                        b, len(assignment[b.index]), len(block)
+                    ),
+                )
+                assignment[best.index].extend(block)
+                remaining[best.index] -= len(block)
+                continue
+            # Phase 2: no single backend fits the whole block — carve it
+            # over the remaining slack, biggest slot first (fewest seams).
+            get_registry().counter("router.split_units").inc()
+            spill = sorted(
+                self.backends,
+                key=lambda b: (-remaining[b.index], b.index),
+            )
+            cursor = 0
+            for backend in spill:
+                slack = remaining[backend.index]
+                if slack <= 0 or cursor >= len(block):
+                    continue
+                chunk = block[cursor : cursor + slack]
+                assignment[backend.index].extend(chunk)
+                remaining[backend.index] -= len(chunk)
+                cursor += len(chunk)
+            unposted.extend(block[cursor:])
+        return assignment, unposted
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> List[Dict[str, object]]:
+        """Per-backend cumulative totals (the CLI's fleet table)."""
+        return [
+            {
+                "name": b.name,
+                "rounds": b.rounds,
+                "questions_posted": b.questions_posted,
+                "outages": b.outages,
+                "cost": round(b.cost, 6),
+                "breaker": b.breaker_state(),
+            }
+            for b in self.backends
+        ]

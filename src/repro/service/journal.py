@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.crowd.breaker import CircuitBreakerConfig
 from repro.crowd.faults import FaultProfile, FaultStats, FaultyPlatform, RetryPolicy
+from repro.crowd.multibackend import backend_spec_from_dict, backend_spec_to_dict
 from repro.crowd.platform import PlatformStats, SimulatedPlatform
 from repro.errors import InvalidParameterError, JournalCorruptError
 from repro.obs.events import CheckpointWritten, RecoveryCompleted
@@ -219,6 +220,11 @@ class SchedulerJournal:
                 if scheduler._breaker_config is not None
                 else None
             ),
+            "backends": (
+                [backend_spec_to_dict(s) for s in scheduler._backend_specs]
+                if scheduler._backend_specs is not None
+                else None
+            ),
         }
 
     def _write(
@@ -298,9 +304,55 @@ def snapshot_scheduler(scheduler: MaxScheduler) -> Dict[str, Any]:
     RWL and fault streams, platform/fault statistics, plan-cache contents
     and the circuit breaker.
     """
-    platform = scheduler.platform
-    faulty = platform if isinstance(platform, FaultyPlatform) else None
-    inner: SimulatedPlatform = faulty.inner if faulty is not None else platform
+    if scheduler._router is not None:
+        # Federated mode: the platform/RWL/fault/breaker state lives
+        # inside each Backend; the legacy top-level slots stay None so
+        # old readers fail loudly rather than restore half a fleet.
+        crowd_state: Dict[str, Any] = {
+            "rng": None,
+            "platform": None,
+            "fault": None,
+            "breaker": None,
+            "backends": [
+                backend.state_dict()
+                for backend in scheduler._router.backends
+            ],
+        }
+    else:
+        platform = scheduler.platform
+        faulty = platform if isinstance(platform, FaultyPlatform) else None
+        inner: SimulatedPlatform = (
+            faulty.inner if faulty is not None else platform
+        )
+        crowd_state = {
+            "rng": {
+                "platform": inner._rng.bit_generator.state,
+                "rwl": scheduler._rwl._rng.bit_generator.state,
+                "fault": (
+                    faulty._fault_rng.bit_generator.state
+                    if faulty is not None
+                    else None
+                ),
+            },
+            "platform": {
+                "next_worker_id": inner._next_worker_id,
+                "stats": dataclasses.asdict(inner.stats),
+            },
+            "fault": (
+                {
+                    "stats": faulty.fault_stats.as_dict(),
+                    "clock": float(faulty.clock),
+                }
+                if faulty is not None
+                else None
+            ),
+            "breaker": (
+                scheduler.breaker.state_dict()
+                if scheduler.breaker is not None
+                else None
+            ),
+            "backends": None,
+        }
     return {
         "now": float(scheduler._now),
         "ticks": scheduler._ticks,
@@ -315,24 +367,6 @@ def snapshot_scheduler(scheduler: MaxScheduler) -> Dict[str, Any]:
         "results": [
             _memoized_payload(r, _result_to_dict) for r in scheduler._results
         ],
-        "rng": {
-            "platform": inner._rng.bit_generator.state,
-            "rwl": scheduler._rwl._rng.bit_generator.state,
-            "fault": (
-                faulty._fault_rng.bit_generator.state
-                if faulty is not None
-                else None
-            ),
-        },
-        "platform": {
-            "next_worker_id": inner._next_worker_id,
-            "stats": dataclasses.asdict(inner.stats),
-        },
-        "fault": (
-            {"stats": faulty.fault_stats.as_dict(), "clock": float(faulty.clock)}
-            if faulty is not None
-            else None
-        ),
         "plan_cache": {
             "entries": [
                 [
@@ -343,11 +377,7 @@ def snapshot_scheduler(scheduler: MaxScheduler) -> Dict[str, Any]:
             ],
             "stats": dataclasses.asdict(scheduler.plan_cache.stats),
         },
-        "breaker": (
-            scheduler.breaker.state_dict()
-            if scheduler.breaker is not None
-            else None
-        ),
+        **crowd_state,
     }
 
 
@@ -370,23 +400,37 @@ def restore_scheduler_state(
     scheduler._active = [_active_query_from_dict(d) for d in snapshot["active"]]
     scheduler._results = [_result_from_dict(d) for d in snapshot["results"]]
 
-    platform = scheduler.platform
-    faulty = platform if isinstance(platform, FaultyPlatform) else None
-    inner: SimulatedPlatform = faulty.inner if faulty is not None else platform
-    rng_states = snapshot["rng"]
-    inner._rng = _generator_from_state(rng_states["platform"])
-    scheduler._rwl._rng = _generator_from_state(rng_states["rwl"])
-    if faulty is not None:
-        if rng_states["fault"] is None:
+    if scheduler._router is not None:
+        backends_payload = snapshot.get("backends")
+        fleet = scheduler._router.backends
+        if not isinstance(backends_payload, list) or len(
+            backends_payload
+        ) != len(fleet):
             raise JournalCorruptError(
-                "snapshot lacks the fault RNG state of a faulty platform"
+                "snapshot backend states do not match the configured fleet"
             )
-        faulty._fault_rng = _generator_from_state(rng_states["fault"])
-        fault = snapshot["fault"]
-        faulty.fault_stats = FaultStats(**fault["stats"])
-        faulty.clock = float(fault["clock"])
-    inner._next_worker_id = int(snapshot["platform"]["next_worker_id"])
-    inner.stats = PlatformStats(**snapshot["platform"]["stats"])
+        for backend, backend_payload in zip(fleet, backends_payload):
+            backend.load_state_dict(backend_payload)
+    else:
+        platform = scheduler.platform
+        faulty = platform if isinstance(platform, FaultyPlatform) else None
+        inner: SimulatedPlatform = (
+            faulty.inner if faulty is not None else platform
+        )
+        rng_states = snapshot["rng"]
+        inner._rng = _generator_from_state(rng_states["platform"])
+        scheduler._rwl._rng = _generator_from_state(rng_states["rwl"])
+        if faulty is not None:
+            if rng_states["fault"] is None:
+                raise JournalCorruptError(
+                    "snapshot lacks the fault RNG state of a faulty platform"
+                )
+            faulty._fault_rng = _generator_from_state(rng_states["fault"])
+            fault = snapshot["fault"]
+            faulty.fault_stats = FaultStats(**fault["stats"])
+            faulty.clock = float(fault["clock"])
+        inner._next_worker_id = int(snapshot["platform"]["next_worker_id"])
+        inner.stats = PlatformStats(**snapshot["platform"]["stats"])
 
     cache = snapshot["plan_cache"]
     scheduler.plan_cache.clear()
@@ -397,7 +441,7 @@ def restore_scheduler_state(
     # After the puts, so re-inserting does not perturb the counters.
     scheduler.plan_cache.stats = PlanCacheStats(**cache["stats"])
 
-    breaker_state = snapshot["breaker"]
+    breaker_state = snapshot.get("breaker")
     if scheduler.breaker is not None and breaker_state is not None:
         scheduler.breaker.load_state_dict(breaker_state)
 
@@ -686,6 +730,12 @@ def scheduler_from_header(header: Dict[str, Any]) -> MaxScheduler:
             if breaker_payload is not None
             else None
         )
+        backends_payload = header.get("backends")
+        backends = (
+            [backend_spec_from_dict(d) for d in backends_payload]
+            if backends_payload is not None
+            else None
+        )
         seed = header["seed"]
     except (KeyError, TypeError) as error:
         raise JournalCorruptError(
@@ -701,6 +751,7 @@ def scheduler_from_header(header: Dict[str, Any]) -> MaxScheduler:
         error_model=error_model,
         worker_config=worker_config,
         breaker_config=breaker_config,
+        backends=backends,
     )
 
 

@@ -34,6 +34,7 @@ from typing import (
     Callable,
     Deque,
     Dict,
+    FrozenSet,
     List,
     Optional,
     Sequence,
@@ -53,6 +54,12 @@ from repro.crowd.breaker import (
 from repro.crowd.error_models import ErrorModel
 from repro.crowd.faults import FaultProfile, FaultyPlatform, RetryPolicy
 from repro.crowd.ground_truth import GroundTruth
+from repro.crowd.multibackend import (
+    ROUTING_POLICIES,
+    BackendSpec,
+    CapacityAwareRouter,
+    build_backends,
+)
 from repro.crowd.platform import Platform, SimulatedPlatform
 from repro.crowd.rwl import ReliableWorkerLayer
 from repro.crowd.workers import WorkerPoolConfig
@@ -103,6 +110,9 @@ class ServiceConfig:
         plan_cache_capacity: LRU entries of the shared tDP plan cache.
         max_round_attempts: shared rounds a query's single allocation
             round may span (fault re-posts) before the query degrades.
+        routing: routing-policy name used when the scheduler is given a
+            multi-backend fleet (``latency``/``least-loaded``/
+            ``weighted-price``); ignored without ``backends``.
     """
 
     policy: str = "fair"
@@ -115,8 +125,14 @@ class ServiceConfig:
     overload_policy: str = "defer"
     plan_cache_capacity: int = 128
     max_round_attempts: int = 8
+    routing: str = "latency"
 
     def __post_init__(self) -> None:
+        if self.routing not in ROUTING_POLICIES:
+            raise InvalidParameterError(
+                f"unknown routing policy {self.routing!r}; available: "
+                f"{', '.join(ROUTING_POLICIES)}"
+            )
         if self.repetition < 1:
             raise InvalidParameterError(
                 f"repetition must be >= 1, got {self.repetition}"
@@ -193,6 +209,15 @@ class MaxScheduler:
         journal: a :class:`~repro.service.journal.SchedulerJournal` to
             write-ahead-log every state change into (crash recovery via
             :func:`~repro.service.journal.recover_scheduler`).
+        backends: a federated fleet of
+            :class:`~repro.crowd.multibackend.BackendSpec` s; each shared
+            round is then split across the fleet by a
+            :class:`~repro.crowd.multibackend.CapacityAwareRouter` under
+            ``config.routing``.  Mutually exclusive with
+            ``fault_profile``/``breaker_config`` (those become
+            per-backend fields of the specs); ``retry_policy``,
+            ``error_model`` and ``worker_config`` stay fleet-shared.  A
+            single-spec fleet is bit-identical to no fleet at all.
     """
 
     def __init__(
@@ -209,6 +234,7 @@ class MaxScheduler:
         plan_cache: Optional[PlanCache] = None,
         breaker_config: Optional[CircuitBreakerConfig] = None,
         journal: Optional[Any] = None,
+        backends: Optional[Sequence[BackendSpec]] = None,
     ) -> None:
         if not specs:
             raise InvalidParameterError("the workload must contain >= 1 query")
@@ -228,6 +254,20 @@ class MaxScheduler:
         self._error_model = error_model
         self._worker_config = worker_config
         self._breaker_config = breaker_config
+        self._backend_specs: Optional[List[BackendSpec]] = (
+            list(backends) if backends is not None else None
+        )
+        if self._backend_specs is not None:
+            if fault_profile is not None:
+                raise InvalidParameterError(
+                    "fault_profile and backends are mutually exclusive; "
+                    "attach per-backend fault profiles to the BackendSpecs"
+                )
+            if breaker_config is not None:
+                raise InvalidParameterError(
+                    "breaker_config and backends are mutually exclusive; "
+                    "attach per-backend breakers to the BackendSpecs"
+                )
         self.plan_cache = (
             plan_cache
             if plan_cache is not None
@@ -250,27 +290,45 @@ class MaxScheduler:
         self._total_elements = total
         # Independent seeded streams: truth, platform, RWL, faults, selectors.
         self.truth = GroundTruth.random(total, np.random.default_rng((seed, 0)))
-        platform: Platform = SimulatedPlatform(
-            self.truth,
-            np.random.default_rng((seed, 1)),
-            error_model=error_model,
-            config=worker_config,
-        )
-        if fault_profile is not None:
-            platform = FaultyPlatform(
-                platform, fault_profile, np.random.default_rng((seed, 3))
+        self.platform: Optional[Platform] = None
+        self.breaker: Optional[CircuitBreaker] = None
+        self._rwl: Optional[ReliableWorkerLayer] = None
+        self._router: Optional[CapacityAwareRouter] = None
+        if self._backend_specs is not None:
+            fleet = build_backends(
+                self._backend_specs,
+                self.truth,
+                seed,
+                repetition=self.config.repetition,
+                retry_policy=retry_policy,
+                error_model=error_model,
+                worker_config=worker_config,
             )
-        self.platform = platform
-        self.breaker = (
-            CircuitBreaker(breaker_config) if breaker_config is not None else None
-        )
-        self._rwl = ReliableWorkerLayer(
-            platform,
-            np.random.default_rng((seed, 2)),
-            repetition=self.config.repetition,
-            retry_policy=retry_policy,
-            breaker=self.breaker,
-        )
+            self._router = CapacityAwareRouter(fleet, self.config.routing)
+        else:
+            platform: Platform = SimulatedPlatform(
+                self.truth,
+                np.random.default_rng((seed, 1)),
+                error_model=error_model,
+                config=worker_config,
+            )
+            if fault_profile is not None:
+                platform = FaultyPlatform(
+                    platform, fault_profile, np.random.default_rng((seed, 3))
+                )
+            self.platform = platform
+            self.breaker = (
+                CircuitBreaker(breaker_config)
+                if breaker_config is not None
+                else None
+            )
+            self._rwl = ReliableWorkerLayer(
+                platform,
+                np.random.default_rng((seed, 2)),
+                repetition=self.config.repetition,
+                retry_policy=retry_policy,
+                breaker=self.breaker,
+            )
         self._active: List[ActiveQuery] = []
         self._waiting: List[ActiveQuery] = []
         self._results: List[QueryResult] = []
@@ -314,6 +372,11 @@ class MaxScheduler:
     def journal(self) -> Optional[Any]:
         """The attached write-ahead journal, if any."""
         return self._journal
+
+    @property
+    def router(self) -> Optional[CapacityAwareRouter]:
+        """The multi-backend router, if a fleet was configured."""
+        return self._router
 
     # ------------------------------------------------------------------
     # Driving
@@ -377,6 +440,18 @@ class MaxScheduler:
                     self._journal.maybe_snapshot(self)
                 return True
             probe_only = decision is RoundDecision.PROBE
+        elif self._router is not None:
+            admission = self._router.before_round(self._now)
+            if admission.defer:
+                # Every backend's circuit is open: nothing to fail over
+                # to, so the whole round defers to the earliest cooldown.
+                self._defer_round(runnable, target=admission.resume_at)
+                self._ticks += 1
+                self._sample_tick(deferred=True)
+                if self._journal is not None:
+                    self._journal.maybe_snapshot(self)
+                return True
+            probe_only = admission.probe
         self._run_tick(runnable, probe_only=probe_only)
         self._ticks += 1
         self._sample_tick(deferred=False)
@@ -384,9 +459,12 @@ class MaxScheduler:
             self._journal.maybe_snapshot(self)
         return True
 
-    def _defer_round(self, runnable: List[ActiveQuery]) -> None:
+    def _defer_round(
+        self, runnable: List[ActiveQuery], target: Optional[float] = None
+    ) -> None:
         """Skip the shared round while the circuit is open."""
-        target = self.breaker.defer_target(self._now)
+        if target is None:
+            target = self.breaker.defer_target(self._now)
         get_registry().counter("circuit.deferred_rounds").inc()
         self._journal_record(
             "deferred", tick=self._ticks, now=self._now, resume_at=target
@@ -530,7 +608,13 @@ class MaxScheduler:
             waiting=len(self._waiting),
             backlog=len(self._backlog),
             breaker=(
-                self.breaker.state.value if self.breaker is not None else "none"
+                self.breaker.state.value
+                if self.breaker is not None
+                else (
+                    self._router.breaker_summary()
+                    if self._router is not None
+                    else "none"
+                )
             ),
             cache_hit_rate=self.plan_cache.stats.hit_rate,
             round_latency=0.0 if deferred else self._last_round_latency,
@@ -831,6 +915,11 @@ class MaxScheduler:
                     + (" (probe)" if probe_only else "")
                 ),
             )
+        if self._router is not None:
+            self._routed_tick(
+                runnable, scheduled, tick_span, tick_start, tracer, registry
+            )
+            return
         try:
             # The span scope hands the tick's id and clock anchor down to
             # the RWL / fault layer / breaker, whose events and attempt
@@ -889,8 +978,84 @@ class MaxScheduler:
         for query in scheduled:
             self._collect(query, by_question)
 
+    def _routed_tick(
+        self,
+        runnable: List[ActiveQuery],
+        scheduled: List[ActiveQuery],
+        tick_span: str,
+        tick_start: float,
+        tracer: Any,
+        registry: Any,
+    ) -> None:
+        """Post one shared round through the multi-backend router.
+
+        Mirrors the direct posting path tick-for-tick: a total outage
+        (every backend that received questions went dark) takes the same
+        whole-round outage exit, a partial outage simply leaves that
+        backend's questions unanswered for the next tick, and questions
+        the router could not place under capacity are exempt from the
+        round-attempt bump — the crowd never saw them.
+        """
+        units = [
+            (query.spec.query_id, list(query.outstanding))
+            for query in scheduled
+        ]
+        with span_scope(tick_span, base_time=tick_start):
+            outcome = self._router.post_round(
+                units, now=self._now, tick=self._ticks
+            )
+        if not self._router.solo:
+            self._journal_record("route", **outcome.decision.to_dict())
+        if outcome.total_outage:
+            self._now += outcome.latency
+            self._last_round_latency = float(outcome.latency)
+            self._last_round_questions = 0
+            self._router.note_time(self._now)
+            self._journal_record(
+                "answers_collected",
+                tick=self._ticks,
+                outage=True,
+                latency=outcome.latency,
+            )
+            if tracer.enabled:
+                close_span(tracer, tick_span, end=self._now, status="outage")
+                self._record_tick_chunks(
+                    tracer, runnable, scheduled, tick_start, self._now,
+                    outage=True,
+                )
+            for query in scheduled:
+                self._bump_round_attempts(query)
+            return
+        self._shared_rounds += 1
+        self._questions_posted += outcome.n_posted
+        self._last_round_latency = float(outcome.latency)
+        self._last_round_questions = outcome.n_posted
+        registry.counter("service.rounds").inc()
+        registry.counter("service.questions_posted").inc(outcome.n_posted)
+        self._now += outcome.latency
+        self._router.note_time(self._now)
+        self._journal_record(
+            "answers_collected",
+            tick=self._ticks,
+            outage=False,
+            n_answers=len(outcome.answers),
+            latency=outcome.latency,
+        )
+        if tracer.enabled:
+            close_span(tracer, tick_span, end=self._now)
+            self._record_tick_chunks(
+                tracer, runnable, scheduled, tick_start, self._now,
+                outage=False,
+            )
+        by_question = {answer.question: answer for answer in outcome.answers}
+        for query in scheduled:
+            self._collect(query, by_question, unposted=outcome.unposted)
+
     def _collect(
-        self, query: ActiveQuery, by_question: Dict[Question, Answer]
+        self,
+        query: ActiveQuery,
+        by_question: Dict[Question, Answer],
+        unposted: Optional[FrozenSet[Question]] = None,
     ) -> None:
         """Route a shared round's answers back into *query*'s session."""
         for global_q in list(query.outstanding):
@@ -900,6 +1065,12 @@ class MaxScheduler:
             local_q = query.outstanding.pop(global_q)
             query.collected[local_q] = query.to_local_answer(answer)
         if query.outstanding:
+            if unposted is not None and all(
+                global_q in unposted for global_q in query.outstanding
+            ):
+                # Capacity deferral, not a lost round: the crowd never saw
+                # these questions, so the query spends no round attempt.
+                return
             self._bump_round_attempts(query)
             return
         tracer = current_tracer()

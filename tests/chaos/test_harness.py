@@ -107,3 +107,39 @@ class TestRecoveryEquivalence:
         )
         report = run_chaos(scenario, sweep=True, journal_dir=tmp_path)
         assert report.all_equivalent, report.render()
+
+
+class TestNamedScenarios:
+    def test_registry_lists_multibackend_outage(self):
+        from repro.chaos import available_scenarios, scenario_by_name
+
+        assert "multibackend-outage" in available_scenarios()
+        scenario = scenario_by_name("multibackend-outage")
+        assert scenario.backends is not None
+        assert [s.name for s in scenario.backends] == [
+            "fast", "balanced", "cheap",
+        ]
+        with pytest.raises(InvalidParameterError, match="multibackend"):
+            scenario_by_name("nonesuch")
+
+    def test_backends_exclude_legacy_fault_fields(self):
+        from repro.chaos import scenario_by_name
+        from repro.crowd.breaker import CircuitBreakerConfig
+
+        scenario = scenario_by_name("multibackend-outage")
+        with pytest.raises(InvalidParameterError):
+            dataclasses.replace(scenario, faults="outages")
+        with pytest.raises(InvalidParameterError):
+            dataclasses.replace(
+                scenario, breaker=CircuitBreakerConfig()
+            )
+
+    def test_multibackend_outage_recovers_bit_identically(self, tmp_path):
+        from repro.chaos import scenario_by_name
+
+        scenario = scenario_by_name("multibackend-outage")
+        report = run_chaos(
+            scenario, crash_points=[1], journal_dir=tmp_path
+        )
+        assert report.all_equivalent, report.render()
+        assert "backends=fast,balanced,cheap" in report.render()

@@ -650,3 +650,94 @@ class TestProfile:
         assert main(
             ["profile", "--elements", "30", "--budget", "150", "--repeat", "0"]
         ) == 2
+
+
+class TestServeBackends:
+    def test_preset_fleet_prints_fleet_table(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--backends", "trio"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backends: trio (3 backend(s)), routing latency" in out
+        assert "fleet:" in out
+        for name in ("fast", "balanced", "cheap"):
+            assert name in out
+
+    def test_routing_policy_flag(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--backends", "trio",
+             "--routing", "weighted-price"]
+        ) == 0
+        assert "routing weighted-price" in capsys.readouterr().out
+
+    def test_spec_file_fleet(self, capsys, tmp_path):
+        import json
+
+        from repro.crowd.multibackend import (
+            backend_preset_by_name,
+            backend_spec_to_dict,
+        )
+
+        path = tmp_path / "fleet.json"
+        path.write_text(
+            json.dumps(
+                [backend_spec_to_dict(s)
+                 for s in backend_preset_by_name("duo")]
+            ),
+            encoding="utf-8",
+        )
+        assert main(
+            ["serve", "--workload", "smoke", "--backends", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "boutique" in out
+        assert "bulk" in out
+
+    def test_backends_and_faults_conflict(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--backends", "trio",
+             "--faults", "lossy"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_backends_and_breaker_conflict(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--backends", "trio",
+             "--breaker"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unknown_preset_is_a_clean_error(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--backends", "nonesuch"]
+        ) == 2
+        assert "unknown backend preset" in capsys.readouterr().err
+
+    def test_routed_serve_is_reproducible(self, capsys):
+        argv = ["serve", "--workload", "smoke", "--seed", "9",
+                "--backends", "outage-trio"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestChaosScenario:
+    def test_named_scenario_runs(self, capsys):
+        assert main(
+            ["chaos", "--scenario", "multibackend-outage", "--crashes", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "all recoveries bit-identical" in out
+        assert "backends=fast,balanced,cheap" in out
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["chaos", "--scenario", "nonesuch"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_scenario_conflicts_with_fault_flags(self, capsys):
+        assert main(
+            ["chaos", "--scenario", "multibackend-outage",
+             "--faults", "outages"]
+        ) == 2
+        assert "cannot be combined" in capsys.readouterr().err
