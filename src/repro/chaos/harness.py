@@ -205,8 +205,45 @@ def _multibackend_outage() -> ChaosScenario:
     )
 
 
+def _deadline_storm() -> ChaosScenario:
+    """A deadline-carrying burst on an outage-prone fleet, fully armed.
+
+    Every robustness feature is on at once: enforced per-query deadlines
+    (tight enough that replanning, proactive degradation and late
+    expiries all occur), hedged posting against predicted-slow backends,
+    and the brownout controller shedding low-priority admissions under
+    the queue-wait spike the outage causes.  Crash recovery must replay
+    every one of those decisions — no admitted query may lose its
+    explicit terminal state.
+    """
+    from repro.crowd.multibackend import HedgeConfig
+    from repro.service.deadline import BrownoutConfig
+
+    return ChaosScenario(
+        workload="steady",
+        seed=7,
+        n_queries=36,
+        backends=tuple(backend_preset_by_name("outage-trio")),
+        config=ServiceConfig(
+            policy="priority",
+            # uHF plans three uniform rounds, so deadline replanning has
+            # future rounds to merge (tDP's two-round optima leave none).
+            allocator="uHF",
+            max_active_queries=6,
+            max_queue_depth=10,
+            # least-loaded keeps slack on the fast backend, which is what
+            # makes it a viable hedge mirror when `cheap` predicts slow.
+            routing="least-loaded",
+            default_deadline=1800.0,
+            hedge=HedgeConfig(min_samples=4, window=32, factor=0.8),
+            brownout=BrownoutConfig(queue_wait_threshold=1000.0),
+        ),
+    )
+
+
 _SCENARIOS = {
     "multibackend-outage": _multibackend_outage,
+    "deadline-storm": _deadline_storm,
 }
 
 
@@ -268,6 +305,7 @@ def describe_mismatch(
                 "state", "winner", "correct", "singleton", "latency",
                 "queue_wait", "rounds", "questions_posted",
                 "plan_cache_hit", "slo_met", "shed_reason",
+                "deadline", "deadline_outcome",
             ):
                 a, b = getattr(got, fld), getattr(want, fld)
                 if a != b:

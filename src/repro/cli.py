@@ -241,6 +241,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "least-loaded or weighted-price",
     )
     serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="enforce an end-to-end latency budget on every query that "
+        "does not carry its own deadline: the scheduler replans, "
+        "degrades or expires queries to honour it",
+    )
+    serve.add_argument(
+        "--hedge",
+        action="store_true",
+        help="mirror predicted-slow sub-batches to the next-best backend "
+        "(first answer wins, loser counted as hedge waste); requires "
+        "--backends",
+    )
+    serve.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="explicit hedge threshold in simulated seconds (default: "
+        "derived online from the fleet's p95 sub-round latency)",
+    )
+    serve.add_argument(
+        "--brownout",
+        action="store_true",
+        help="enable the overload brownout controller: progressively "
+        "shed low-priority admissions, reduce repetition and disable "
+        "hedging while queue-wait p95 stays over the threshold",
+    )
+    serve.add_argument(
+        "--brownout-threshold",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="queue-wait p95 (simulated seconds) above which brownout "
+        "escalates one level per tick (default: %(default)s)",
+    )
+    serve.add_argument(
         "--journal",
         default=None,
         metavar="PATH",
@@ -924,6 +963,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     specs = generate_workload(
         workload_by_name(args.workload), seed=args.seed, n_queries=args.queries
     )
+    hedge_config = None
+    if args.hedge or args.hedge_after is not None:
+        from repro.crowd.multibackend import HedgeConfig
+
+        if backends is None:
+            raise InvalidParameterError(
+                "--hedge requires a multi-backend fleet; pass --backends"
+            )
+        hedge_config = HedgeConfig(hedge_after=args.hedge_after)
+    brownout_config = None
+    if args.brownout:
+        from repro.service import BrownoutConfig
+
+        brownout_config = BrownoutConfig(
+            queue_wait_threshold=args.brownout_threshold
+        )
     config = ServiceConfig(
         policy=args.scheduling,
         repetition=args.repetition,
@@ -932,6 +987,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_depth,
         overload_policy=args.overload,
         routing=args.routing,
+        default_deadline=args.default_deadline,
+        hedge=hedge_config,
+        brownout=brownout_config,
     )
     journal = None
     if args.journal is not None:
@@ -982,6 +1040,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"outages {row['outages']:>3}  "
                 f"cost ${row['cost']:.2f}  breaker {row['breaker']}"
             )
+        if scheduler.router.hedge is not None:
+            hedge = scheduler.router.hedge_summary()
+            print(
+                f"hedging: {hedge['hedges']} hedged round(s), "
+                f"{hedge['wins']} mirror win(s), "
+                f"{hedge['waste']} wasted posting(s)"
+            )
+    if scheduler.brownout is not None:
+        print(
+            f"brownout: level {scheduler.brownout.level}, "
+            f"{scheduler.brownout.transitions} transition(s)"
+        )
     return 0
 
 
@@ -1107,6 +1177,33 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         selected = sorted(waterfalls)
     for query_id in selected:
         print(render_waterfall(waterfalls[query_id]))
+        print()
+    deadline_events = [
+        r.event
+        for r in records
+        if r.event.kind == "DeadlineExceeded"
+        and (args.query_id is None or r.event.query_id == args.query_id)
+    ]
+    if deadline_events:
+        print("deadline breaches:")
+        for event in deadline_events:
+            overrun = (
+                f"overran by {event.overrun:.1f}s"
+                if event.overrun > 0
+                else "stopped early"
+            )
+            print(
+                f"  query {event.query_id}: {event.outcome} "
+                f"(budget {event.deadline:.1f}s, {overrun})"
+            )
+        print()
+    hedges = [r.event for r in records if r.event.kind == "RoundHedged"]
+    if hedges and args.query_id is None:
+        wins = sum(1 for e in hedges if e.winner == "mirror")
+        print(
+            f"hedged rounds: {len(hedges)} "
+            f"({wins} won by the mirror backend)"
+        )
         print()
     if args.tree:
         spans = assemble_spans(records)

@@ -21,6 +21,7 @@ from repro.crowd.multibackend.router import (
     PROBE_QUESTIONS,
     ROUTING_POLICIES,
     CapacityAwareRouter,
+    HedgeConfig,
     RouteDecision,
     RoundOutcome,
     RouterAdmission,
@@ -37,6 +38,7 @@ __all__ = [
     "Backend",
     "BackendSpec",
     "CapacityAwareRouter",
+    "HedgeConfig",
     "PROBE_QUESTIONS",
     "ROUTING_POLICIES",
     "RouteDecision",

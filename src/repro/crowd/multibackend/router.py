@@ -37,15 +37,19 @@ of (fleet state, round content).
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.crowd.breaker import RoundDecision
 from repro.crowd.multibackend.backend import Backend
 from repro.crowd.rwl import RWLResult
 from repro.errors import InvalidParameterError, PlatformOutageError
+from repro.obs.events import RoundHedged
 from repro.obs.metrics import get_registry, labeled_name
 from repro.obs.spans import current_span, emit_span, span_scope
+from repro.obs.stats import percentile
 from repro.obs.tracer import current_tracer
 from repro.types import Answer, Question
 
@@ -59,6 +63,72 @@ PROBE_QUESTIONS = 8
 
 #: Effectively-unbounded stand-in for a ``capacity=None`` backend.
 _UNBOUNDED = 10**12
+
+
+@dataclass(frozen=True)
+class HedgeConfig:
+    """Tail-protection hedging for routed rounds.
+
+    A sub-batch whose predicted latency exceeds ``hedge_after`` is
+    *mirrored* to the predicted-fastest other backend with room; the
+    first answer wins and the loser's posted copies are accounted as
+    ``hedge_waste``.  With ``hedge_after`` unset the threshold is
+    derived online from the fleet's observed sub-round latencies: the
+    nearest-rank ``percentile`` over a sliding ``window``, scaled by
+    ``factor``, once ``min_samples`` latencies have been observed.
+
+    ``hedge_after=math.inf`` never hedges — the run is bit-identical to
+    an unhedged one (pinned by a property test).
+
+    Attributes:
+        hedge_after: explicit hedge threshold in seconds (``None`` =
+            derive from the fleet p-th percentile).
+        percentile: percentile of the observed-latency window used when
+            deriving the threshold.
+        factor: multiplier applied to the derived percentile.
+        min_samples: observed sub-rounds required before the derived
+            threshold arms (explicit thresholds arm immediately).
+        window: sliding-window size of observed sub-round latencies.
+    """
+
+    hedge_after: Optional[float] = None
+    percentile: float = 95.0
+    factor: float = 1.0
+    min_samples: int = 8
+    window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.hedge_after is not None and not self.hedge_after > 0:
+            raise InvalidParameterError(
+                f"hedge_after must be > 0 seconds, got {self.hedge_after}"
+            )
+        if not 0.0 < self.percentile <= 100.0:
+            raise InvalidParameterError(
+                f"percentile must be in (0, 100], got {self.percentile}"
+            )
+        if not self.factor > 0:
+            raise InvalidParameterError(
+                f"factor must be > 0, got {self.factor}"
+            )
+        if self.min_samples < 1:
+            raise InvalidParameterError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+        if self.window < self.min_samples:
+            raise InvalidParameterError(
+                f"window ({self.window}) must be >= min_samples "
+                f"({self.min_samples})"
+            )
+
+
+@dataclass(frozen=True)
+class _SubRound:
+    """What posting one backend's sub-batch produced (or cost)."""
+
+    ok: bool
+    latency: float
+    answers: Tuple[Answer, ...] = ()
+    posted_copies: int = 0
 
 
 @dataclass(frozen=True)
@@ -89,20 +159,27 @@ class RouteDecision:
         states: breaker state label per backend at decision time.
         unposted: distinct questions no backend had room for (they stay
             outstanding and are re-routed next tick — *not* a fault).
+        hedges: hedged primaries this tick, ``{primary: mirror}`` backend
+            names (empty when hedging is off — the journal record is then
+            byte-identical to an unhedged run's).
     """
 
     tick: int
     assignments: Dict[str, int]
     states: Dict[str, str]
     unposted: int
+    hedges: Dict[str, str] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "tick": self.tick,
             "assignments": dict(self.assignments),
             "states": dict(self.states),
             "unposted": self.unposted,
         }
+        if self.hedges:
+            payload["hedges"] = dict(self.hedges)
+        return payload
 
 
 @dataclass(frozen=True)
@@ -123,6 +200,9 @@ class RoundOutcome:
         backend_latencies: per-backend round latency (posted backends
             only), keyed by name.
         outaged: names of backends whose sub-batch was swallowed.
+        hedged_questions: distinct questions that were mirrored to a
+            hedge backend this round (attribution labels their chunks
+            ``hedge``); empty when hedging is off.
     """
 
     answers: Tuple[Answer, ...]
@@ -133,6 +213,7 @@ class RoundOutcome:
     decision: RouteDecision
     backend_latencies: Dict[str, float]
     outaged: Tuple[str, ...]
+    hedged_questions: frozenset = frozenset()
 
 
 class CapacityAwareRouter:
@@ -142,14 +223,22 @@ class CapacityAwareRouter:
         backends: the live fleet, spec order (see
             :func:`~repro.crowd.multibackend.backend.build_backends`).
         policy: one of :data:`ROUTING_POLICIES`.
+        hedge: optional :class:`HedgeConfig` enabling tail-protection
+            mirroring of predicted-slow sub-batches.
 
     A single-backend fleet short-circuits: no backend spans, no route
     journal records, everything posted to the lone backend — the
     differential regression test pins this down as bit-identical to the
-    router-less scheduler.
+    router-less scheduler.  Hedging likewise never fires on a solo fleet
+    (there is no "next-best backend" to mirror to).
     """
 
-    def __init__(self, backends: Sequence[Backend], policy: str = "latency") -> None:
+    def __init__(
+        self,
+        backends: Sequence[Backend],
+        policy: str = "latency",
+        hedge: Optional[HedgeConfig] = None,
+    ) -> None:
         if policy not in ROUTING_POLICIES:
             raise InvalidParameterError(
                 f"unknown routing policy {policy!r}; available: "
@@ -159,6 +248,16 @@ class CapacityAwareRouter:
             raise InvalidParameterError("the router needs >= 1 backend")
         self.backends: List[Backend] = list(backends)
         self.policy = policy
+        self.hedge = hedge
+        #: Set by the brownout controller (level 3 disables hedging).
+        self.hedging_suspended = False
+        #: Hedged sub-batches posted / mirror wins / wasted posted copies.
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.hedge_waste = 0
+        self._latency_window: Deque[float] = deque(
+            maxlen=hedge.window if hedge is not None else 1
+        )
         self._by_name = {b.name: b for b in self.backends}
         self._decisions: Optional[Dict[int, RoundDecision]] = None
 
@@ -236,6 +335,8 @@ class CapacityAwareRouter:
         *,
         now: float,
         tick: int,
+        budgets: Optional[Dict[int, float]] = None,
+        rwl_budget: Optional[float] = None,
     ) -> RoundOutcome:
         """Split, post and merge one shared round.
 
@@ -245,6 +346,13 @@ class CapacityAwareRouter:
             now: the simulated clock at round start (gates sustained
                 outage windows and anchors backend spans).
             tick: the scheduler tick (span ids, decision log).
+            budgets: optional remaining per-query latency budgets keyed
+                by query id — a unit whose policy-preferred backend is
+                predicted to finish past its budget is placed on the
+                predicted-fastest backend instead.
+            rwl_budget: optional remaining latency budget (the tightest
+                across the round's queries) clipping each backend's RWL
+                retry backoff.
         """
         decisions = self._decisions
         self._decisions = None
@@ -257,7 +365,10 @@ class CapacityAwareRouter:
                 )
                 for b in self.backends
             }
-        assignment, unposted = self._assign(units, decisions)
+        assignment, unposted, remaining = self._assign(
+            units, decisions, budgets=budgets
+        )
+        mirrors = self._plan_hedges(assignment, remaining, decisions)
         decision = RouteDecision(
             tick=tick,
             assignments={
@@ -265,6 +376,10 @@ class CapacityAwareRouter:
             },
             states={b.name: b.breaker_state() for b in self.backends},
             unposted=len(unposted),
+            hedges={
+                self.backends[primary].name: mirror.name
+                for primary, mirror in mirrors.items()
+            },
         )
         registry = get_registry()
         registry.counter("router.rounds").inc()
@@ -276,6 +391,7 @@ class CapacityAwareRouter:
         n_posted = 0
         backend_latencies: Dict[str, float] = {}
         outaged: List[str] = []
+        hedged_questions: set = set()
         posted_any = False
         tracer = current_tracer()
         scope = current_span() if tracer.enabled else None
@@ -284,63 +400,88 @@ class CapacityAwareRouter:
             if not sub_batch:
                 continue
             posted_any = True
-            backend.set_clock(now)
-            backend.rounds += 1
-            span_id = (
-                f"{scope.span_id}/{backend.name}" if scope is not None else None
-            )
             probe = decisions[backend.index] is RoundDecision.PROBE
-            try:
-                result = self._post_backend(backend, sub_batch, span_id, scope)
-            except PlatformOutageError as outage:
-                backend.outages += 1
-                wasted = float(outage.wasted_seconds)
-                latency = max(latency, wasted)
-                backend_latencies[backend.name] = wasted
-                outaged.append(backend.name)
-                self._observe_backend(registry, backend, wasted, 0, outage=True)
-                if not self.solo and span_id is not None:
-                    emit_span(
-                        tracer,
-                        span_id,
-                        "backend",
-                        start=scope.base_time,
-                        end=scope.base_time + wasted,
-                        parent_id=scope.span_id,
-                        detail=f"{backend.name}: {len(sub_batch)} questions",
-                        status="outage",
-                    )
-                logger.warning(
-                    "backend %s outage swallowed %d question(s) at t=%.1f",
-                    backend.name,
-                    len(sub_batch),
-                    now,
+            primary = self._execute_sub_batch(
+                backend,
+                sub_batch,
+                registry,
+                tracer,
+                scope,
+                now,
+                probe=probe,
+                budget=rwl_budget,
+            )
+            mirror = mirrors.get(backend.index)
+            if mirror is None:
+                self._merge_latency(
+                    backend_latencies, backend.name, primary.latency
                 )
+                if primary.ok:
+                    answers.extend(primary.answers)
+                    latency = max(latency, primary.latency)
+                    n_posted += len(sub_batch)
+                else:
+                    latency = max(latency, primary.latency)
+                    outaged.append(backend.name)
                 continue
-            answers.extend(result.answers)
-            latency = max(latency, float(result.latency))
-            n_posted += len(sub_batch)
-            backend.questions_posted += len(sub_batch)
-            backend.cost += backend.spec.price_per_question * float(
-                result.questions_posted
+            # Hedged pair: mirror the sub-batch, first answer wins.
+            hedged_questions.update(sub_batch)
+            self.hedges += 1
+            registry.counter("hedge.posts").inc()
+            mirror_result = self._execute_sub_batch(
+                mirror,
+                sub_batch,
+                registry,
+                tracer,
+                scope,
+                now,
+                probe=False,
+                budget=rwl_budget,
+                hedge_of=backend.name,
             )
-            backend_latencies[backend.name] = float(result.latency)
-            self._observe_backend(
-                registry, backend, float(result.latency), len(sub_batch),
-                outage=False,
-            )
-            if not self.solo and span_id is not None:
-                emit_span(
-                    tracer,
-                    span_id,
-                    "backend",
-                    start=scope.base_time,
-                    end=scope.base_time + float(result.latency),
-                    parent_id=scope.span_id,
-                    detail=(
-                        f"{backend.name}: {len(sub_batch)} questions"
-                        + (" (probe)" if probe else "")
-                    ),
+            pair = ((backend, primary), (mirror, mirror_result))
+            winners = [(b, r) for b, r in pair if r.ok]
+            if winners:
+                win_backend, win_result = min(
+                    winners,
+                    key=lambda br: (br[1].latency, br[0] is not backend),
+                )
+                answers.extend(win_result.answers)
+                latency = max(latency, win_result.latency)
+                n_posted += len(sub_batch)
+                if win_backend is mirror:
+                    self.hedge_wins += 1
+                    registry.counter("hedge.wins").inc()
+                for b, r in pair:
+                    self._merge_latency(backend_latencies, b.name, r.latency)
+                    if b is win_backend:
+                        continue
+                    if r.ok:
+                        self.hedge_waste += r.posted_copies
+                        registry.counter("hedge.waste").inc(r.posted_copies)
+                    else:
+                        outaged.append(b.name)
+            else:
+                # Both members swallowed: the pair behaves like a plain
+                # outage of both backends.
+                for b, r in pair:
+                    self._merge_latency(backend_latencies, b.name, r.latency)
+                    latency = max(latency, r.latency)
+                    outaged.append(b.name)
+            if tracer.enabled:
+                winner_label = "none"
+                if winners:
+                    winner_label = (
+                        "primary" if win_backend is backend else "mirror"
+                    )
+                tracer.emit(
+                    RoundHedged(
+                        tick=tick,
+                        backend=backend.name,
+                        mirror=mirror.name,
+                        questions=len(sub_batch),
+                        winner=winner_label,
+                    )
                 )
         successful = set(backend_latencies) - set(outaged)
         total_outage = posted_any and not successful
@@ -353,6 +494,104 @@ class CapacityAwareRouter:
             decision=decision,
             backend_latencies=backend_latencies,
             outaged=tuple(outaged),
+            hedged_questions=frozenset(hedged_questions),
+        )
+
+    def _execute_sub_batch(
+        self,
+        backend: Backend,
+        sub_batch: List[Question],
+        registry,
+        tracer,
+        scope,
+        now: float,
+        *,
+        probe: bool,
+        budget: Optional[float],
+        hedge_of: Optional[str] = None,
+    ) -> _SubRound:
+        """Run one backend's sub-batch end to end (post, account, trace).
+
+        Mirrors the pre-hedging inline loop body exactly for primaries;
+        a hedge mirror (``hedge_of`` set) gets its own deterministic
+        span id (``<tick>/<mirror>~<primary>``) and detail suffix.
+        """
+        backend.set_clock(now)
+        backend.rounds += 1
+        span_id = None
+        if scope is not None:
+            suffix = f"~{hedge_of}" if hedge_of is not None else ""
+            span_id = f"{scope.span_id}/{backend.name}{suffix}"
+        detail_suffix = (
+            f" (hedge for {hedge_of})" if hedge_of is not None else ""
+        )
+        try:
+            result = self._post_backend(
+                backend, sub_batch, span_id, scope, budget=budget
+            )
+        except PlatformOutageError as outage:
+            backend.outages += 1
+            wasted = float(outage.wasted_seconds)
+            self._observe_backend(registry, backend, wasted, 0, outage=True)
+            if not self.solo and span_id is not None:
+                emit_span(
+                    tracer,
+                    span_id,
+                    "backend",
+                    start=scope.base_time,
+                    end=scope.base_time + wasted,
+                    parent_id=scope.span_id,
+                    detail=(
+                        f"{backend.name}: {len(sub_batch)} questions"
+                        + detail_suffix
+                    ),
+                    status="outage",
+                )
+            logger.warning(
+                "backend %s outage swallowed %d question(s) at t=%.1f",
+                backend.name,
+                len(sub_batch),
+                now,
+            )
+            return _SubRound(ok=False, latency=wasted)
+        backend.questions_posted += len(sub_batch)
+        backend.cost += backend.spec.price_per_question * float(
+            result.questions_posted
+        )
+        if self.hedge is not None:
+            self._latency_window.append(float(result.latency))
+        self._observe_backend(
+            registry, backend, float(result.latency), len(sub_batch),
+            outage=False,
+        )
+        if not self.solo and span_id is not None:
+            emit_span(
+                tracer,
+                span_id,
+                "backend",
+                start=scope.base_time,
+                end=scope.base_time + float(result.latency),
+                parent_id=scope.span_id,
+                detail=(
+                    f"{backend.name}: {len(sub_batch)} questions"
+                    + (" (probe)" if probe else "")
+                    + detail_suffix
+                ),
+            )
+        return _SubRound(
+            ok=True,
+            latency=float(result.latency),
+            answers=tuple(result.answers),
+            posted_copies=int(result.questions_posted),
+        )
+
+    @staticmethod
+    def _merge_latency(
+        backend_latencies: Dict[str, float], name: str, value: float
+    ) -> None:
+        """Record a backend's sub-round latency (max-merge on hedge reuse)."""
+        backend_latencies[name] = max(
+            backend_latencies.get(name, 0.0), float(value)
         )
 
     def _post_backend(
@@ -361,6 +600,8 @@ class CapacityAwareRouter:
         sub_batch: List[Question],
         span_id: Optional[str],
         scope,
+        *,
+        budget: Optional[float] = None,
     ) -> RWLResult:
         """Post one backend's sub-batch through its own RWL.
 
@@ -370,9 +611,9 @@ class CapacityAwareRouter:
         to the router-less run.
         """
         if self.solo or span_id is None:
-            return backend.rwl.ask(sub_batch)
+            return backend.rwl.ask(sub_batch, budget=budget)
         with span_scope(span_id, base_time=scope.base_time):
-            return backend.rwl.ask(sub_batch)
+            return backend.rwl.ask(sub_batch, budget=budget)
 
     @staticmethod
     def _observe_backend(
@@ -395,6 +636,126 @@ class CapacityAwareRouter:
             ).inc(n_questions)
         if outage:
             registry.counter(labeled_name("backend.outages", labels)).inc()
+
+    # ------------------------------------------------------------------
+    # Hedging
+    # ------------------------------------------------------------------
+    def hedge_after_threshold(self) -> Optional[float]:
+        """The armed hedge threshold in seconds, or ``None`` when unarmed.
+
+        Explicit ``hedge_after`` values arm immediately; derived
+        thresholds need ``min_samples`` observed sub-round latencies.
+        An infinite threshold never arms (the bit-identity escape hatch).
+        """
+        config = self.hedge
+        if config is None:
+            return None
+        if config.hedge_after is not None:
+            if math.isinf(config.hedge_after):
+                return None
+            return float(config.hedge_after)
+        if len(self._latency_window) < config.min_samples:
+            return None
+        return (
+            float(percentile(list(self._latency_window), config.percentile))
+            * config.factor
+        )
+
+    def _plan_hedges(
+        self,
+        assignment: Dict[int, List[Question]],
+        remaining: Dict[int, int],
+        decisions: Dict[int, RoundDecision],
+    ) -> Dict[int, Backend]:
+        """Pick mirrors for predicted-slow sub-batches; consumes slack.
+
+        A sub-batch hedges when its backend's predicted latency exceeds
+        the armed threshold *and* some other posting backend with room
+        is predicted strictly faster — mirroring to an equally slow
+        backend would only amplify load.  Deterministic: backends are
+        scanned in spec order and mirror ties break toward the lower
+        index.
+        """
+        if (
+            self.hedge is None
+            or self.solo
+            or self.hedging_suspended
+        ):
+            return {}
+        threshold = self.hedge_after_threshold()
+        if threshold is None:
+            return {}
+        mirrors: Dict[int, Backend] = {}
+        for backend in self.backends:
+            sub_batch = assignment[backend.index]
+            if not sub_batch:
+                continue
+            if decisions[backend.index] is not RoundDecision.POST:
+                continue
+            predicted = self._predicted(backend, len(sub_batch))
+            if predicted <= threshold:
+                continue
+            candidates = [
+                b
+                for b in self.backends
+                if b.index != backend.index
+                and decisions[b.index] is RoundDecision.POST
+                and remaining[b.index] >= len(sub_batch)
+            ]
+            if not candidates:
+                continue
+            mirror = min(
+                candidates,
+                key=lambda b: (
+                    self._predicted(
+                        b, len(assignment[b.index]) + len(sub_batch)
+                    ),
+                    b.index,
+                ),
+            )
+            if (
+                self._predicted(
+                    mirror, len(assignment[mirror.index]) + len(sub_batch)
+                )
+                >= predicted
+            ):
+                continue
+            mirrors[backend.index] = mirror
+            remaining[mirror.index] -= len(sub_batch)
+            logger.debug(
+                "hedging %s's %d question(s) to %s (predicted %.1f s > "
+                "threshold %.1f s)",
+                backend.name,
+                len(sub_batch),
+                mirror.name,
+                predicted,
+                threshold,
+            )
+        return mirrors
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (consumed by repro.service.journal)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialize the router's mutable hedging state for a snapshot."""
+        return {
+            "latency_window": [float(x) for x in self._latency_window],
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "hedge_waste": self.hedge_waste,
+            "suspended": self.hedging_suspended,
+        }
+
+    def load_state_dict(self, payload: Dict[str, Any]) -> None:
+        """Restore the counterpart of :meth:`state_dict`."""
+        self._latency_window.clear()
+        self._latency_window.extend(
+            float(x) for x in payload["latency_window"]
+        )
+        self.hedges = int(payload["hedges"])
+        self.hedge_wins = int(payload["hedge_wins"])
+        self.hedge_waste = int(payload["hedge_waste"])
+        self.hedging_suspended = bool(payload["suspended"])
 
     # ------------------------------------------------------------------
     # Assignment
@@ -446,13 +807,20 @@ class CapacityAwareRouter:
         self,
         units: Sequence[Tuple[int, Sequence[Question]]],
         decisions: Dict[int, RoundDecision],
-    ) -> Tuple[Dict[int, List[Question]], List[Question]]:
-        """Place every unit; returns (per-backend batches, unposted).
+        budgets: Optional[Dict[int, float]] = None,
+    ) -> Tuple[Dict[int, List[Question]], List[Question], Dict[int, int]]:
+        """Place every unit; returns (per-backend batches, unposted,
+        remaining per-backend capacity).
 
         Phase 1 keeps units whole on the policy-preferred backend with
         room; phase 2 splits units that fit nowhere whole across the
         remaining slack (largest remaining slot first).  Questions that
         still do not fit stay outstanding for the next tick.
+
+        With *budgets*, a unit whose policy pick is predicted to finish
+        past the query's remaining latency budget is placed on the
+        predicted-fastest candidate instead — near-deadline queries
+        trade price/load preferences for speed.
         """
         assignment: Dict[int, List[Question]] = {
             b.index: [] for b in self.backends
@@ -462,7 +830,7 @@ class CapacityAwareRouter:
             for b in self.backends
         }
         unposted: List[Question] = []
-        for _query_id, questions in units:
+        for query_id, questions in units:
             block = list(questions)
             candidates = [
                 b
@@ -476,6 +844,27 @@ class CapacityAwareRouter:
                         b, len(assignment[b.index]), len(block)
                     ),
                 )
+                if budgets is not None:
+                    budget = budgets.get(query_id)
+                    if budget is not None and (
+                        self._predicted(
+                            best, len(assignment[best.index]) + len(block)
+                        )
+                        > budget
+                    ):
+                        best = min(
+                            candidates,
+                            key=lambda b: (
+                                self._predicted(
+                                    b,
+                                    len(assignment[b.index]) + len(block),
+                                ),
+                                b.index,
+                            ),
+                        )
+                        get_registry().counter(
+                            "router.budget_overrides"
+                        ).inc()
                 assignment[best.index].extend(block)
                 remaining[best.index] -= len(block)
                 continue
@@ -496,11 +885,19 @@ class CapacityAwareRouter:
                 remaining[backend.index] -= len(chunk)
                 cursor += len(chunk)
             unposted.extend(block[cursor:])
-        return assignment, unposted
+        return assignment, unposted, remaining
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def hedge_summary(self) -> Dict[str, int]:
+        """Cumulative hedging totals (the CLI's hedge line)."""
+        return {
+            "hedges": self.hedges,
+            "wins": self.hedge_wins,
+            "waste": self.hedge_waste,
+        }
+
     def summary(self) -> List[Dict[str, object]]:
         """Per-backend cumulative totals (the CLI's fleet table)."""
         return [

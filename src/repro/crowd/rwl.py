@@ -104,8 +104,23 @@ class ReliableWorkerLayer:
         self._rng = rng
         self._tracer = tracer
 
-    def ask(self, questions: Sequence[Question]) -> RWLResult:
+    def ask(
+        self,
+        questions: Sequence[Question],
+        *,
+        budget: Optional[float] = None,
+    ) -> RWLResult:
         """Resolve *questions* into a conflict-free answer per question.
+
+        Args:
+            questions: the round's (possibly repeated) question pairs.
+            budget: optional remaining *per-query latency budget* in
+                seconds.  Retry backoff sleeps are clipped to it: a sleep
+                that would overshoot the budget is truncated to the exact
+                remainder (the retry still happens), and once no budget
+                remains the round degrades instead of sleeping on.  This
+                is enforced *in addition to* the retry policy's own
+                global deadline, never instead of it.
 
         Raises:
             PlatformOutageError: only when no retry policy is configured
@@ -118,7 +133,7 @@ class ReliableWorkerLayer:
             logger.debug("RWL asked to resolve an empty question set")
             return RWLResult((), 0.0, 0, 0)
         raw_answers, total_latency, questions_posted, attempts = (
-            self._post_with_retries(distinct)
+            self._post_with_retries(distinct, budget=budget)
         )
         answered = {answer.question for answer in raw_answers}
         resolved = [pair for pair in distinct if pair in answered]
@@ -179,7 +194,10 @@ class ReliableWorkerLayer:
     # Posting + retries
     # ------------------------------------------------------------------
     def _post_with_retries(
-        self, distinct: List[Question]
+        self,
+        distinct: List[Question],
+        *,
+        budget: Optional[float] = None,
     ) -> Tuple[List[Answer], float, int, int]:
         """Post *distinct* (times repetition), retrying unanswered questions.
 
@@ -292,6 +310,28 @@ class ReliableWorkerLayer:
                     len(pending),
                 )
                 break
+            if budget is not None and total_latency + backoff > budget:
+                # Per-query budget: truncate the sleep to the exact
+                # remainder so the retry still happens at the boundary
+                # tick — skipping it wholesale would waste budget that
+                # could still buy an answer.
+                remaining = budget - total_latency
+                if remaining <= 0:
+                    logger.debug(
+                        "query budget exhausted: %.1f s spent of %.1f s; "
+                        "degrading with %d unanswered question(s)",
+                        total_latency,
+                        budget,
+                        len(pending),
+                    )
+                    break
+                logger.debug(
+                    "retry backoff truncated to the remaining query "
+                    "budget: %.1f s -> %.1f s",
+                    backoff,
+                    remaining,
+                )
+                backoff = remaining
             total_latency += backoff
             registry.counter("rwl.retries").inc()
             logger.debug(

@@ -13,6 +13,7 @@ retry      a shared round re-running questions the query had lost
 defer      the circuit breaker parked the whole scheduler
 outage     a shared round the platform ate entirely
 stall      runnable but not packed (backpressure / breaker probe)
+hedge      a shared round whose chunk was mirrored to a hedge backend
 ========== =========================================================
 
 Because chunks are stored as *absolute* simulated timestamps and tile the
@@ -47,6 +48,7 @@ COMPONENTS: Tuple[str, ...] = (
     "defer",
     "outage",
     "stall",
+    "hedge",
 )
 
 _COMPONENT_SET = frozenset(COMPONENTS)

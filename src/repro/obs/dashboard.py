@@ -29,7 +29,7 @@ _BLOCKS = "▁▂▃▄▅▆▇█"
 #: Ticks shown in each sparkline window.
 SPARK_WIDTH = 48
 #: Lines in one rendered frame (the in-place redraw depends on it).
-FRAME_LINES = 7
+FRAME_LINES = 8
 
 
 def sparkline(values: Sequence[float], width: int = SPARK_WIDTH) -> str:
@@ -79,9 +79,12 @@ def render_frame(samples: Sequence, width: int = SPARK_WIDTH) -> str:
         f"{last.questions_total} questions",
         f"  queries: {last.completed} completed  "
         f"{last.degraded} degraded  {last.shed} shed  "
-        # Duck-typed default: pre-queue-wait samples (old journals) have
-        # no queue_wait_mean attribute.
+        # Duck-typed defaults: samples from old journals may lack the
+        # queue_wait_mean / deadline / brownout attributes.
         f"wait {_fmt_seconds(getattr(last, 'queue_wait_mean', 0.0))}",
+        f"  deadlines: {getattr(last, 'deadline_met', 0)} met  "
+        f"{getattr(last, 'deadline_breached', 0)} breached  "
+        f"brownout L{getattr(last, 'brownout_level', 0)}",
         "",
     ]
     return "\n".join(lines)

@@ -14,6 +14,8 @@ The taxonomy follows the layers of the system:
   :class:`RunFinished`;
 * multi-query service — :class:`QueryAdmitted`, :class:`QueryScheduled`,
   :class:`QueryCompleted`, :class:`QueryShed`;
+* deadlines / overload — :class:`DeadlineExceeded`, :class:`RoundHedged`,
+  :class:`BrownoutStateChanged`;
 * durability — :class:`CheckpointWritten`, :class:`RecoveryCompleted`,
   :class:`CircuitOpened`, :class:`CircuitClosed`;
 * reliable worker layer — :class:`RWLRetry`, :class:`BatchRetried`;
@@ -208,6 +210,70 @@ class QueryShed(TraceEvent):
     kind: ClassVar[str] = "QueryShed"
     query_id: int
     reason: str
+
+
+# ----------------------------------------------------------------------
+# Deadline / overload events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeadlineExceeded(TraceEvent):
+    """A query's enforced latency budget ran out.
+
+    Emitted when the scheduler degrades an expired query, or when a
+    query finishes past its deadline anyway (``outcome="exceeded"``).
+
+    Attributes:
+        query_id: the affected query.
+        deadline: the effective budget in seconds.
+        overrun: seconds past the deadline at emission time (>= 0).
+        outcome: the terminal deadline outcome being recorded
+            (``"degraded"`` or ``"exceeded"``).
+    """
+
+    kind: ClassVar[str] = "DeadlineExceeded"
+    query_id: int
+    deadline: float
+    overrun: float
+    outcome: str
+
+
+@dataclass(frozen=True)
+class RoundHedged(TraceEvent):
+    """The router mirrored a predicted-slow sub-batch to a second backend.
+
+    Attributes:
+        tick: the scheduler tick the hedge happened in.
+        backend: the primary backend whose sub-batch was mirrored.
+        mirror: the backend the mirror copy was posted to.
+        questions: distinct questions in the hedged sub-batch.
+        winner: ``"primary"``, ``"mirror"`` or ``"none"`` (both members
+            were swallowed by outages).
+    """
+
+    kind: ClassVar[str] = "RoundHedged"
+    tick: int
+    backend: str
+    mirror: str
+    questions: int
+    winner: str
+
+
+@dataclass(frozen=True)
+class BrownoutStateChanged(TraceEvent):
+    """The overload brownout controller changed level.
+
+    Attributes:
+        level: the new brownout level (0 = fully restored).
+        previous: the level before the transition.
+        queue_wait_p95: the live queue-wait p95 that drove the change.
+        tick: the scheduler tick of the transition.
+    """
+
+    kind: ClassVar[str] = "BrownoutStateChanged"
+    level: int
+    previous: int
+    queue_wait_p95: float
+    tick: int
 
 
 # ----------------------------------------------------------------------

@@ -414,12 +414,27 @@ STANDARD_METRICS = (
     ("counter", "solver.plan_cache.hits"),
     ("counter", "solver.plan_cache.misses"),
     ("counter", "solver.plan_cache.shape_hits"),
+    # Deadline enforcement, hedged posting and brownout (repro.service
+    # .deadline / the router); pre-declared so exports show zeros.
+    ("counter", "deadline.met"),
+    ("counter", "deadline.degraded"),
+    ("counter", "deadline.shed"),
+    ("counter", "deadline.exceeded"),
+    ("counter", "deadline.replans"),
+    ("counter", "hedge.posts"),
+    ("counter", "hedge.wins"),
+    ("counter", "hedge.waste"),
+    ("counter", "brownout.transitions"),
+    ("gauge", "brownout.state"),
 ) + tuple(
     # Per-component latency attribution histograms — one labeled series
     # per component; must mirror repro.obs.attribution.COMPONENTS (the
     # obs test suite asserts the two stay in sync).
     ("histogram", labeled_name("service.latency_component", {"component": c}))
-    for c in ("queue_wait", "round_post", "retry", "defer", "outage", "stall")
+    for c in (
+        "queue_wait", "round_post", "retry", "defer", "outage", "stall",
+        "hedge",
+    )
 )
 
 

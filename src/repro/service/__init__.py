@@ -30,6 +30,16 @@ from repro.service.admission import (
     AdmissionController,
     AdmissionDecision,
 )
+from repro.service.deadline import (
+    DEADLINE_DEGRADED,
+    DEADLINE_EXCEEDED,
+    DEADLINE_MET,
+    DEADLINE_OUTCOMES,
+    DEADLINE_SHED,
+    BrownoutConfig,
+    BrownoutController,
+    LatencyBudget,
+)
 from repro.service.journal import (
     JOURNAL_VERSION,
     JournalContents,
@@ -38,6 +48,7 @@ from repro.service.journal import (
     recover_scheduler,
     restore_scheduler_state,
     scheduler_from_header,
+    service_config_from_dict,
     snapshot_scheduler,
 )
 from repro.service.plan_cache import PlanCache, PlanCacheStats, PlanKey
@@ -91,6 +102,15 @@ __all__ = [
     "MaxScheduler",
     "ServiceConfig",
     "ActiveQuery",
+    # deadlines / brownout
+    "LatencyBudget",
+    "BrownoutConfig",
+    "BrownoutController",
+    "DEADLINE_MET",
+    "DEADLINE_DEGRADED",
+    "DEADLINE_SHED",
+    "DEADLINE_EXCEEDED",
+    "DEADLINE_OUTCOMES",
     # workload
     "WorkloadConfig",
     "available_workloads",
@@ -113,5 +133,6 @@ __all__ = [
     "recover_scheduler",
     "restore_scheduler_state",
     "scheduler_from_header",
+    "service_config_from_dict",
     "snapshot_scheduler",
 ]

@@ -47,7 +47,11 @@ import numpy as np
 
 from repro.crowd.breaker import CircuitBreakerConfig
 from repro.crowd.faults import FaultProfile, FaultStats, FaultyPlatform, RetryPolicy
-from repro.crowd.multibackend import backend_spec_from_dict, backend_spec_to_dict
+from repro.crowd.multibackend import (
+    HedgeConfig,
+    backend_spec_from_dict,
+    backend_spec_to_dict,
+)
 from repro.crowd.platform import PlatformStats, SimulatedPlatform
 from repro.errors import InvalidParameterError, JournalCorruptError
 from repro.obs.events import CheckpointWritten, RecoveryCompleted
@@ -65,6 +69,7 @@ from repro.persistence import (
     worker_config_from_dict,
     worker_config_to_dict,
 )
+from repro.service.deadline import BrownoutConfig
 from repro.service.plan_cache import PlanCacheStats, PlanKey
 from repro.service.query import QueryResult, QuerySpec, QueryState
 from repro.service.scheduler import ActiveQuery, MaxScheduler, ServiceConfig
@@ -377,6 +382,17 @@ def snapshot_scheduler(scheduler: MaxScheduler) -> Dict[str, Any]:
             ],
             "stats": dataclasses.asdict(scheduler.plan_cache.stats),
         },
+        "router": (
+            scheduler._router.state_dict()
+            if scheduler._router is not None
+            and scheduler._router.hedge is not None
+            else None
+        ),
+        "brownout": (
+            scheduler._brownout.state_dict()
+            if scheduler._brownout is not None
+            else None
+        ),
         **crowd_state,
     }
 
@@ -445,6 +461,16 @@ def restore_scheduler_state(
     if scheduler.breaker is not None and breaker_state is not None:
         scheduler.breaker.load_state_dict(breaker_state)
 
+    router_state = snapshot.get("router")
+    if scheduler._router is not None and router_state is not None:
+        scheduler._router.load_state_dict(router_state)
+    brownout_state = snapshot.get("brownout")
+    if scheduler._brownout is not None and brownout_state is not None:
+        scheduler._brownout.load_state_dict(brownout_state)
+        # Effects (repetition, hedging suspension) are a pure function of
+        # the restored level; re-derive them so the replay matches.
+        scheduler._apply_brownout_effects()
+
 
 def _spec_to_dict(spec: QuerySpec) -> Dict[str, Any]:
     return {
@@ -454,10 +480,12 @@ def _spec_to_dict(spec: QuerySpec) -> Dict[str, Any]:
         "priority": spec.priority,
         "latency_slo": spec.latency_slo,
         "arrival_time": float(spec.arrival_time),
+        "deadline": spec.deadline,
     }
 
 
 def _spec_from_dict(payload: Dict[str, Any]) -> QuerySpec:
+    deadline = payload.get("deadline")  # absent in pre-deadline journals
     return QuerySpec(
         query_id=int(payload["query_id"]),
         n_elements=int(payload["n_elements"]),
@@ -469,6 +497,7 @@ def _spec_from_dict(payload: Dict[str, Any]) -> QuerySpec:
             else None
         ),
         arrival_time=float(payload["arrival_time"]),
+        deadline=float(deadline) if deadline is not None else None,
     )
 
 
@@ -520,6 +549,9 @@ def _active_query_to_dict(query: ActiveQuery) -> Dict[str, Any]:
         "times_scheduled": query.times_scheduled,
         "round_attempts": query.round_attempts,
         "questions_posted": query.questions_posted,
+        "deadline_at": (
+            float(query.deadline_at) if query.deadline_at is not None else None
+        ),
     }
 
 
@@ -540,6 +572,11 @@ def _active_query_from_dict(payload: Dict[str, Any]) -> ActiveQuery:
         times_scheduled=int(payload["times_scheduled"]),
         round_attempts=int(payload["round_attempts"]),
         questions_posted=int(payload["questions_posted"]),
+        deadline_at=(
+            float(payload["deadline_at"])
+            if payload.get("deadline_at") is not None
+            else None
+        ),
     )
     query.outstanding = {
         (int(g[0]), int(g[1])): (int(local[0]), int(local[1]))
@@ -565,6 +602,8 @@ def _result_to_dict(result: QueryResult) -> Dict[str, Any]:
         "plan_cache_hit": result.plan_cache_hit,
         "slo_met": result.slo_met,
         "shed_reason": result.shed_reason,
+        "deadline": result.deadline,
+        "deadline_outcome": result.deadline_outcome,
     }
 
 
@@ -584,6 +623,12 @@ def _result_from_dict(payload: Dict[str, Any]) -> QueryResult:
         plan_cache_hit=bool(payload["plan_cache_hit"]),
         slo_met=payload["slo_met"],
         shed_reason=payload["shed_reason"],
+        deadline=(
+            float(payload["deadline"])
+            if payload.get("deadline") is not None
+            else None
+        ),
+        deadline_outcome=payload.get("deadline_outcome"),
     )
 
 
@@ -704,6 +749,23 @@ def read_journal(path: Union[str, Path]) -> JournalContents:
     )
 
 
+def service_config_from_dict(payload: Dict[str, Any]) -> ServiceConfig:
+    """Rebuild a :class:`ServiceConfig` from its journal-header form.
+
+    ``dataclasses.asdict`` flattens the nested ``hedge``/``brownout``
+    configs into plain dicts; headers written before those fields existed
+    simply lack the keys, which the dataclass defaults cover.
+    """
+    data = dict(payload)
+    hedge = data.get("hedge")
+    if isinstance(hedge, dict):
+        data["hedge"] = HedgeConfig(**hedge)
+    brownout = data.get("brownout")
+    if isinstance(brownout, dict):
+        data["brownout"] = BrownoutConfig(**brownout)
+    return ServiceConfig(**data)
+
+
 def scheduler_from_header(header: Dict[str, Any]) -> MaxScheduler:
     """Reconstruct a pristine scheduler from a journal header.
 
@@ -713,7 +775,7 @@ def scheduler_from_header(header: Dict[str, Any]) -> MaxScheduler:
     try:
         specs = [_spec_from_dict(d) for d in header["specs"]]
         latency = latency_from_dict(header["latency"])
-        config = ServiceConfig(**header["config"])
+        config = service_config_from_dict(header["config"])
         fault_payload = header["fault_profile"]
         fault_profile = (
             FaultProfile(**fault_payload) if fault_payload is not None else None

@@ -52,6 +52,11 @@ class QuerySpec:
             the report scores attainment, the scheduler does not preempt.
         arrival_time: simulated second at which the query reaches the
             service.
+        deadline: optional *enforced* end-to-end latency budget in
+            simulated seconds (arrival to completion).  Unlike
+            ``latency_slo`` the scheduler acts on it: near-deadline
+            queries are replanned against the shrunk budget or degraded
+            to a partial-confidence answer instead of silently missing.
     """
 
     query_id: int
@@ -60,6 +65,7 @@ class QuerySpec:
     priority: int = 0
     latency_slo: Optional[float] = None
     arrival_time: float = 0.0
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_elements < 1:
@@ -81,6 +87,11 @@ class QuerySpec:
             raise InvalidParameterError(
                 f"query {self.query_id}: arrival_time must be >= 0, "
                 f"got {self.arrival_time}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise InvalidParameterError(
+                f"query {self.query_id}: deadline must be > 0, "
+                f"got {self.deadline}"
             )
 
 
@@ -108,6 +119,12 @@ class QueryResult:
         slo_met: ``latency <= latency_slo`` (``None`` without an SLO or
             for a shed query).
         shed_reason: admission-control reason for a shed query.
+        deadline: the *effective* enforced budget in seconds (the spec's
+            own deadline or the service default; ``None`` when neither
+            applies).
+        deadline_outcome: one of
+            :data:`repro.service.deadline.DEADLINE_OUTCOMES` for queries
+            that carried a budget (``None`` otherwise).
     """
 
     spec: QuerySpec
@@ -122,6 +139,8 @@ class QueryResult:
     plan_cache_hit: bool
     slo_met: Optional[bool] = None
     shed_reason: Optional[str] = None
+    deadline: Optional[float] = None
+    deadline_outcome: Optional[str] = None
 
     @property
     def finished(self) -> bool:

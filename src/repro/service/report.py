@@ -15,10 +15,11 @@ a scraped ``service.query_latency`` histogram always agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.attribution import ComponentStat, render_attribution
 from repro.obs.stats import percentile
+from repro.service.deadline import DEADLINE_OUTCOMES
 from repro.service.query import QueryResult, QueryState
 
 
@@ -117,6 +118,23 @@ class ServiceReport:
         return sum(r.slo_met for r in scored) / len(scored)
 
     @property
+    def deadline_attainment(self) -> Optional[Dict[str, int]]:
+        """Terminal deadline outcomes, ``{met, degraded, shed, exceeded}``.
+
+        ``None`` when no query carried a latency budget — a deadline-free
+        run's report stays identical to one from before deadlines existed.
+        """
+        scored = [
+            r for r in self.results if r.deadline_outcome is not None
+        ]
+        if not scored:
+            return None
+        counts = {outcome: 0 for outcome in DEADLINE_OUTCOMES}
+        for r in scored:
+            counts[r.deadline_outcome] = counts.get(r.deadline_outcome, 0) + 1
+        return counts
+
+    @property
     def throughput_per_hour(self) -> float:
         """Finished queries per simulated hour of makespan."""
         if self.makespan <= 0:
@@ -172,6 +190,18 @@ class ServiceReport:
             f"(hit rate {100 * self.cache_hit_rate:.0f}%, "
             f"{self.cache_evictions} evictions)",
         ]
+        attainment = self.deadline_attainment
+        if attainment is not None:
+            # Only deadline-carrying runs print the line, so a
+            # deadline-free report renders byte-identically to before.
+            breakdown = ", ".join(
+                f"{count} {outcome}"
+                for outcome, count in attainment.items()
+                if count
+            )
+            lines.insert(
+                6, f"deadlines:        {breakdown}"
+            )
         if self.attribution is not None:
             lines.append("")
             lines.extend(render_attribution(self.attribution))
@@ -186,11 +216,16 @@ class ServiceReport:
                 slo = "" if r.slo_met is None else (
                     ", SLO met" if r.slo_met else ", SLO MISSED"
                 )
+                deadline = (
+                    ""
+                    if r.deadline_outcome is None
+                    else f", deadline {r.deadline_outcome}"
+                )
                 verdict = "correct" if r.correct else "WRONG"
                 lines.append(
                     f"  query {r.spec.query_id}: {r.state.value}, "
                     f"MAX={r.winner} ({verdict}) in {r.rounds} rounds / "
                     f"{r.questions_posted} questions, latency {r.latency:.1f} s "
-                    f"(wait {r.queue_wait:.1f} s){slo}"
+                    f"(wait {r.queue_wait:.1f} s){slo}{deadline}"
                 )
         return "\n".join(lines)

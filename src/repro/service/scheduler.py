@@ -58,6 +58,7 @@ from repro.crowd.multibackend import (
     ROUTING_POLICIES,
     BackendSpec,
     CapacityAwareRouter,
+    HedgeConfig,
     build_backends,
 )
 from repro.crowd.platform import Platform, SimulatedPlatform
@@ -68,6 +69,8 @@ from repro.errors import InvalidParameterError, PlatformOutageError
 from repro.graphs.answer_graph import AnswerGraph
 from repro.obs.attribution import component_metric, summarize_attribution
 from repro.obs.events import (
+    BrownoutStateChanged,
+    DeadlineExceeded,
     QueryAdmitted,
     QueryCompleted,
     QueryScheduled,
@@ -82,6 +85,16 @@ from repro.service.admission import (
     AdmissionConfig,
     AdmissionController,
     AdmissionDecision,
+)
+from repro.service.deadline import (
+    DEADLINE_DEGRADED,
+    DEADLINE_EXCEEDED,
+    DEADLINE_MET,
+    DEADLINE_SHED,
+    BrownoutConfig,
+    BrownoutController,
+    LatencyBudget,
+    queue_wait_p95,
 )
 from repro.service.plan_cache import PlanCache, PlanKey
 from repro.service.policies import policy_by_name
@@ -113,6 +126,15 @@ class ServiceConfig:
         routing: routing-policy name used when the scheduler is given a
             multi-backend fleet (``latency``/``least-loaded``/
             ``weighted-price``); ignored without ``backends``.
+        default_deadline: enforced end-to-end latency budget (seconds)
+            applied to every query whose spec carries no ``deadline`` of
+            its own; ``None`` disables deadline enforcement for such
+            queries.
+        hedge: enable hedged posting on the router (requires
+            ``backends``); see
+            :class:`~repro.crowd.multibackend.HedgeConfig`.
+        brownout: enable the overload brownout controller; see
+            :class:`~repro.service.deadline.BrownoutConfig`.
     """
 
     policy: str = "fair"
@@ -126,12 +148,20 @@ class ServiceConfig:
     plan_cache_capacity: int = 128
     max_round_attempts: int = 8
     routing: str = "latency"
+    default_deadline: Optional[float] = None
+    hedge: Optional[HedgeConfig] = None
+    brownout: Optional[BrownoutConfig] = None
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
             raise InvalidParameterError(
                 f"unknown routing policy {self.routing!r}; available: "
                 f"{', '.join(ROUTING_POLICIES)}"
+            )
+        if self.default_deadline is not None and not self.default_deadline > 0:
+            raise InvalidParameterError(
+                f"default_deadline must be > 0 seconds, "
+                f"got {self.default_deadline}"
             )
         if self.repetition < 1:
             raise InvalidParameterError(
@@ -177,6 +207,8 @@ class ActiveQuery:
     times_scheduled: int = 0
     round_attempts: int = 0
     questions_posted: int = 0
+    #: Absolute sim time the query's latency budget expires (None = none).
+    deadline_at: Optional[float] = None
 
     def to_global(self, question: Question) -> Question:
         a, b = question
@@ -268,6 +300,11 @@ class MaxScheduler:
                     "breaker_config and backends are mutually exclusive; "
                     "attach per-backend breakers to the BackendSpecs"
                 )
+        elif self.config.hedge is not None:
+            raise InvalidParameterError(
+                "hedged posting requires a multi-backend fleet; "
+                "pass backends= alongside config.hedge"
+            )
         self.plan_cache = (
             plan_cache
             if plan_cache is not None
@@ -304,7 +341,9 @@ class MaxScheduler:
                 error_model=error_model,
                 worker_config=worker_config,
             )
-            self._router = CapacityAwareRouter(fleet, self.config.routing)
+            self._router = CapacityAwareRouter(
+                fleet, self.config.routing, hedge=self.config.hedge
+            )
         else:
             platform: Platform = SimulatedPlatform(
                 self.truth,
@@ -329,6 +368,17 @@ class MaxScheduler:
                 retry_policy=retry_policy,
                 breaker=self.breaker,
             )
+        self._brownout: Optional[BrownoutController] = (
+            BrownoutController(self.config.brownout)
+            if self.config.brownout is not None
+            else None
+        )
+        # Deadline bookkeeping only runs when some query can carry one —
+        # with no deadlines anywhere the tick loop is bit-identical to
+        # the deadline-free scheduler.
+        self._deadline_enabled = self.config.default_deadline is not None or any(
+            spec.deadline is not None for spec in specs
+        )
         self._active: List[ActiveQuery] = []
         self._waiting: List[ActiveQuery] = []
         self._results: List[QueryResult] = []
@@ -378,6 +428,11 @@ class MaxScheduler:
         """The multi-backend router, if a fleet was configured."""
         return self._router
 
+    @property
+    def brownout(self) -> Optional[BrownoutController]:
+        """The overload brownout controller, if one was configured."""
+        return self._brownout
+
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
@@ -420,15 +475,29 @@ class MaxScheduler:
         """
         if self.drained:
             return False
+        if self._brownout is not None:
+            self._update_brownout()
         self._admit_due()
         self._promote_waiting()
-        runnable = [q for q in self._active if self._refresh_round(q)]
+        if self._deadline_enabled:
+            self._expire_deadlines()
+        # Snapshot: _refresh_round and _apply_deadline both finalize (and
+        # remove from _active) queries that are done or out of budget, and
+        # removal mid-iteration would silently skip the next query.
+        runnable = [
+            q
+            for q in list(self._active)
+            if self._refresh_round(q)
+            and (not self._deadline_enabled or self._apply_deadline(q))
+        ]
         if not runnable:
             if self._backlog:
                 # Idle: jump the clock to the next arrival.
                 self._now = max(self._now, self._backlog[0].arrival_time)
                 return True
-            return False
+            # Deadline degradation can empty the active set while queries
+            # still wait for a slot; keep stepping so they promote.
+            return bool(self._waiting)
         probe_only = False
         if self.breaker is not None:
             decision = self.breaker.before_round(self._now)
@@ -557,14 +626,16 @@ class MaxScheduler:
         start: float,
         end: float,
         outage: bool,
+        hedged: FrozenSet[Question] = frozenset(),
     ) -> None:
         """Attribute one shared round's duration to every live query.
 
         Scheduled queries pay the round as ``round_post`` (first attempt),
-        ``retry`` (re-posting lost questions) or ``outage``; runnable
-        queries left out by backpressure or a breaker probe pay it as
-        ``stall``.  Queries still waiting for their first schedule are
-        covered by their ``queue_wait`` chunk instead.
+        ``retry`` (re-posting lost questions), ``hedge`` (their chunk was
+        mirrored to a hedge backend) or ``outage``; runnable queries left
+        out by backpressure or a breaker probe pay it as ``stall``.
+        Queries still waiting for their first schedule are covered by
+        their ``queue_wait`` chunk instead.
         """
         scheduled_ids = {q.spec.query_id for q in scheduled}
         for query in runnable:
@@ -575,6 +646,8 @@ class MaxScheduler:
                     component = "outage"
                 elif query.round_attempts > 0:
                     component = "retry"
+                elif hedged and any(q in hedged for q in query.outstanding):
+                    component = "hedge"
                 else:
                     component = "round_post"
             else:
@@ -590,6 +663,7 @@ class MaxScheduler:
         any extra journaled state.
         """
         completed = degraded = shed = 0
+        deadline_met = deadline_breached = 0
         wait_total = 0.0
         for result in self._results:
             if result.state is QueryState.COMPLETED:
@@ -600,6 +674,10 @@ class MaxScheduler:
                 wait_total += result.queue_wait
             elif result.state is QueryState.SHED:
                 shed += 1
+            if result.deadline_outcome == DEADLINE_MET:
+                deadline_met += 1
+            elif result.deadline_outcome is not None:
+                deadline_breached += 1
         finished = completed + degraded
         sample = TickSample(
             tick=self._ticks,
@@ -626,6 +704,11 @@ class MaxScheduler:
             shed=shed,
             deferred=deferred,
             queue_wait_mean=wait_total / finished if finished else 0.0,
+            deadline_met=deadline_met,
+            deadline_breached=deadline_breached,
+            brownout_level=(
+                self._brownout.level if self._brownout is not None else 0
+            ),
         )
         self.tick_history.append(sample)
         registry = get_registry()
@@ -644,6 +727,20 @@ class MaxScheduler:
     def _admit_due(self) -> None:
         """Offer every arrival whose time has come to admission control."""
         while self._backlog and self._backlog[0].arrival_time <= self._now:
+            if (
+                self._brownout is not None
+                and self._brownout.shed_low_priority
+                and self._backlog[0].priority <= 0
+            ):
+                spec = self._backlog.pop(0)
+                self._shed(
+                    spec,
+                    reason=(
+                        f"brownout level {self._brownout.level}: "
+                        "low-priority admissions shed"
+                    ),
+                )
+                continue
             decision = self._admission.decide(
                 n_active=len(self._active), n_waiting=len(self._waiting)
             )
@@ -663,6 +760,9 @@ class MaxScheduler:
             spec.n_elements,
             np.random.default_rng((self.seed, 4, self._next_seq)),
         )
+        budget = LatencyBudget.resolve(
+            spec.deadline, self.config.default_deadline, spec.arrival_time
+        )
         query = ActiveQuery(
             spec=spec,
             seq=self._next_seq,
@@ -670,6 +770,7 @@ class MaxScheduler:
             session=session,
             plan_cache_hit=cache_hit,
             admitted_time=max(self._now, spec.arrival_time),
+            deadline_at=budget.expires_at if budget is not None else None,
         )
         self._next_seq += 1
         self._journal_record(
@@ -739,8 +840,199 @@ class MaxScheduler:
             query.state = QueryState.RUNNING
             self._active.append(query)
 
-    def _shed(self, spec: QuerySpec) -> None:
-        reason = self._admission.describe_overload()
+    # ------------------------------------------------------------------
+    # Deadlines & brownout
+    # ------------------------------------------------------------------
+    def _update_brownout(self) -> None:
+        """Feed the live queue-wait p95 into the brownout controller."""
+        waits = [
+            max(0.0, self._now - q.spec.arrival_time) for q in self._waiting
+        ]
+        waits.extend(
+            max(0.0, self._now - spec.arrival_time)
+            for spec in self._backlog
+            if spec.arrival_time <= self._now
+        )
+        p95 = queue_wait_p95(waits)
+        registry = get_registry()
+        registry.gauge("brownout.state").set(self._brownout.level)
+        change = self._brownout.observe(p95)
+        if change is None:
+            return
+        previous, level = change
+        registry.gauge("brownout.state").set(level)
+        registry.counter("brownout.transitions").inc()
+        self._journal_record(
+            "brownout",
+            level=level,
+            previous=previous,
+            queue_wait_p95=p95,
+            now=self._now,
+            tick=self._ticks,
+        )
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                BrownoutStateChanged(
+                    level=level,
+                    previous=previous,
+                    queue_wait_p95=p95,
+                    tick=self._ticks,
+                ),
+                sim_time=self._now,
+            )
+        logger.warning(
+            "brownout level %d -> %d at t=%.1f (queue-wait p95 %.1f s)",
+            previous,
+            level,
+            self._now,
+            p95,
+        )
+        self._apply_brownout_effects()
+
+    def _apply_brownout_effects(self) -> None:
+        """Re-derive every brownout side effect from the current level.
+
+        Called after each transition *and* after journal recovery, so the
+        effects are always a pure function of the (snapshotted) level.
+        """
+        if self._brownout is None:
+            return
+        repetition = (
+            1 if self._brownout.reduce_repetition else self.config.repetition
+        )
+        if self._rwl is not None:
+            self._rwl.repetition = repetition
+        if self._router is not None:
+            for backend in self._router.backends:
+                backend.rwl.repetition = repetition
+            self._router.hedging_suspended = self._brownout.hedging_disabled
+
+    def _expire_deadlines(self) -> None:
+        """Reactively degrade queries whose budget has already run out.
+
+        Every admitted query reaches an explicit terminal state: even one
+        stuck behind a full active set degrades (outcome ``exceeded``)
+        the moment its budget expires, rather than waiting forever.
+        """
+        for query in list(self._active):
+            if query.deadline_at is not None and self._now > query.deadline_at:
+                self._finalize(
+                    query,
+                    QueryState.DEGRADED,
+                    deadline_outcome=DEADLINE_EXCEEDED,
+                )
+        for query in list(self._waiting):
+            if query.deadline_at is not None and self._now > query.deadline_at:
+                self._waiting.remove(query)
+                self._finalize(
+                    query,
+                    QueryState.DEGRADED,
+                    deadline_outcome=DEADLINE_EXCEEDED,
+                )
+
+    def _apply_deadline(self, query: ActiveQuery) -> bool:
+        """Fit *query*'s remaining rounds into its remaining budget.
+
+        When the currently-planned rounds cannot finish inside the
+        budget, the future rounds are merged into one — a replan against
+        the shrunk budget (one wide round beats several the query will
+        not live to post).  When even the merged plan cannot fit, the
+        query degrades *proactively* to a partial-confidence answer while
+        the evidence it has is still worth returning.
+
+        Returns ``True`` when the query should be packed this tick.
+        """
+        if query.deadline_at is None:
+            return True
+        remaining = query.deadline_at - self._now
+        session = query.session
+        allocation = session.allocation
+        current = self.latency(len(query.outstanding))
+        future = allocation.round_budgets[session.round_index + 1:]
+        planned = current + sum(self.latency(b) for b in future)
+        if planned <= remaining:
+            return True
+        merged = sum(future)
+        if merged > 0 and current + self.latency(merged) <= remaining:
+            budgets = allocation.round_budgets[: session.round_index + 1] + (
+                merged,
+            )
+            session.allocation = Allocation(
+                round_budgets=budgets,
+                element_sequence=None,
+                allocator_name=f"{allocation.allocator_name}+deadline-replan",
+            )
+            get_registry().counter("deadline.replans").inc()
+            self._journal_record(
+                "replan",
+                query_id=query.spec.query_id,
+                round_budgets=list(budgets),
+                now=self._now,
+            )
+            logger.info(
+                "query %d replanned for its deadline at t=%.1f: "
+                "%d future rounds merged into one of budget %d",
+                query.spec.query_id,
+                self._now,
+                len(future),
+                merged,
+            )
+            return True
+        self._finalize(
+            query, QueryState.DEGRADED, deadline_outcome=DEADLINE_DEGRADED
+        )
+        return False
+
+    def _round_budget(self, scheduled: List[ActiveQuery]) -> Optional[float]:
+        """Tightest remaining budget among this round's riders.
+
+        The shared round's RWL retry loop must not back off past the
+        point where the most urgent rider's budget expires.
+        """
+        if not self._deadline_enabled:
+            return None
+        deadlines = [
+            q.deadline_at for q in scheduled if q.deadline_at is not None
+        ]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - self._now)
+
+    def _query_budgets(
+        self, scheduled: List[ActiveQuery]
+    ) -> Optional[Dict[int, float]]:
+        """Per-query remaining budgets for the router's backend choice."""
+        if not self._deadline_enabled:
+            return None
+        budgets = {
+            q.spec.query_id: q.deadline_at - self._now
+            for q in scheduled
+            if q.deadline_at is not None
+        }
+        return budgets or None
+
+    def _probe_order(self, ordered: List[ActiveQuery]) -> List[ActiveQuery]:
+        """Prefer probing with a query that is *not* near its deadline.
+
+        A probe batch may be swallowed by a still-broken platform; a
+        near-deadline query cannot afford to ride it.  Stable — ties
+        keep policy order.
+        """
+
+        def near(query: ActiveQuery) -> bool:
+            if query.deadline_at is None:
+                return False
+            remaining = query.deadline_at - self._now
+            return remaining < 2 * self.latency(len(query.outstanding))
+
+        safe = [q for q in ordered if not near(q)]
+        risky = [q for q in ordered if near(q)]
+        return safe + risky
+
+    def _shed(self, spec: QuerySpec, reason: Optional[str] = None) -> None:
+        if reason is None:
+            reason = self._admission.describe_overload()
         self._journal_record(
             "shed", query_id=spec.query_id, reason=reason, now=self._now
         )
@@ -754,6 +1046,11 @@ class MaxScheduler:
         logger.warning(
             "shed query %d at t=%.1f: %s", spec.query_id, self._now, reason
         )
+        budget = LatencyBudget.resolve(
+            spec.deadline, self.config.default_deadline, spec.arrival_time
+        )
+        if budget is not None:
+            get_registry().counter(f"deadline.{DEADLINE_SHED}").inc()
         self._results.append(
             QueryResult(
                 spec=spec,
@@ -768,6 +1065,8 @@ class MaxScheduler:
                 plan_cache_hit=False,
                 slo_met=None,
                 shed_reason=reason,
+                deadline=budget.deadline if budget is not None else None,
+                deadline_outcome=DEADLINE_SHED if budget is not None else None,
             )
         )
 
@@ -858,6 +1157,8 @@ class MaxScheduler:
         batch: List[Question] = []
         ordered = self._policy.order(runnable)
         if probe_only:
+            if self._deadline_enabled:
+                ordered = self._probe_order(ordered)
             ordered = ordered[:1]
         for query in ordered:
             size = len(query.outstanding)
@@ -925,7 +1226,9 @@ class MaxScheduler:
             # the RWL / fault layer / breaker, whose events and attempt
             # sub-spans then nest under this shared round.
             with span_scope(tick_span, base_time=tick_start):
-                result = self._rwl.ask(batch)
+                result = self._rwl.ask(
+                    batch, budget=self._round_budget(scheduled)
+                )
         except PlatformOutageError as outage:
             # No retry policy: the whole shared round was swallowed.  Every
             # scheduled query keeps its outstanding questions for the next
@@ -1002,7 +1305,11 @@ class MaxScheduler:
         ]
         with span_scope(tick_span, base_time=tick_start):
             outcome = self._router.post_round(
-                units, now=self._now, tick=self._ticks
+                units,
+                now=self._now,
+                tick=self._ticks,
+                budgets=self._query_budgets(scheduled),
+                rwl_budget=self._round_budget(scheduled),
             )
         if not self._router.solo:
             self._journal_record("route", **outcome.decision.to_dict())
@@ -1045,7 +1352,7 @@ class MaxScheduler:
             close_span(tracer, tick_span, end=self._now)
             self._record_tick_chunks(
                 tracer, runnable, scheduled, tick_start, self._now,
-                outage=False,
+                outage=False, hedged=outcome.hedged_questions,
             )
         by_question = {answer.question: answer for answer in outcome.answers}
         for query in scheduled:
@@ -1112,7 +1419,12 @@ class MaxScheduler:
         scores = score_candidates(graph)
         return max(scores, key=lambda element: (scores[element], -element))
 
-    def _finalize(self, query: ActiveQuery, state: QueryState) -> None:
+    def _finalize(
+        self,
+        query: ActiveQuery,
+        state: QueryState,
+        deadline_outcome: Optional[str] = None,
+    ) -> None:
         if state is QueryState.COMPLETED:
             winner = query.session.winner
             singleton = query.session.singleton_termination
@@ -1132,6 +1444,17 @@ class MaxScheduler:
             if spec.latency_slo is not None
             else None
         )
+        deadline_driven = deadline_outcome is not None
+        deadline: Optional[float] = None
+        if query.deadline_at is not None:
+            deadline = query.deadline_at - spec.arrival_time
+            if deadline_outcome is None:
+                if self._now > query.deadline_at:
+                    deadline_outcome = DEADLINE_EXCEEDED
+                elif state is QueryState.COMPLETED:
+                    deadline_outcome = DEADLINE_MET
+                else:
+                    deadline_outcome = DEADLINE_DEGRADED
         self._results.append(
             QueryResult(
                 spec=spec,
@@ -1145,22 +1468,28 @@ class MaxScheduler:
                 questions_posted=query.questions_posted,
                 plan_cache_hit=query.plan_cache_hit,
                 slo_met=slo_met,
+                deadline=deadline,
+                deadline_outcome=deadline_outcome,
             )
         )
         if query in self._active:
             self._active.remove(query)
-        self._journal_record(
-            "finalize",
+        finalize_payload: Dict[str, Any] = dict(
             query_id=spec.query_id,
             state=state.value,
             winner=winner,
             now=self._now,
         )
+        if deadline_outcome is not None:
+            finalize_payload["deadline_outcome"] = deadline_outcome
+        self._journal_record("finalize", **finalize_payload)
         registry = get_registry()
         if state is QueryState.COMPLETED:
             registry.counter("service.queries_completed").inc()
         else:
             registry.counter("service.queries_degraded").inc()
+        if deadline_outcome is not None:
+            registry.counter(f"deadline.{deadline_outcome}").inc()
         registry.histogram("service.query_latency").observe(latency)
         registry.histogram("service.queue_wait").observe(queue_wait)
         tracer = current_tracer()
@@ -1189,6 +1518,18 @@ class MaxScheduler:
             for component, seconds in totals.items():
                 registry.histogram(component_metric(component)).observe(
                     seconds
+                )
+            if deadline_outcome == DEADLINE_EXCEEDED or (
+                deadline_driven and deadline_outcome == DEADLINE_DEGRADED
+            ):
+                tracer.emit(
+                    DeadlineExceeded(
+                        query_id=spec.query_id,
+                        deadline=deadline if deadline is not None else 0.0,
+                        overrun=max(0.0, self._now - query.deadline_at),
+                        outcome=deadline_outcome,
+                    ),
+                    sim_time=self._now,
                 )
             tracer.emit(
                 QueryCompleted(

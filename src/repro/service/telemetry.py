@@ -69,6 +69,13 @@ class TickSample:
             queries finished so far (0.0 before the first finish).
             Defaulted so journals written before the field existed stay
             replayable.
+        deadline_met: cumulative queries that finished inside their
+            latency budget (deadline-carrying queries only).  Defaulted,
+            like every field below, for pre-deadline journals.
+        deadline_breached: cumulative deadline-carrying queries that were
+            degraded, shed or finished late.
+        brownout_level: the brownout controller's level after this tick
+            (0 = off / no controller).
     """
 
     tick: int
@@ -87,6 +94,9 @@ class TickSample:
     shed: int
     deferred: bool
     queue_wait_mean: float = 0.0
+    deadline_met: int = 0
+    deadline_breached: int = 0
+    brownout_level: int = 0
 
     @property
     def queue_depth(self) -> int:

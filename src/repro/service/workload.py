@@ -13,6 +13,9 @@ seed.  Named presets cover the scenarios the CLI and benchmarks exercise:
 * ``repeated`` — many queries drawn from two shapes only, exercising the
   plan cache (hit rate approaches 1).
 * ``sla`` — a priority mix where every query carries a latency SLO.
+* ``deadline`` — a priority mix where every query carries an *enforced*
+  end-to-end latency budget (see :mod:`repro.service.deadline`), the
+  deadline-propagation and brownout demo workload.
 """
 
 from __future__ import annotations
@@ -39,7 +42,12 @@ class WorkloadConfig:
             sampled uniformly from these (clamped up to the Theorem 1
             minimum ``c0 - 1``).
         priorities: priority classes, sampled uniformly.
-        slo_seconds: when set, every query carries this latency SLO.
+        slo_seconds: when set, every query carries this latency SLO
+            (reported, never enforced).
+        deadline_seconds: when set, every query carries this *enforced*
+            end-to-end latency budget — the scheduler replans, degrades
+            or sheds to meet it.  A config constant, not a sampled
+            value, so adding it never perturbs the RNG stream.
     """
 
     n_queries: int
@@ -48,6 +56,7 @@ class WorkloadConfig:
     budget_factors: Tuple[float, ...]
     priorities: Tuple[int, ...] = (0,)
     slo_seconds: Optional[float] = None
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_queries < 1:
@@ -73,6 +82,10 @@ class WorkloadConfig:
         if self.slo_seconds is not None and self.slo_seconds <= 0:
             raise InvalidParameterError(
                 f"slo_seconds must be > 0, got {self.slo_seconds}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise InvalidParameterError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
             )
 
 
@@ -110,6 +123,14 @@ _PRESETS: Dict[str, WorkloadConfig] = {
         budget_factors=(4.0, 6.0),
         priorities=(0, 1, 2),
         slo_seconds=4000.0,
+    ),
+    "deadline": WorkloadConfig(
+        n_queries=30,
+        mean_interarrival=45.0,
+        sizes=(12, 20, 28),
+        budget_factors=(4.0, 6.0),
+        priorities=(0, 1, 2),
+        deadline_seconds=9000.0,
     ),
 }
 
@@ -169,6 +190,7 @@ def generate_workload(
                 priority=int(rng.choice(config.priorities)),
                 latency_slo=config.slo_seconds,
                 arrival_time=arrival,
+                deadline=config.deadline_seconds,
             )
         )
     return specs

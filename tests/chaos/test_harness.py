@@ -143,3 +143,87 @@ class TestNamedScenarios:
         )
         assert report.all_equivalent, report.render()
         assert "backends=fast,balanced,cheap" in report.render()
+
+
+class TestDeadlineStorm:
+    """The ``deadline-storm`` scenario: every robustness feature at once.
+
+    Deadlines, replans, hedged rounds and brownout transitions must all
+    survive a kill/recover cycle bit-identically, and every admitted
+    query must reach an explicit terminal state — no silent losses.
+    """
+
+    def test_registry_lists_deadline_storm(self):
+        from repro.chaos import available_scenarios, scenario_by_name
+
+        assert "deadline-storm" in available_scenarios()
+        scenario = scenario_by_name("deadline-storm")
+        assert scenario.config.default_deadline is not None
+        assert scenario.config.hedge is not None
+        assert scenario.config.brownout is not None
+
+    def test_no_admitted_query_is_ever_lost(self):
+        from repro.chaos import scenario_by_name
+        from repro.service import DEADLINE_OUTCOMES
+
+        scenario = scenario_by_name("deadline-storm")
+        report = uninterrupted_report(scenario)
+        assert len(report.results) == scenario.n_queries
+        assert all(
+            r.deadline_outcome in DEADLINE_OUTCOMES for r in report.results
+        )
+
+    def test_storm_exercises_every_deadline_path(self):
+        from repro.chaos import build_scheduler, scenario_by_name
+
+        scenario = scenario_by_name("deadline-storm")
+        scheduler = build_scheduler(scenario)
+        report = scheduler.run()
+        attainment = report.deadline_attainment
+        # The scenario is tuned so no outcome class is vacuous.
+        assert attainment is not None
+        assert all(attainment[outcome] > 0 for outcome in attainment)
+        assert scheduler.router.hedges > 0
+        assert scheduler.brownout.transitions > 0
+
+    def test_deadline_storm_recovers_bit_identically(self, tmp_path):
+        from repro.chaos import scenario_by_name
+
+        scenario = scenario_by_name("deadline-storm")
+        report = run_chaos(
+            scenario, crash_points=[1, 5, 9], journal_dir=tmp_path
+        )
+        assert report.all_equivalent, report.render()
+
+    @pytest.mark.slow
+    def test_every_tick_boundary_of_the_storm(self, tmp_path):
+        from repro.chaos import scenario_by_name
+
+        scenario = scenario_by_name("deadline-storm")
+        report = run_chaos(scenario, sweep=True, journal_dir=tmp_path)
+        assert report.all_equivalent, report.render()
+
+    def test_recovered_results_keep_deadline_outcomes(self, tmp_path):
+        from repro.chaos import build_scheduler, scenario_by_name
+        from repro.service.journal import SchedulerJournal, recover_scheduler
+
+        scenario = scenario_by_name("deadline-storm")
+        baseline = uninterrupted_report(scenario)
+        journal_path = tmp_path / "storm.jsonl"
+        journal = SchedulerJournal.create(
+            journal_path, snapshot_interval=scenario.snapshot_interval
+        )
+        victim = build_scheduler(scenario, journal=journal)
+        for _ in range(4):
+            victim.step()
+        journal.close()
+        del victim
+
+        survivor = recover_scheduler(journal_path)
+        recovered = survivor.run()
+        if survivor.journal is not None:
+            survivor.journal.close()
+        assert [r.deadline_outcome for r in recovered.results] == [
+            r.deadline_outcome for r in baseline.results
+        ]
+        assert recovered.deadline_attainment == baseline.deadline_attainment

@@ -184,7 +184,7 @@ class TestRouterAssignment:
                 BackendSpec(name="fast", latency=FAST),
             ]
         )
-        assignment, unposted = router._assign(
+        assignment, unposted, _ = router._assign(
             [(0, _questions(5))], self._post(router)
         )
         assert not unposted
@@ -198,7 +198,7 @@ class TestRouterAssignment:
                 BackendSpec(name="b", latency=SLOW, capacity=3),
             ]
         )
-        assignment, unposted = router._assign(
+        assignment, unposted, _ = router._assign(
             [(0, _questions(10))], self._post(router)
         )
         assert len(assignment[0]) == 4
@@ -212,7 +212,7 @@ class TestRouterAssignment:
                 BackendSpec(name="big", latency=SLOW, capacity=100),
             ]
         )
-        assignment, unposted = router._assign(
+        assignment, unposted, _ = router._assign(
             [(0, _questions(6))], self._post(router)
         )
         # Slower, but the only backend that takes the block whole.
@@ -234,7 +234,7 @@ class TestRouterAssignment:
             ],
             policy="weighted-price",
         )
-        assignment, _ = router._assign(
+        assignment, _, _ = router._assign(
             [(0, _questions(5)), (1, _questions(4, start=50))],
             self._post(router),
         )
@@ -249,7 +249,7 @@ class TestRouterAssignment:
             ],
             policy="least-loaded",
         )
-        assignment, _ = router._assign(
+        assignment, _, _ = router._assign(
             [(0, _questions(4)), (1, _questions(4, start=50))],
             self._post(router),
         )
@@ -264,7 +264,7 @@ class TestRouterAssignment:
             ]
         )
         decisions = {0: RoundDecision.DEFER, 1: RoundDecision.POST}
-        assignment, unposted = router._assign(
+        assignment, unposted, _ = router._assign(
             [(0, _questions(6))], decisions
         )
         assert len(assignment[0]) == 0
@@ -279,14 +279,14 @@ class TestRouterAssignment:
             ]
         )
         decisions = {0: RoundDecision.PROBE, 1: RoundDecision.POST}
-        assignment, unposted = router._assign(
+        assignment, unposted, _ = router._assign(
             [(0, _questions(PROBE_QUESTIONS + 20))], decisions
         )
         # Too big for the probe quota: the block lands whole on the
         # healthy backend.
         assert len(assignment[1]) == PROBE_QUESTIONS + 20
         assert not unposted
-        assignment, _ = router._assign(
+        assignment, _, _ = router._assign(
             [(0, _questions(PROBE_QUESTIONS + 20)),
              (1, _questions(4, start=50))],
             {0: RoundDecision.PROBE, 1: RoundDecision.POST},

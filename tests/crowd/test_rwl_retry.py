@@ -161,3 +161,66 @@ class TestRepetitionInteraction:
         assert len(result.answers) == 10
         assert result.questions_posted >= 30
         assert result.questions_posted % 3 == 0
+
+
+class TestPerQueryBudget:
+    """ask(budget=...) clips retry backoff to the remaining query budget."""
+
+    POLICY = RetryPolicy(max_attempts=10, base_backoff=500.0, jitter=0.0)
+
+    def _lossy(self):
+        return _rwl(fault_profile_by_name("lossy"), self.POLICY)
+
+    def test_no_budget_is_bit_identical_to_omitting_it(self):
+        unbudgeted = self._lossy().ask(_chain(40))
+        explicit_none = self._lossy().ask(_chain(40), budget=None)
+        assert explicit_none == unbudgeted
+
+    def test_loose_budget_changes_nothing(self):
+        unbudgeted = self._lossy().ask(_chain(40))
+        loose = self._lossy().ask(_chain(40), budget=1e9)
+        assert loose == unbudgeted
+
+    def test_overshooting_backoff_is_truncated_not_skipped(self):
+        # Regression for the boundary tick: a retry whose full backoff
+        # would overshoot the budget must still happen, with its sleep
+        # truncated to the exact remainder — not be dropped wholesale.
+        two_attempts = RetryPolicy(
+            max_attempts=2, base_backoff=500.0, jitter=0.0
+        )
+        unbudgeted = _rwl(
+            fault_profile_by_name("lossy"), two_attempts
+        ).ask(_chain(40))
+        assert unbudgeted.attempts == 2
+        single = _rwl(
+            fault_profile_by_name("lossy"), RetryPolicy(max_attempts=1)
+        ).ask(_chain(40))
+        # Budget runs out 200 s into the 500 s backoff before attempt 2.
+        budget = single.latency + 200.0
+        clipped = _rwl(
+            fault_profile_by_name("lossy"), two_attempts
+        ).ask(_chain(40), budget=budget)
+        assert clipped.attempts == 2
+        # The second attempt fired at exactly the budget boundary, so the
+        # run is 300 s (the truncated portion of the sleep) shorter than
+        # the unbudgeted one while posting the same copies.
+        assert clipped.latency == pytest.approx(unbudgeted.latency - 300.0)
+        assert clipped.questions_posted == unbudgeted.questions_posted
+        assert len(clipped.answers) == len(unbudgeted.answers)
+
+    def test_exhausted_budget_stops_retrying(self):
+        single = _rwl(
+            fault_profile_by_name("lossy"), RetryPolicy(max_attempts=1)
+        ).ask(_chain(40))
+        # Budget spent before the first backoff: degrade immediately.
+        clipped = self._lossy().ask(_chain(40), budget=single.latency)
+        assert clipped.attempts == 1
+        assert clipped.latency == single.latency
+        assert len(clipped.unanswered) > 0
+
+    def test_budget_never_blocks_the_first_attempt(self):
+        # The budget gates backoff sleeps, not posting: even a tiny
+        # budget still buys one attempt.
+        clipped = self._lossy().ask(_chain(40), budget=1.0)
+        assert clipped.attempts == 1
+        assert len(clipped.answers) > 0

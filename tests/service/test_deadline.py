@@ -1,0 +1,228 @@
+"""Tests for end-to-end deadline propagation (repro.service.deadline).
+
+The brownout controller has its own module (``test_brownout.py``); this
+one covers the :class:`LatencyBudget` primitive and the scheduler's
+deadline enforcement: met / replanned / degraded / exceeded outcomes,
+the report's attainment breakdown, and the bit-identity of the
+deadline-free path.
+"""
+
+import math
+
+import pytest
+
+from repro.core.latency import LinearLatency
+from repro.errors import InvalidParameterError
+from repro.obs.tracer import RecordingTracer, use_tracer
+from repro.service import (
+    DEADLINE_DEGRADED,
+    DEADLINE_EXCEEDED,
+    DEADLINE_MET,
+    DEADLINE_OUTCOMES,
+    DEADLINE_SHED,
+    LatencyBudget,
+    MaxScheduler,
+    QuerySpec,
+    QueryState,
+    ServiceConfig,
+    generate_workload,
+    workload_by_name,
+)
+
+LATENCY = LinearLatency(239, 0.06)
+
+
+def spec(query_id, n=10, budget=50, **kwargs):
+    return QuerySpec(query_id=query_id, n_elements=n, budget=budget, **kwargs)
+
+
+def run_workload(specs, config=None, seed=0, **kwargs):
+    return MaxScheduler(specs, LATENCY, seed=seed, config=config, **kwargs).run()
+
+
+class TestLatencyBudget:
+    def test_expiry_accounting(self):
+        budget = LatencyBudget(deadline=100.0, arrival=50.0)
+        assert budget.expires_at == 150.0
+        assert budget.remaining(100.0) == 50.0
+        assert not budget.expired(150.0)
+        assert budget.expired(150.1)
+
+    def test_resolve_prefers_the_spec_deadline(self):
+        budget = LatencyBudget.resolve(30.0, 99.0, arrival=10.0)
+        assert budget.deadline == 30.0
+        assert budget.expires_at == 40.0
+
+    def test_resolve_falls_back_to_the_default(self):
+        budget = LatencyBudget.resolve(None, 99.0, arrival=0.0)
+        assert budget.deadline == 99.0
+
+    def test_resolve_none_and_inf_disable(self):
+        assert LatencyBudget.resolve(None, None, arrival=0.0) is None
+        assert LatencyBudget.resolve(math.inf, None, arrival=0.0) is None
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyBudget(deadline=0.0, arrival=0.0)
+        with pytest.raises(InvalidParameterError):
+            LatencyBudget(deadline=10.0, arrival=-1.0)
+
+
+class TestDeadlineOutcomes:
+    def test_loose_deadline_is_met(self):
+        report = run_workload([spec(0, deadline=1e6)])
+        result = report.results[0]
+        assert result.state is QueryState.COMPLETED
+        assert result.deadline == 1e6
+        assert result.deadline_outcome == DEADLINE_MET
+
+    def test_impossible_deadline_degrades_proactively(self):
+        # Tighter than a single round: the query degrades at its first
+        # packing opportunity instead of burning rounds it cannot finish.
+        report = run_workload([spec(0, n=20, budget=100, deadline=10.0)])
+        result = report.results[0]
+        assert result.state is QueryState.DEGRADED
+        assert result.deadline_outcome == DEADLINE_DEGRADED
+
+    def test_default_deadline_applies_to_bare_specs(self):
+        config = ServiceConfig(default_deadline=10.0)
+        report = run_workload([spec(0, n=20, budget=100)], config=config)
+        assert report.results[0].deadline == 10.0
+        assert report.results[0].deadline_outcome == DEADLINE_DEGRADED
+
+    def test_spec_deadline_overrides_the_default(self):
+        config = ServiceConfig(default_deadline=10.0)
+        report = run_workload(
+            [spec(0, n=20, budget=100, deadline=1e6)], config=config
+        )
+        assert report.results[0].deadline == 1e6
+        assert report.results[0].deadline_outcome == DEADLINE_MET
+
+    def test_queries_without_deadlines_are_untouched(self):
+        report = run_workload([spec(0), spec(1, deadline=1e6)])
+        bare, budgeted = report.results
+        assert bare.deadline is None
+        assert bare.deadline_outcome is None
+        assert budgeted.deadline_outcome == DEADLINE_MET
+
+    def test_replanning_merges_future_rounds(self):
+        # uHF plans n=24/budget=120 as three rounds of 40.  Planned cost
+        # is 3 * L(40) ~ 724 s; the merged two-round plan costs
+        # L(40) + L(80) ~ 485 s.  A 600 s deadline sits between the two,
+        # so the scheduler must take the merge path, not degrade.
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        registry.reset()
+        config = ServiceConfig(allocator="uHF", default_deadline=600.0)
+        report = run_workload([spec(0, n=24, budget=120)], config=config)
+        assert registry.counter("deadline.replans").value >= 1
+        result = report.results[0]
+        assert result.state is QueryState.COMPLETED
+        assert result.deadline_outcome == DEADLINE_MET
+
+    def test_exceeded_while_stuck_behind_a_full_active_set(self):
+        # Query 1 waits for query 0's slot; its budget expires mid-wait,
+        # which is only discoverable reactively — outcome "exceeded",
+        # never a silent loss.
+        config = ServiceConfig(max_active_queries=1)
+        specs = [
+            spec(0, n=40, budget=320),
+            spec(1, n=8, budget=40, deadline=100.0),
+        ]
+        report = run_workload(specs, config=config)
+        stuck = report.results[1]
+        assert stuck.state is QueryState.DEGRADED
+        assert stuck.deadline_outcome == DEADLINE_EXCEEDED
+
+    def test_every_query_reaches_a_terminal_state(self):
+        config = ServiceConfig(default_deadline=500.0, max_active_queries=2)
+        specs = [spec(i, n=12, budget=60) for i in range(10)]
+        report = run_workload(specs, config=config)
+        assert len(report.results) == 10
+        assert all(r.deadline_outcome in DEADLINE_OUTCOMES for r in report.results)
+
+
+class TestDeadlineAttainment:
+    def test_attainment_counts_every_outcome(self):
+        config = ServiceConfig(default_deadline=500.0, max_active_queries=2)
+        specs = [spec(i, n=12, budget=60) for i in range(10)]
+        report = run_workload(specs, config=config)
+        attainment = report.deadline_attainment
+        assert attainment is not None
+        assert sum(attainment.values()) == 10
+        assert list(attainment) == list(DEADLINE_OUTCOMES)
+
+    def test_attainment_is_none_without_deadlines(self):
+        report = run_workload([spec(0), spec(1)])
+        assert report.deadline_attainment is None
+
+    def test_render_includes_the_breakdown(self):
+        report = run_workload([spec(0, deadline=1e6)])
+        assert "deadlines:" in report.render()
+        assert "1 met" in report.render()
+
+    def test_render_omits_the_line_without_deadlines(self):
+        report = run_workload([spec(0)])
+        assert "deadlines:" not in report.render()
+
+    def test_per_query_lines_carry_the_outcome(self):
+        report = run_workload([spec(0, deadline=1e6)])
+        rendered = report.render(per_query=True)
+        assert "deadline met" in rendered
+
+
+class TestDeadlineEvents:
+    def test_degradation_emits_deadline_exceeded(self):
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            run_workload([spec(0, n=20, budget=100, deadline=10.0)])
+        events = [
+            r.event for r in tracer.records
+            if r.event.kind == "DeadlineExceeded"
+        ]
+        assert len(events) == 1
+        assert events[0].outcome == DEADLINE_DEGRADED
+        assert events[0].deadline == 10.0
+
+    def test_met_deadlines_stay_silent(self):
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            run_workload([spec(0, deadline=1e6)])
+        assert not [
+            r for r in tracer.records
+            if r.event.kind == "DeadlineExceeded"
+        ]
+
+
+class TestDeadlineFreeBitIdentity:
+    def test_disabled_path_is_identical_to_the_deadline_free_run(self):
+        # default_deadline=None + no per-spec deadlines must leave every
+        # result byte-identical: no extra RNG draws, no replans, nothing.
+        specs = generate_workload(workload_by_name("steady"), seed=3)
+        plain = run_workload(specs, seed=3)
+        configured = run_workload(specs, config=ServiceConfig(), seed=3)
+        assert plain == configured
+
+    def test_infinite_spec_deadline_disables_enforcement(self):
+        specs = [spec(0, deadline=math.inf), spec(1)]
+        report = run_workload(specs)
+        assert report.results[0].deadline is None
+        assert report.results[0].deadline_outcome is None
+        assert report.deadline_attainment is None
+
+    def test_shed_queries_report_a_shed_outcome(self):
+        config = ServiceConfig(
+            default_deadline=1e6,
+            max_active_queries=1,
+            max_queue_depth=1,
+            overload_policy="shed",
+        )
+        specs = [spec(i) for i in range(6)]
+        report = run_workload(specs, config=config)
+        shed = [
+            r for r in report.results
+            if r.deadline_outcome == DEADLINE_SHED
+        ]
+        assert shed
+        assert all(r.state is QueryState.SHED for r in shed)

@@ -15,6 +15,7 @@ class TestPresets:
     def test_all_presets_listed(self):
         assert available_workloads() == [
             "burst",
+            "deadline",
             "repeated",
             "sla",
             "smoke",

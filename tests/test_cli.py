@@ -741,3 +741,94 @@ class TestChaosScenario:
              "--faults", "outages"]
         ) == 2
         assert "cannot be combined" in capsys.readouterr().err
+
+
+class TestServeDeadlines:
+    def test_default_deadline_prints_attainment(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--default-deadline", "1e9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deadlines:" in out
+        assert "met" in out
+
+    def test_tight_deadline_degrades(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--default-deadline", "10"]
+        ) == 0
+        assert "degraded" in capsys.readouterr().out
+
+    def test_hedge_requires_a_fleet(self, capsys):
+        assert main(
+            ["serve", "--workload", "smoke", "--hedge"]
+        ) == 2
+        assert "--hedge requires" in capsys.readouterr().err
+
+    def test_full_robustness_stack(self, capsys):
+        assert main(
+            ["serve", "--workload", "steady", "--queries", "12",
+             "--backends", "outage-trio", "--routing", "least-loaded",
+             "--default-deadline", "1800", "--hedge", "--brownout",
+             "--brownout-threshold", "1000", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deadlines:" in out
+        assert "hedging:" in out
+        assert "brownout: level" in out
+
+    def test_hedge_after_fires_mirrored_rounds(self, capsys):
+        assert main(
+            ["serve", "--workload", "steady", "--queries", "12",
+             "--backends", "outage-trio", "--routing", "least-loaded",
+             "--hedge-after", "250", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hedging:" in out
+        assert "0 hedged round(s)" not in out
+
+    def test_deadline_serve_is_reproducible(self, capsys):
+        argv = ["serve", "--workload", "steady", "--queries", "12",
+                "--backends", "outage-trio", "--routing", "least-loaded",
+                "--default-deadline", "1800", "--hedge", "--brownout",
+                "--seed", "7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestExplainDeadlines:
+    def test_breaches_and_hedges_render(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["serve", "--workload", "steady", "--queries", "12",
+             "--backends", "outage-trio", "--routing", "least-loaded",
+             "--default-deadline", "600", "--hedge-after", "250",
+             "--seed", "7", "--trace", str(trace), "--stream-trace"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["explain", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "deadline breaches:" in out
+        assert "hedged rounds:" in out
+
+    def test_breach_free_trace_stays_quiet(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["serve", "--workload", "smoke", "--default-deadline", "1e9",
+             "--trace", str(trace), "--stream-trace"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["explain", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "deadline breaches:" not in out
+
+
+class TestChaosDeadlineStorm:
+    def test_deadline_storm_scenario_runs(self, capsys):
+        assert main(
+            ["chaos", "--scenario", "deadline-storm", "--crashes", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "all recoveries bit-identical" in out
+        assert "backends=fast,balanced,cheap" in out
