@@ -241,9 +241,75 @@ def _deadline_storm() -> ChaosScenario:
     )
 
 
+def _alert_storm() -> ChaosScenario:
+    """The deadline storm with the SLO engine armed and twitchy.
+
+    Rule windows and thresholds are tightened so alerts both fire *and*
+    resolve within the run: the deadline burn-rate alert trips while the
+    outage wrecks attainment, the brownout/hedge-waste thresholds trip
+    with their drivers, and the thresholds clear as the queue drains.
+    Crash recovery must replay the exact AlertFired/AlertResolved
+    sequence — the journal's alert records are the assertion surface.
+    """
+    from repro.crowd.multibackend import HedgeConfig
+    from repro.obs.slo import (
+        BurnRateRule,
+        SLOConfig,
+        SLOTarget,
+        ThresholdRule,
+    )
+    from repro.service.deadline import BrownoutConfig
+
+    return ChaosScenario(
+        workload="steady",
+        seed=7,
+        n_queries=36,
+        backends=tuple(backend_preset_by_name("outage-trio")),
+        config=ServiceConfig(
+            policy="priority",
+            allocator="uHF",
+            max_active_queries=6,
+            max_queue_depth=10,
+            routing="least-loaded",
+            default_deadline=1800.0,
+            hedge=HedgeConfig(min_samples=4, window=32, factor=0.8),
+            brownout=BrownoutConfig(queue_wait_threshold=1000.0),
+            slo=SLOConfig(
+                targets=(
+                    SLOTarget(name="deadline-attainment",
+                              objective="deadline",
+                              target=0.90, window=48),
+                    SLOTarget(name="query-success", objective="queries",
+                              target=0.80, window=48),
+                ),
+                burn_rates=(
+                    BurnRateRule(name="deadline-burn",
+                                 slo="deadline-attainment",
+                                 fast_window=4, slow_window=12,
+                                 burn_threshold=1.0,
+                                 severity="critical"),
+                ),
+                thresholds=(
+                    ThresholdRule(name="brownout-active",
+                                  signal="brownout_level",
+                                  threshold=1.0, severity="warning"),
+                    ThresholdRule(name="queue-wait-high",
+                                  signal="queue_wait_p95",
+                                  threshold=1500.0, severity="warning"),
+                    ThresholdRule(name="hedge-waste",
+                                  signal="hedge_waste",
+                                  threshold=3.0, severity="warning"),
+                ),
+                ring=64,
+            ),
+        ),
+    )
+
+
 _SCENARIOS = {
     "multibackend-outage": _multibackend_outage,
     "deadline-storm": _deadline_storm,
+    "alert-storm": _alert_storm,
 }
 
 
@@ -290,7 +356,7 @@ def describe_mismatch(
     if recovered == baseline:
         return None
     for name in ("makespan", "ticks", "shared_rounds", "questions_posted",
-                 "cache_hits", "cache_misses", "cache_evictions"):
+                 "cache_hits", "cache_misses", "cache_evictions", "health"):
         a, b = getattr(recovered, name), getattr(baseline, name)
         if a != b:
             return f"{name}: {a!r} != baseline {b!r}"

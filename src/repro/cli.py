@@ -280,6 +280,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "escalates one level per tick (default: %(default)s)",
     )
     serve.add_argument(
+        "--slo",
+        action="store_true",
+        help="arm the SLO engine: deadline/success objectives, "
+        "multi-window burn-rate alerts, signal thresholds and a flight "
+        "recorder (see tdp-repro health / diagnose)",
+    )
+    serve.add_argument(
+        "--slo-bundle-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot a flight-recorder debug bundle under DIR every "
+        "time an alert fires (implies --slo)",
+    )
+    serve.add_argument(
         "--journal",
         default=None,
         metavar="PATH",
@@ -342,6 +356,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="stop following after this long without a completion record",
+    )
+
+    health = sub.add_parser(
+        "health",
+        help="aggregate SLO health of a journaled serve --slo run "
+        "(ok/degraded/critical with the alert history)",
+    )
+    health.add_argument(
+        "journal", help="scheduler journal written by serve --slo --journal"
+    )
+    health.add_argument(
+        "--fail-degraded",
+        action="store_true",
+        help="exit 1 unless the final health state is ok",
+    )
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="rebuild a journaled run's flight recorder and snapshot a "
+        "debug bundle (ring, state, metrics, manifest)",
+    )
+    diagnose.add_argument(
+        "journal", help="scheduler journal written by serve --slo --journal"
+    )
+    diagnose.add_argument(
+        "--output",
+        required=True,
+        metavar="DIR",
+        help="directory to write the bundle into (created if missing)",
     )
 
     metrics_export = sub.add_parser(
@@ -979,6 +1022,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         brownout_config = BrownoutConfig(
             queue_wait_threshold=args.brownout_threshold
         )
+    slo_config = None
+    if args.slo or args.slo_bundle_dir is not None:
+        from repro.obs.slo import default_slo_config
+
+        slo_config = default_slo_config(bundle_dir=args.slo_bundle_dir)
     config = ServiceConfig(
         policy=args.scheduling,
         repetition=args.repetition,
@@ -990,6 +1038,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.default_deadline,
         hedge=hedge_config,
         brownout=brownout_config,
+        slo=slo_config,
     )
     journal = None
     if args.journal is not None:
@@ -1052,6 +1101,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"brownout: level {scheduler.brownout.level}, "
             f"{scheduler.brownout.transitions} transition(s)"
         )
+    if scheduler.slo is not None:
+        health = scheduler.slo.health()
+        print(
+            f"slo: health {health.describe()}, "
+            f"{scheduler.slo.fired_total} alert(s) fired, "
+            f"{scheduler.slo.resolved_total} resolved"
+        )
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.service import read_journal
+    from repro.service.telemetry import (
+        alert_transitions_from_records,
+        samples_from_records,
+    )
+
+    contents = read_journal(args.journal)
+    config = contents.header.get("config", {})
+    if not isinstance(config.get("slo"), dict):
+        print("health: ok (no SLO engine armed)")
+        return 0
+    samples = samples_from_records(contents.records)
+    transitions = alert_transitions_from_records(contents.records)
+    active = {}
+    for transition in transitions:
+        if transition.action == "fired":
+            active[transition.rule] = transition
+        else:
+            active.pop(transition.rule, None)
+    state = samples[-1].health if samples and samples[-1].health else "ok"
+    suffix = f" ({', '.join(sorted(active))})" if active else ""
+    print(f"health: {state}{suffix}")
+    fired = sum(t.action == "fired" for t in transitions)
+    resolved = len(transitions) - fired
+    print(
+        f"alerts: {len(active)} active, {fired} fired / {resolved} "
+        f"resolved over {len(samples)} tick(s)"
+    )
+    for transition in transitions:
+        print(
+            f"  tick {transition.tick:>5}  {transition.action:<9}"
+            f"{transition.severity:<9} {transition.rule} "
+            f"(value {transition.value:.3f})"
+        )
+    if args.fail_degraded and state != "ok":
+        return 1
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.obs.flight import validate_bundle
+    from repro.service import recover_scheduler
+
+    scheduler = recover_scheduler(args.journal, resume_journal=False)
+    if scheduler.flight is None:
+        raise InvalidParameterError(
+            f"journal {args.journal} was written without an SLO config; "
+            "re-run serve with --slo to arm the flight recorder"
+        )
+    bundle = scheduler.write_debug_bundle(args.output)
+    manifest = validate_bundle(bundle)
+    print(
+        f"wrote debug bundle to {bundle} "
+        f"({manifest['ring_entries']} ring entries: "
+        f"{', '.join(manifest['files'])})"
+    )
     return 0
 
 
@@ -1454,6 +1570,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "serve": _cmd_serve,
         "top": _cmd_top,
+        "health": _cmd_health,
+        "diagnose": _cmd_diagnose,
         "metrics-export": _cmd_metrics_export,
         "bench-check": _cmd_bench_check,
         "bench-history": _cmd_bench_history,

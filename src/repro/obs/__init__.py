@@ -55,6 +55,8 @@ from repro.obs.attribution import (
     waterfalls_from_records,
 )
 from repro.obs.events import (
+    AlertFired,
+    AlertResolved,
     AnswersReceived,
     BatchRetried,
     CandidateSetShrunk,
@@ -75,6 +77,25 @@ from repro.obs.events import (
     TraceRecord,
     WorkerServiced,
     event_from_dict,
+)
+from repro.obs.flight import (
+    BUNDLE_MANIFEST,
+    FlightRecorder,
+    validate_bundle,
+    write_bundle,
+)
+from repro.obs.slo import (
+    ALERT_SEVERITIES,
+    SLO_OBJECTIVES,
+    AlertTransition,
+    BurnRateRule,
+    HealthStatus,
+    SLOConfig,
+    SLOEngine,
+    SLOTarget,
+    ThresholdRule,
+    default_slo_config,
+    slo_config_from_dict,
 )
 from repro.obs.dashboard import (
     DashboardRenderer,
@@ -122,7 +143,7 @@ from repro.obs.sinks import (
     TeeSink,
     TraceSink,
 )
-from repro.obs.stats import nearest_rank, percentile
+from repro.obs.stats import escalation_step, nearest_rank, percentile
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -154,6 +175,8 @@ __all__ = [
     "SpanCompleted",
     "SpanOpened",
     "SpanClosed",
+    "AlertFired",
+    "AlertResolved",
     "event_from_dict",
     # spans
     "Span",
@@ -206,8 +229,26 @@ __all__ = [
     "render_snapshot",
     "snapshot_percentile",
     # stats
+    "escalation_step",
     "nearest_rank",
     "percentile",
+    # slo / alerts
+    "ALERT_SEVERITIES",
+    "SLO_OBJECTIVES",
+    "SLOTarget",
+    "BurnRateRule",
+    "ThresholdRule",
+    "SLOConfig",
+    "SLOEngine",
+    "AlertTransition",
+    "HealthStatus",
+    "default_slo_config",
+    "slo_config_from_dict",
+    # flight recorder
+    "BUNDLE_MANIFEST",
+    "FlightRecorder",
+    "write_bundle",
+    "validate_bundle",
     # openmetrics
     "render_openmetrics",
     "write_openmetrics",

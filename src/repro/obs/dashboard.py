@@ -63,10 +63,18 @@ def render_frame(samples: Sequence, width: int = SPARK_WIDTH) -> str:
     depth = [s.waiting + s.backlog for s in samples]
     active = [s.active for s in samples]
     latency = [s.round_latency for s in samples]
+    # Health appears only when an SLO engine stamped the sample (old
+    # journals and engine-off runs carry ""), keeping the header
+    # byte-identical to pre-SLO output — live or replayed.
+    health = getattr(last, "health", "")
+    slo = (
+        f"  health={health} alerts={getattr(last, 'alerts_active', 0)}"
+        if health else ""
+    )
     lines = [
         f"tick {last.tick}  t={_fmt_seconds(last.now)}  "
         f"breaker={last.breaker}  "
-        f"plan-cache {100 * last.cache_hit_rate:.0f}% hit",
+        f"plan-cache {100 * last.cache_hit_rate:.0f}% hit{slo}",
         f"  queue depth   {sparkline(depth, width):<{width}} "
         f"{depth[-1]:>6d}  (waiting {last.waiting}, backlog {last.backlog})",
         f"  active        {sparkline(active, width):<{width}} "

@@ -16,6 +16,7 @@ The taxonomy follows the layers of the system:
   :class:`QueryCompleted`, :class:`QueryShed`;
 * deadlines / overload — :class:`DeadlineExceeded`, :class:`RoundHedged`,
   :class:`BrownoutStateChanged`;
+* SLO engine — :class:`AlertFired`, :class:`AlertResolved`;
 * durability — :class:`CheckpointWritten`, :class:`RecoveryCompleted`,
   :class:`CircuitOpened`, :class:`CircuitClosed`;
 * reliable worker layer — :class:`RWLRetry`, :class:`BatchRetried`;
@@ -273,6 +274,42 @@ class BrownoutStateChanged(TraceEvent):
     level: int
     previous: int
     queue_wait_p95: float
+    tick: int
+
+
+@dataclass(frozen=True)
+class AlertFired(TraceEvent):
+    """An SLO engine alert rule started firing.
+
+    Attributes:
+        alert: the rule's name.
+        severity: ``"warning"`` or ``"critical"``.
+        value: the burn rate or signal value that crossed the threshold.
+        tick: the scheduler tick of the transition.
+    """
+
+    kind: ClassVar[str] = "AlertFired"
+    alert: str
+    severity: str
+    value: float
+    tick: int
+
+
+@dataclass(frozen=True)
+class AlertResolved(TraceEvent):
+    """A previously-firing SLO engine alert rule recovered.
+
+    Attributes:
+        alert: the rule's name.
+        severity: ``"warning"`` or ``"critical"``.
+        value: the burn rate or signal value at resolution.
+        tick: the scheduler tick of the transition.
+    """
+
+    kind: ClassVar[str] = "AlertResolved"
+    alert: str
+    severity: str
+    value: float
     tick: int
 
 

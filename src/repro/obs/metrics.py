@@ -426,6 +426,9 @@ STANDARD_METRICS = (
     ("counter", "hedge.waste"),
     ("counter", "brownout.transitions"),
     ("gauge", "brownout.state"),
+    ("counter", "alerts.fired"),
+    ("counter", "alerts.resolved"),
+    ("gauge", "alerts.active"),
 ) + tuple(
     # Per-component latency attribution histograms — one labeled series
     # per component; must mirror repro.obs.attribution.COMPONENTS (the

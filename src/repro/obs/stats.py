@@ -17,11 +17,40 @@ pins that equivalence.
 from __future__ import annotations
 
 import math
-from typing import Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.errors import InvalidParameterError
 
 Number = Union[int, float]
+
+
+def escalation_step(
+    value: float,
+    level: int,
+    *,
+    threshold: float,
+    clear_threshold: float,
+    max_level: int,
+) -> Optional[Tuple[int, int]]:
+    """One step of a threshold + hysteresis escalation ladder.
+
+    The shared state machine behind the brownout controller and the SLO
+    threshold rules: a signal at or above *threshold* escalates one level
+    per call (capped at *max_level*); a signal strictly below
+    *clear_threshold* restores one level per call; anything in the
+    hysteresis band ``[clear_threshold, threshold)`` holds the level.
+
+    Returns ``(previous, new)`` on a level change, ``None`` otherwise.
+    The function is pure — callers apply the returned level themselves —
+    so replaying the same signal sequence reproduces the same
+    transitions bit for bit.
+    """
+    if value >= threshold:
+        if level < max_level:
+            return (level, level + 1)
+    elif value < clear_threshold and level > 0:
+        return (level, level - 1)
+    return None
 
 
 def nearest_rank(n_samples: int, p: float) -> int:

@@ -66,6 +66,7 @@ from repro.service.scheduler import ActiveQuery, MaxScheduler, ServiceConfig
 from repro.service.telemetry import (
     TICK_HISTORY_LIMIT,
     TickSample,
+    alert_transitions_from_records,
     follow_samples,
     samples_from_journal,
     samples_from_records,
@@ -125,6 +126,7 @@ __all__ = [
     "samples_from_records",
     "samples_from_journal",
     "follow_samples",
+    "alert_transitions_from_records",
     # journal / recovery
     "SchedulerJournal",
     "JournalContents",

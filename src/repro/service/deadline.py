@@ -206,17 +206,21 @@ class BrownoutController:
         Escalates or restores at most one level per call so effects are
         applied (and journaled) in a strict, replayable order.
         """
+        from repro.obs.stats import escalation_step
+
         config = self.config
-        if queue_wait_p95 >= config.queue_wait_threshold:
-            if self.level < config.max_level:
-                self.level += 1
-                self.transitions += 1
-                return (self.level - 1, self.level)
-        elif queue_wait_p95 < config.clear_threshold and self.level > 0:
-            self.level -= 1
-            self.transitions += 1
-            return (self.level + 1, self.level)
-        return None
+        change = escalation_step(
+            queue_wait_p95,
+            self.level,
+            threshold=config.queue_wait_threshold,
+            clear_threshold=config.clear_threshold,
+            max_level=config.max_level,
+        )
+        if change is None:
+            return None
+        self.level = change[1]
+        self.transitions += 1
+        return change
 
     # -- snapshot / restore -------------------------------------------
     def state_dict(self) -> Dict[str, Any]:

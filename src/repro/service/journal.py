@@ -56,6 +56,7 @@ from repro.crowd.platform import PlatformStats, SimulatedPlatform
 from repro.errors import InvalidParameterError, JournalCorruptError
 from repro.obs.events import CheckpointWritten, RecoveryCompleted
 from repro.obs.metrics import get_registry
+from repro.obs.slo import slo_config_from_dict
 from repro.obs.tracer import current_tracer
 from repro.persistence import (
     allocation_from_dict,
@@ -393,6 +394,16 @@ def snapshot_scheduler(scheduler: MaxScheduler) -> Dict[str, Any]:
             if scheduler._brownout is not None
             else None
         ),
+        "slo": (
+            scheduler._slo.state_dict()
+            if scheduler._slo is not None
+            else None
+        ),
+        "flight": (
+            scheduler._flight.state_dict()
+            if scheduler._flight is not None
+            else None
+        ),
         **crowd_state,
     }
 
@@ -470,6 +481,13 @@ def restore_scheduler_state(
         # Effects (repetition, hedging suspension) are a pure function of
         # the restored level; re-derive them so the replay matches.
         scheduler._apply_brownout_effects()
+    # .get(): pre-SLO journals lack the slots and replay unchanged.
+    slo_state = snapshot.get("slo")
+    if scheduler._slo is not None and slo_state is not None:
+        scheduler._slo.load_state_dict(slo_state)
+    flight_state = snapshot.get("flight")
+    if scheduler._flight is not None and flight_state is not None:
+        scheduler._flight.load_state_dict(flight_state)
 
 
 def _spec_to_dict(spec: QuerySpec) -> Dict[str, Any]:
@@ -763,6 +781,9 @@ def service_config_from_dict(payload: Dict[str, Any]) -> ServiceConfig:
     brownout = data.get("brownout")
     if isinstance(brownout, dict):
         data["brownout"] = BrownoutConfig(**brownout)
+    slo = data.get("slo")
+    if isinstance(slo, dict):
+        data["slo"] = slo_config_from_dict(slo)
     return ServiceConfig(**data)
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.attribution import ComponentStat, render_attribution
+from repro.obs.slo import HealthStatus
 from repro.obs.stats import percentile
 from repro.service.deadline import DEADLINE_OUTCOMES
 from repro.service.query import QueryResult, QueryState
@@ -51,6 +52,9 @@ class ServiceReport:
             (total/p50/p95/share per component), present only when the
             run was traced — with tracing off the report is bit-identical
             to the attribution-less one.
+        health: the SLO engine's final aggregate health, present only
+            when an engine was armed — with the engine off the report is
+            bit-identical to the health-less one.
     """
 
     results: Tuple[QueryResult, ...]
@@ -62,6 +66,7 @@ class ServiceReport:
     cache_misses: int
     cache_evictions: int
     attribution: Optional[Tuple[ComponentStat, ...]] = None
+    health: Optional[HealthStatus] = None
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -202,6 +207,10 @@ class ServiceReport:
             lines.insert(
                 6, f"deadlines:        {breakdown}"
             )
+        if self.health is not None:
+            # Only SLO-armed runs print the line, so an engine-off
+            # report renders byte-identically to before.
+            lines.append(f"health:           {self.health.describe()}")
         if self.attribution is not None:
             lines.append("")
             lines.extend(render_attribution(self.attribution))

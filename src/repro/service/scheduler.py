@@ -26,9 +26,11 @@ bit-identical — including under a fault profile.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -69,6 +71,8 @@ from repro.errors import InvalidParameterError, PlatformOutageError
 from repro.graphs.answer_graph import AnswerGraph
 from repro.obs.attribution import component_metric, summarize_attribution
 from repro.obs.events import (
+    AlertFired,
+    AlertResolved,
     BrownoutStateChanged,
     DeadlineExceeded,
     QueryAdmitted,
@@ -76,7 +80,9 @@ from repro.obs.events import (
     QueryScheduled,
     QueryShed,
 )
-from repro.obs.metrics import get_registry
+from repro.obs.flight import FlightRecorder, write_bundle
+from repro.obs.metrics import get_registry, labeled_name
+from repro.obs.slo import AlertTransition, SLOConfig, SLOEngine
 from repro.obs.spans import close_span, emit_span, open_span, span_scope
 from repro.obs.tracer import Tracer, current_tracer
 from repro.selection.registry import selector_by_name
@@ -135,6 +141,9 @@ class ServiceConfig:
             :class:`~repro.crowd.multibackend.HedgeConfig`.
         brownout: enable the overload brownout controller; see
             :class:`~repro.service.deadline.BrownoutConfig`.
+        slo: arm the SLO engine and flight recorder; see
+            :class:`~repro.obs.slo.SLOConfig`.  ``None`` (the default)
+            keeps the scheduler bit-identical to the SLO-less one.
     """
 
     policy: str = "fair"
@@ -151,6 +160,7 @@ class ServiceConfig:
     default_deadline: Optional[float] = None
     hedge: Optional[HedgeConfig] = None
     brownout: Optional[BrownoutConfig] = None
+    slo: Optional[SLOConfig] = None
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
@@ -373,6 +383,20 @@ class MaxScheduler:
             if self.config.brownout is not None
             else None
         )
+        # SLO engine + flight recorder: both exist only when armed, so
+        # the disabled tick loop is bit-identical to the SLO-less one.
+        self._slo: Optional[SLOEngine] = (
+            SLOEngine(self.config.slo)
+            if self.config.slo is not None
+            else None
+        )
+        self._flight: Optional[FlightRecorder] = (
+            FlightRecorder(self.config.slo.ring)
+            if self.config.slo is not None
+            else None
+        )
+        # Burn-rate gauges, resolved lazily on the first armed tick.
+        self._slo_gauges: Optional[List[Tuple[str, Any]]] = None
         # Deadline bookkeeping only runs when some query can carry one —
         # with no deadlines anywhere the tick loop is bit-identical to
         # the deadline-free scheduler.
@@ -432,6 +456,16 @@ class MaxScheduler:
     def brownout(self) -> Optional[BrownoutController]:
         """The overload brownout controller, if one was configured."""
         return self._brownout
+
+    @property
+    def slo(self) -> Optional[SLOEngine]:
+        """The SLO engine, if one was armed."""
+        return self._slo
+
+    @property
+    def flight(self) -> Optional[FlightRecorder]:
+        """The incident flight recorder, if the SLO layer was armed."""
+        return self._flight
 
     # ------------------------------------------------------------------
     # Driving
@@ -710,6 +744,8 @@ class MaxScheduler:
                 self._brownout.level if self._brownout is not None else 0
             ),
         )
+        if self._slo is not None:
+            sample = self._observe_slo(sample)
         self.tick_history.append(sample)
         registry = get_registry()
         registry.gauge("service.queue_depth").set(sample.queue_depth)
@@ -907,6 +943,162 @@ class MaxScheduler:
             for backend in self._router.backends:
                 backend.rwl.repetition = repetition
             self._router.hedging_suspended = self._brownout.hedging_disabled
+
+    # ------------------------------------------------------------------
+    # SLO engine & flight recorder
+    # ------------------------------------------------------------------
+    def _slo_signals(self, sample: TickSample) -> Dict[str, float]:
+        """The threshold-rule signals for one tick.
+
+        Built only from the sample and snapshot-restored scheduler state
+        (never the process-global metrics registry), so a recovered run
+        feeds the engine the same values and replays the same alerts.
+        """
+        waits = [
+            max(0.0, self._now - q.spec.arrival_time) for q in self._waiting
+        ]
+        waits.extend(
+            max(0.0, self._now - spec.arrival_time)
+            for spec in self._backlog
+            if spec.arrival_time <= self._now
+        )
+        hedge_waste = 0.0
+        if self._router is not None:
+            hedge_waste = float(self._router.hedge_summary()["waste"])
+        return {
+            "queue_wait_p95": queue_wait_p95(waits),
+            "breaker_open": 1.0 if sample.breaker == "open" else 0.0,
+            "brownout_level": float(sample.brownout_level),
+            "hedge_waste": hedge_waste,
+            "queue_depth": float(sample.queue_depth),
+            "active_queries": float(sample.active),
+            "round_latency": float(sample.round_latency),
+        }
+
+    def _observe_slo(self, sample: TickSample) -> TickSample:
+        """Feed the tick to the SLO engine; returns the stamped sample."""
+        transitions = self._slo.observe(sample, self._slo_signals(sample))
+        health = self._slo.health()
+        sample = dataclasses.replace(
+            sample,
+            alerts_active=len(self._slo.active_alerts()),
+            health=health.state,
+        )
+        self._flight.record("tick", **sample.to_dict())
+        registry = get_registry()
+        registry.gauge("alerts.active").set(sample.alerts_active)
+        if self._slo_gauges is None:
+            # Resolved once: gauge lookups are per-tick hot-path work.
+            self._slo_gauges = [
+                (
+                    target.name,
+                    registry.gauge(
+                        labeled_name("slo_burn_rate", {"slo": target.name})
+                    ),
+                )
+                for target in self.config.slo.targets
+            ]
+        for name, gauge in self._slo_gauges:
+            gauge.set(self._slo.burn_rate(name))
+        tracer = current_tracer()
+        for transition in transitions:
+            payload = dataclasses.asdict(transition)
+            self._flight.record("alert", **payload)
+            self._journal_record("alert", now=self._now, **payload)
+            if transition.action == "fired":
+                registry.counter("alerts.fired").inc()
+                if tracer.enabled:
+                    tracer.emit(
+                        AlertFired(
+                            alert=transition.rule,
+                            severity=transition.severity,
+                            value=transition.value,
+                            tick=transition.tick,
+                        ),
+                        sim_time=self._now,
+                    )
+                logger.warning(
+                    "alert %s fired at tick %d (%s, value %.3f)",
+                    transition.rule, transition.tick,
+                    transition.severity, transition.value,
+                )
+            else:
+                registry.counter("alerts.resolved").inc()
+                if tracer.enabled:
+                    tracer.emit(
+                        AlertResolved(
+                            alert=transition.rule,
+                            severity=transition.severity,
+                            value=transition.value,
+                            tick=transition.tick,
+                        ),
+                        sim_time=self._now,
+                    )
+                logger.warning(
+                    "alert %s resolved at tick %d (value %.3f)",
+                    transition.rule, transition.tick, transition.value,
+                )
+        if self.config.slo.bundle_dir is not None:
+            for transition in transitions:
+                if transition.action == "fired":
+                    self._write_incident_bundle(transition)
+        return sample
+
+    def debug_state(self) -> Dict[str, Any]:
+        """The robustness-layer state a debug bundle snapshots."""
+        state: Dict[str, Any] = {
+            "tick": self._ticks,
+            "now": self._now,
+            "breaker": (
+                self.breaker.state.value if self.breaker is not None else None
+            ),
+            "brownout": (
+                self._brownout.state_dict()
+                if self._brownout is not None
+                else None
+            ),
+            "router": (
+                self._router.hedge_summary()
+                if self._router is not None
+                else None
+            ),
+            "journal": (
+                {"path": str(self._journal.path), "seq": self._journal._seq}
+                if self._journal is not None
+                else None
+            ),
+        }
+        if self._slo is not None:
+            state["health"] = self._slo.health().describe()
+            state["active_alerts"] = self._slo.active_alerts()
+            state["slo"] = self._slo.state_dict()
+        return state
+
+    def write_debug_bundle(
+        self, directory: Any, reason: str = "diagnose"
+    ) -> Path:
+        """Snapshot a flight-recorder debug bundle into *directory*."""
+        if self._flight is None:
+            raise InvalidParameterError(
+                "no flight recorder: the scheduler was built without an "
+                "SLO config"
+            )
+        return write_bundle(
+            directory,
+            self._flight,
+            state=self.debug_state(),
+            metrics_snapshot=get_registry().snapshot(),
+            reason=reason,
+        )
+
+    def _write_incident_bundle(self, transition: AlertTransition) -> None:
+        bundle = (
+            Path(self.config.slo.bundle_dir)
+            / f"alert-{transition.rule}-tick-{transition.tick}"
+        )
+        # Structural directory name (rule + tick, no wall clock), so a
+        # recovered run re-writes the same bundle idempotently.
+        self.write_debug_bundle(bundle, reason=f"alert:{transition.rule}")
 
     def _expire_deadlines(self) -> None:
         """Reactively degrade queries whose budget has already run out.
@@ -1581,4 +1773,5 @@ class MaxScheduler:
                 if self._attribution
                 else None
             ),
+            health=self._slo.health() if self._slo is not None else None,
         )

@@ -76,6 +76,12 @@ class TickSample:
             degraded, shed or finished late.
         brownout_level: the brownout controller's level after this tick
             (0 = off / no controller).
+        alerts_active: SLO engine alerts firing after this tick (0 when
+            the engine is off).
+        health: aggregate health after this tick (``"ok"``/
+            ``"degraded"``/``"critical"``), or ``""`` when no SLO engine
+            is armed — the empty string keeps pre-SLO journals and the
+            dashboard header bit-identical.
     """
 
     tick: int
@@ -97,6 +103,8 @@ class TickSample:
     deadline_met: int = 0
     deadline_breached: int = 0
     brownout_level: int = 0
+    alerts_active: int = 0
+    health: str = ""
 
     @property
     def queue_depth(self) -> int:
@@ -104,7 +112,10 @@ class TickSample:
         return self.waiting + self.backlog
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        # All fields are scalars, so a shallow copy equals
+        # dataclasses.asdict at a fraction of its recursive cost — this
+        # runs on every journaled/SLO-armed tick.
+        return dict(self.__dict__)
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "TickSample":
@@ -143,6 +154,38 @@ def samples_from_records(
             sample = TickSample.from_dict(payload)
             by_tick[sample.tick] = sample
     return [by_tick[tick] for tick in sorted(by_tick)]
+
+
+def alert_transitions_from_records(
+    records: Iterable[Dict[str, Any]],
+) -> List["AlertTransition"]:
+    """Extract the SLO alert history from parsed journal records.
+
+    Duplicate transitions (a recovered run replaying the ticks lost
+    after its last snapshot) collapse by ``(tick, rule, action)``,
+    keeping first-occurrence order — which is tick order, since ticks
+    replay in order.  This is the ground truth ``tdp-repro health``
+    reads and the chaos harness compares across kill/recover.
+    """
+    from repro.obs.slo import AlertTransition
+
+    seen: Dict[Any, AlertTransition] = {}
+    for record in records:
+        if record.get("record") != "alert":
+            continue
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            continue
+        key = (payload["tick"], payload["rule"], payload["action"])
+        if key not in seen:
+            seen[key] = AlertTransition(
+                rule=str(payload["rule"]),
+                action=str(payload["action"]),
+                severity=str(payload["severity"]),
+                value=float(payload["value"]),
+                tick=int(payload["tick"]),
+            )
+    return list(seen.values())
 
 
 def samples_from_journal(path: Union[str, Path]) -> List[TickSample]:

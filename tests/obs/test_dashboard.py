@@ -69,6 +69,17 @@ class TestRenderFrame:
         frame = render_frame([_sample(1, deferred=True, round_latency=0.0)])
         assert "(deferred)" in frame
 
+    def test_health_shown_only_when_slo_is_armed(self):
+        armed = render_frame(
+            [_sample(1, health="degraded", alerts_active=2)]
+        )
+        assert "health=degraded alerts=2" in armed.splitlines()[0]
+        # Unarmed samples leave health empty — the header must stay
+        # byte-identical to the pre-SLO rendering.
+        plain = render_frame([_sample(1)])
+        assert "health=" not in plain
+        assert "alerts=" not in plain
+
 
 class TestRenderFinal:
     def test_summarizes_last_sample(self):

@@ -1,4 +1,4 @@
-"""Tests for the shared nearest-rank percentile (``repro.obs.stats``)."""
+"""Tests for the shared stats helpers (``repro.obs.stats``)."""
 
 import numpy as np
 import pytest
@@ -6,7 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
-from repro.obs.stats import nearest_rank, percentile
+from repro.obs.stats import escalation_step, nearest_rank, percentile
 from repro.service.report import nearest_rank_percentile
 
 
@@ -64,6 +64,48 @@ class TestPercentile:
     )
     def test_result_is_always_an_observation(self, values, p):
         assert percentile(values, p) in values
+
+
+class TestEscalationStep:
+    def test_escalates_at_threshold(self):
+        assert escalation_step(
+            100.0, 0, threshold=100.0, clear_threshold=75.0, max_level=3
+        ) == (0, 1)
+
+    def test_saturates_at_max_level(self):
+        assert escalation_step(
+            500.0, 3, threshold=100.0, clear_threshold=75.0, max_level=3
+        ) is None
+
+    def test_holds_inside_hysteresis_band(self):
+        # [clear_threshold, threshold) neither escalates nor de-escalates.
+        assert escalation_step(
+            80.0, 1, threshold=100.0, clear_threshold=75.0, max_level=3
+        ) is None
+
+    def test_deescalates_below_clear(self):
+        assert escalation_step(
+            74.9, 2, threshold=100.0, clear_threshold=75.0, max_level=3
+        ) == (2, 1)
+
+    def test_level_zero_never_deescalates(self):
+        assert escalation_step(
+            0.0, 0, threshold=100.0, clear_threshold=75.0, max_level=3
+        ) is None
+
+    @given(
+        st.floats(0, 1000, allow_nan=False),
+        st.integers(0, 3),
+    )
+    def test_steps_are_single_and_in_range(self, value, level):
+        change = escalation_step(
+            value, level, threshold=100.0, clear_threshold=75.0, max_level=3
+        )
+        if change is not None:
+            old, new = change
+            assert old == level
+            assert abs(new - old) == 1
+            assert 0 <= new <= 3
 
 
 class TestServiceReportAlias:

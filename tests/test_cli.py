@@ -832,3 +832,89 @@ class TestChaosDeadlineStorm:
         out = capsys.readouterr().out
         assert "all recoveries bit-identical" in out
         assert "backends=fast,balanced,cheap" in out
+
+
+class TestHealthDiagnose:
+    def _armed_journal(self, capsys, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        assert main(
+            ["serve", "--workload", "steady", "--slo",
+             "--journal", str(journal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "health:" in out
+        assert "slo: health" in out
+        return journal
+
+    def test_health_reads_an_armed_journal(self, capsys, tmp_path):
+        journal = self._armed_journal(capsys, tmp_path)
+        assert main(["health", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("health: ")
+        assert "alerts:" in out
+        assert "tick(s)" in out
+
+    def test_fail_degraded_passes_a_healthy_run(self, capsys, tmp_path):
+        journal = self._armed_journal(capsys, tmp_path)
+        assert main(["health", str(journal), "--fail-degraded"]) == 0
+
+    def test_health_without_slo_reports_unarmed(self, capsys, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        assert main(
+            ["serve", "--workload", "smoke", "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["health", str(journal)]) == 0
+        assert "no SLO engine armed" in capsys.readouterr().out
+
+    def test_health_of_missing_journal_is_a_clean_error(
+        self, capsys, tmp_path
+    ):
+        assert main(["health", str(tmp_path / "absent.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_diagnose_writes_a_validated_bundle(self, capsys, tmp_path):
+        from repro.obs.flight import validate_bundle
+
+        journal = self._armed_journal(capsys, tmp_path)
+        bundle = tmp_path / "bundle"
+        assert main(
+            ["diagnose", str(journal), "--output", str(bundle)]
+        ) == 0
+        assert "wrote debug bundle" in capsys.readouterr().out
+        manifest = validate_bundle(bundle)
+        assert manifest["reason"] == "diagnose"
+        assert "ring.jsonl" in manifest["files"]
+        assert "state.json" in manifest["files"]
+        assert "metrics.prom" in manifest["files"]
+
+    def test_diagnose_without_slo_is_a_clean_error(self, capsys, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        assert main(
+            ["serve", "--workload", "smoke", "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["diagnose", str(journal), "--output", str(tmp_path / "b")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--slo" in err
+
+    def test_slo_bundle_dir_implies_slo(self, capsys, tmp_path):
+        assert main(
+            ["serve", "--workload", "smoke",
+             "--slo-bundle-dir", str(tmp_path / "bundles")]
+        ) == 0
+        assert "slo: health" in capsys.readouterr().out
+
+
+class TestChaosAlertStorm:
+    def test_alert_storm_scenario_runs(self, capsys):
+        assert main(
+            ["chaos", "--scenario", "alert-storm", "--crashes", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "all recoveries bit-identical" in out

@@ -58,6 +58,8 @@ class TestReadmeClaims:
             "bench-check": ["baseline.json", "current"],
             "bench-history": ["bench-artifacts"],
             "explain": ["--trace", "trace.jsonl"],
+            "health": ["run.jsonl"],
+            "diagnose": ["run.jsonl", "--output", "bundle"],
         }
         for command in re.findall(r"tdp-repro ([\w-]+)", text):
             # argparse raises SystemExit(2) for unknown subcommands.
